@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare the predictor family on the same traces.
+
+Runs static predictors, bimodal, the two-level family (PAg/GAg/GAs,
+gshare), a McFarling hybrid and the agree predictor over two contrasting
+benchmark analogs — the pattern-heavy `compress` and the search-heavy
+`chess` — plus the branch-allocated PAg for reference.
+
+Run:  python examples/predictor_zoo.py [scale]
+"""
+
+import sys
+
+from repro.allocation import BranchAllocator
+from repro.eval import BenchmarkRunner
+from repro.eval.report import render_table
+from repro.predictors import (
+    AgreePredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+    BimodalPredictor,
+    GAgPredictor,
+    GAsPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    InterferenceFreePAg,
+    PAgPredictor,
+    ProfileStaticPredictor,
+    simulate_predictor,
+)
+
+BENCHMARKS = ("compress", "chess")
+
+
+def predictor_lineup(profile, allocator):
+    index_map = allocator.allocate(1024).index_map()
+    return [
+        ("always-taken", AlwaysTakenPredictor()),
+        ("btfnt", BTFNTPredictor()),
+        ("profile-static", ProfileStaticPredictor(profile)),
+        ("bimodal-2k", BimodalPredictor(2048)),
+        ("GAg-12", GAgPredictor(12)),
+        ("GAs-8x16", GAsPredictor(history_bits=8, set_bits=4)),
+        ("gshare-12", GSharePredictor(12)),
+        ("hybrid", HybridPredictor(GSharePredictor(12),
+                                   BimodalPredictor(4096))),
+        ("agree-12", AgreePredictor(12, profile=profile)),
+        ("PAg-1024 (conv)", PAgPredictor.conventional(1024, 12)),
+        ("PAg-1024 (alloc)", PAgPredictor.allocated(index_map, 12)),
+        ("PAg-infinite", InterferenceFreePAg(12)),
+    ]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    threshold = 100 if scale >= 0.9 else 10
+    runner = BenchmarkRunner(scale=scale)
+
+    results = {}
+    for name in BENCHMARKS:
+        artifacts = runner.artifacts(name)
+        allocator = BranchAllocator(artifacts.profile, threshold=threshold)
+        for label, predictor in predictor_lineup(
+            artifacts.profile, allocator
+        ):
+            stats = simulate_predictor(
+                predictor, artifacts.trace, track_per_branch=False
+            )
+            results.setdefault(label, {})[name] = stats.misprediction_rate
+
+    rows = [
+        [label] + [f"{results[label][b]*100:.2f}%" for b in BENCHMARKS]
+        for label in results
+    ]
+    print(render_table(
+        ["predictor"] + list(BENCHMARKS),
+        rows,
+        title=f"Misprediction rates (scale={scale})",
+    ))
+
+    print("\nNotes:")
+    print(" - local-history PAg thrives on the loop/pattern branches;")
+    print(" - allocated PAg tracks the interference-free bound;")
+    print(" - static predictors bound the no-hardware case.")
+
+
+if __name__ == "__main__":
+    main()

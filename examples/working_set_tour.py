@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A tour of branch working set analysis on controlled inputs.
+
+Part 1 replays the paper's Figure 1 worked example event by event.
+Part 2 generates a synthetic phased workload whose working sets are known
+by construction and shows the analysis recovering them exactly.
+Part 3 demonstrates the threshold refinement (paper §4.2).
+
+Run:  python examples/working_set_tour.py
+"""
+
+from repro.analysis import (
+    build_conflict_graph,
+    partition_working_sets,
+)
+from repro.profiling import InterleaveAnalyzer, profile_trace
+from repro.trace import make_phased_workload
+
+
+def figure1_example() -> None:
+    print("=== Part 1: the paper's Figure 1 example ===")
+    names = {0x100: "A", 0x200: "B", 0x300: "C"}
+    analyzer = InterleaveAnalyzer()
+    for pc in (0x100, 0x200, 0x300, 0x100):  # A B C A
+        analyzer.observe(pc)
+    profile = analyzer.finish()
+    print("event order: A B C A")
+    for (low, high), count in sorted(profile.pairs.items()):
+        print(f"  interleave({names[low]}, {names[high]}) = {count}")
+    print("  (B,C) never interleave: neither re-executed.\n")
+
+
+def synthetic_recovery() -> None:
+    print("=== Part 2: recovering known working sets ===")
+    workload = make_phased_workload(
+        n_phases=5,
+        branches_per_phase=12,
+        iterations=200,
+        seed=42,
+        text_span=1 << 20,
+    )
+    trace = workload.generate(seed=43)
+    print(f"synthetic trace: {len(trace)} events, "
+          f"{len(trace.static_branches())} static branches, "
+          f"5 ground-truth phases of 12 branches")
+
+    profile = profile_trace(trace)
+    graph = build_conflict_graph(profile, threshold=100)
+    partition = partition_working_sets(graph)
+    truth = {frozenset(s) for s in workload.ground_truth_working_sets()}
+    recovered = {frozenset(s) for s in partition.as_pc_sets()}
+    print(f"recovered {partition.count} working sets, "
+          f"sizes {sorted(ws.size for ws in partition.sets)}")
+    print(f"exact match with ground truth: {recovered == truth}\n")
+
+
+def threshold_refinement() -> None:
+    print("=== Part 3: threshold sensitivity (paper §4.2) ===")
+    workload = make_phased_workload(
+        n_phases=4, branches_per_phase=10, iterations=300, seed=3,
+        text_span=1 << 18,
+    )
+    profile = profile_trace(workload.generate(seed=4))
+    print(f"{'threshold':>10} {'edges':>7} {'sets':>5} {'avg size':>9}")
+    for threshold in (1, 100, 500, 1000):
+        graph = build_conflict_graph(profile, threshold=threshold)
+        partition = partition_working_sets(graph)
+        print(f"{threshold:>10} {graph.edge_count:>7} "
+              f"{partition.count:>5} "
+              f"{partition.average_static_size:>9.1f}")
+    print("(the paper: thresholds 100-1000 'show no significant "
+          "difference')")
+
+
+def main() -> None:
+    figure1_example()
+    synthetic_recovery()
+    threshold_refinement()
+
+
+if __name__ == "__main__":
+    main()

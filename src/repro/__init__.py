@@ -1,0 +1,97 @@
+"""repro — reproduction of Kim & Tyson, *Analyzing the Working Set
+Characteristics of Branch Execution* (MICRO 1998).
+
+The package is organised bottom-up:
+
+* substrates: :mod:`repro.isa`, :mod:`repro.asm`, :mod:`repro.sim`,
+  :mod:`repro.trace`, :mod:`repro.workloads` — a miniature RISC toolchain
+  and benchmark suite standing in for SimpleScalar + SPECint95;
+* the paper's contribution: :mod:`repro.profiling` (time-stamp interleave
+  analysis), :mod:`repro.analysis` (conflict graph + working sets),
+  :mod:`repro.allocation` (graph-colouring branch allocation);
+* :mod:`repro.predictors` — the 2-level predictor family (PAg et al.);
+* :mod:`repro.eval` — regenerates every table and figure in the paper.
+
+Quick start::
+
+    from repro import BenchmarkRunner, run_experiment
+
+    runner = BenchmarkRunner(scale=0.2)
+    print(run_experiment("table2", runner))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .allocation import (
+    AllocationResult,
+    BranchAllocator,
+    ClassifiedBranchAllocator,
+    conflict_cost,
+    conventional_cost,
+    required_bht_size,
+)
+from .analysis import (
+    BiasClass,
+    ClassificationBounds,
+    ConflictGraph,
+    WorkingSetPartition,
+    build_conflict_graph,
+    classify_profile,
+    partition_working_sets,
+    working_set_metrics,
+)
+from .eval import BenchmarkRunner, run_all, run_experiment
+from .predictors import (
+    InterferenceFreePAg,
+    PAgPredictor,
+    PCModuloIndex,
+    StaticIndexMap,
+    simulate_predictor,
+)
+from .profiling import (
+    InterleaveAnalyzer,
+    InterleaveProfile,
+    merge_profiles,
+    profile_trace,
+)
+from .trace import BranchTrace, TraceCapture, make_phased_workload
+from .workloads import benchmark_suite, build_workload, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationResult",
+    "BenchmarkRunner",
+    "BiasClass",
+    "BranchAllocator",
+    "BranchTrace",
+    "ClassificationBounds",
+    "ClassifiedBranchAllocator",
+    "ConflictGraph",
+    "InterferenceFreePAg",
+    "InterleaveAnalyzer",
+    "InterleaveProfile",
+    "PAgPredictor",
+    "PCModuloIndex",
+    "StaticIndexMap",
+    "TraceCapture",
+    "WorkingSetPartition",
+    "__version__",
+    "benchmark_suite",
+    "build_conflict_graph",
+    "build_workload",
+    "classify_profile",
+    "conflict_cost",
+    "conventional_cost",
+    "make_phased_workload",
+    "merge_profiles",
+    "partition_working_sets",
+    "profile_trace",
+    "required_bht_size",
+    "run_all",
+    "run_experiment",
+    "run_workload",
+    "simulate_predictor",
+    "working_set_metrics",
+]

@@ -1,0 +1,165 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands
+--------
+``list``        — the benchmark analogs and registered kernels.
+``run``         — simulate one benchmark analog, print run statistics.
+``profile``     — profile a benchmark and print its Table 2 row.
+``allocate``    — branch allocation sizing for one benchmark (Table 3/4).
+``experiment``  — run a registered experiment (table1..figure4, ablations).
+``disasm``      — assemble a workload and print its program listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .allocation import (
+    BranchAllocator,
+    ClassifiedBranchAllocator,
+    conventional_cost,
+    required_bht_size,
+)
+from .analysis import working_set_metrics
+from .eval import BenchmarkRunner
+from .eval.experiments import EXPERIMENTS, run_experiment
+from .workloads import (
+    benchmark_suite,
+    build_workload,
+    get_benchmark,
+    kernel_registry,
+    run_workload,
+)
+
+
+def _threshold_for(scale: float) -> int:
+    return 100 if scale >= 0.9 else 10
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    print("benchmark analogs:")
+    for name, spec in benchmark_suite().items():
+        print(f"  {name:10s} {spec.description}")
+    print("\nkernels:")
+    for name, spec in sorted(kernel_registry().items()):
+        print(f"  {name:10s} {spec.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = get_benchmark(args.benchmark, scale=args.scale)
+    built = build_workload(spec)
+    print(f"{spec.name}: {len(built.program)} instructions, "
+          f"{built.static_conditional_branches} static branches")
+    result = run_workload(built)
+    print(f"retired {result.instructions} instructions, "
+          f"{result.conditional_branches} conditional branches "
+          f"({result.taken_rate:.1%} taken), "
+          f"{'halted' if result.halted else 'fuel-capped'}")
+    print(f"driver checksum: {result.output.decode().strip()}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
+    metrics = working_set_metrics(
+        runner.profile(args.benchmark),
+        threshold=args.threshold or _threshold_for(args.scale),
+    )
+    print(f"{metrics.name}: {metrics.total_sets} working sets, "
+          f"avg static {metrics.average_static_size:.1f}, "
+          f"avg dynamic {metrics.average_dynamic_size:.1f}, "
+          f"largest {metrics.largest_size} "
+          f"(of {metrics.static_branches} statics, "
+          f"threshold {metrics.threshold})")
+    return 0
+
+
+def cmd_allocate(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
+    profile = runner.profile(args.benchmark)
+    threshold = args.threshold or _threshold_for(args.scale)
+    plain = BranchAllocator(profile, threshold=threshold)
+    baseline = conventional_cost(plain.graph, 1024)
+    sizing3 = required_bht_size(plain, baseline)
+    classified = ClassifiedBranchAllocator(profile, threshold=threshold)
+    sizing4 = required_bht_size(classified, baseline, min_size=3)
+    print(f"{args.benchmark}: baseline cost @1024 conventional = {baseline}")
+    print(f"  required BHT size (Table 3 style): {sizing3.required_size}")
+    print(f"  with classification (Table 4):     {sizing4.required_size}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
+    print(run_experiment(args.id, runner))
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    built = build_workload(get_benchmark(args.benchmark, scale=args.scale))
+    listing = built.program.listing()
+    if args.head:
+        lines = listing.splitlines()
+        listing = "\n".join(lines[: args.head])
+        listing += f"\n... ({len(lines) - args.head} more lines)"
+    print(listing)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="branch working set analysis reproduction "
+        "(Kim & Tyson, MICRO 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and kernels")
+
+    def add_common(p: argparse.ArgumentParser, with_threshold=True) -> None:
+        p.add_argument("benchmark", help="benchmark analog name")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--cache", default="", help="trace cache directory")
+        if with_threshold:
+            p.add_argument("--threshold", type=int, default=0,
+                           help="edge threshold (0 = auto for scale)")
+
+    p_run = sub.add_parser("run", help="simulate a benchmark analog")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--scale", type=float, default=1.0)
+
+    add_common(sub.add_parser("profile", help="Table 2 row"))
+    add_common(sub.add_parser("allocate", help="Table 3/4 sizing"))
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--cache", default="")
+
+    p_dis = sub.add_parser("disasm", help="print a workload's listing")
+    p_dis.add_argument("benchmark")
+    p_dis.add_argument("--scale", type=float, default=1.0)
+    p_dis.add_argument("--head", type=int, default=0,
+                       help="only the first N lines")
+    return parser
+
+
+_HANDLERS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "profile": cmd_profile,
+    "allocate": cmd_allocate,
+    "experiment": cmd_experiment,
+    "disasm": cmd_disasm,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Conflict-driven branch alignment (paper §5, the no-ISA-change path).
+
+The paper notes that if augmenting the branch ISA with index bits "is not
+an option, the working set information used in the allocation technique
+can be incorporated into a branch alignment transformation [Calder &
+Grunwald] for any ISA without change".  This module implements that
+transformation for the workload builder: instead of telling the *predictor*
+where each branch's history lives, it moves the *code* so that conflicting
+branches land on different BHT entries under conventional PC-modulo
+indexing.
+
+Mechanics: each kernel instance is a relocatable unit (its internal branch
+offsets are fixed).  Units are placed sequentially; the pad inserted before
+each unit chooses its start address modulo the BHT size.  A greedy pass
+over units in descending conflict weight picks, for each unit, the start
+residue minimising the interleave weight shared with already-placed
+branches on the same entries.
+
+Inherent limitation (also true of real branch alignment): branches *within*
+one unit keep their relative offsets, so intra-unit conflicts cannot be
+separated — unlike true branch allocation, which this module quantifies
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.conflict_graph import (
+    DEFAULT_THRESHOLD,
+    ConflictGraph,
+    build_conflict_graph,
+)
+from ..profiling.profile import InterleaveProfile
+from ..workloads.build import BuiltWorkload, WorkloadSpec, build_workload
+from .conflict_cost import conventional_cost
+
+InstanceKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of the alignment transform.
+
+    Attributes:
+        aligned: the re-built workload with computed placement pads.
+        pads: filler words chosen before each instance.
+        original_cost: conventional-indexing conflict cost of the original
+            layout (on the original build's conflict graph).
+        aligned_cost: predicted conflict cost of the aligned layout (same
+            graph, branch PCs relocated).
+        intra_unit_cost: conflict weight between branches of the *same*
+            unit that alias — the part alignment cannot remove.
+    """
+
+    aligned: BuiltWorkload
+    pads: Dict[InstanceKey, int]
+    original_cost: int
+    aligned_cost: int
+    intra_unit_cost: int
+
+
+def _branch_layout(
+    built: BuiltWorkload, graph: ConflictGraph
+) -> Tuple[List[InstanceKey], Dict[InstanceKey, int],
+           Dict[InstanceKey, List[Tuple[int, int]]]]:
+    """Units in build order, their lengths (words), and per-unit branches
+    as (word offset within unit, branch PC)."""
+    extents = built.kernel_extents()
+    order = sorted(extents, key=lambda key: extents[key][0])
+    lengths = {
+        key: (extents[key][1] - extents[key][0]) // 4 for key in order
+    }
+    branches: Dict[InstanceKey, List[Tuple[int, int]]] = {
+        key: [] for key in order
+    }
+    for pc in graph.nodes():
+        for key in order:
+            start, end = extents[key]
+            if start <= pc < end:
+                branches[key].append(((pc - start) // 4, pc))
+                break
+    return order, lengths, branches
+
+
+def align_workload(
+    spec: WorkloadSpec,
+    profile: InterleaveProfile,
+    bht_size: int = 1024,
+    threshold: int = DEFAULT_THRESHOLD,
+    residue_stride: int = 1,
+) -> AlignmentResult:
+    """Re-lay out *spec*'s kernels to minimise conventional BHT conflicts.
+
+    Args:
+        spec: the workload to transform.
+        profile: an interleave profile of the *original* build (branch PCs
+            must match ``build_workload(spec)``'s layout).
+        bht_size: the conventional table the layout should avoid aliasing
+            in.
+        threshold: conflict-graph pruning threshold.
+        residue_stride: try every ``residue_stride``-th start residue
+            (1 = exhaustive; larger is faster and nearly as good).
+
+    Raises:
+        ValueError: if bht_size or residue_stride is not positive.
+    """
+    if bht_size <= 0:
+        raise ValueError("bht_size must be positive")
+    if residue_stride <= 0:
+        raise ValueError("residue_stride must be positive")
+
+    original = build_workload(spec)
+    graph = build_conflict_graph(profile, threshold=threshold)
+    original_cost = conventional_cost(graph, bht_size)
+    order, _, unit_branches = _branch_layout(original, graph)
+
+    # body lengths must come from a pad-free build: the scattered build's
+    # extents include the *next* unit's scatter pad, which the aligned
+    # layout will not have
+    packed = build_workload(spec, explicit_pads={})
+    packed_extents = packed.kernel_extents()
+    lengths = {
+        key: (packed_extents[key][1] - packed_extents[key][0]) // 4
+        for key in order
+    }
+
+    # place heavy-conflict units first so they get the freest residues
+    def unit_weight(key: InstanceKey) -> int:
+        return sum(
+            graph.weighted_degree(pc) for _, pc in unit_branches[key]
+        )
+
+    placement_order = sorted(
+        order, key=lambda key: (-unit_weight(key), key)
+    )
+
+    # entry -> list of already-placed branch PCs on that entry; seeded with
+    # the branches that do NOT move (the driver's loop branches, which
+    # interleave with every phase's kernels)
+    occupied: Dict[int, List[int]] = {}
+    attributed = {
+        pc for branches in unit_branches.values() for _, pc in branches
+    }
+    for pc in graph.nodes():
+        if pc not in attributed:
+            occupied.setdefault((pc >> 2) % bht_size, []).append(pc)
+    chosen_residue: Dict[InstanceKey, int] = {}
+    intra_cost = 0
+    for key in placement_order:
+        branches = unit_branches[key]
+        if not branches:
+            chosen_residue[key] = 0
+            continue
+        best_residue, best_cost = 0, None
+        for residue in range(0, bht_size, residue_stride):
+            cost = 0
+            for offset, pc in branches:
+                entry = (offset + residue) % bht_size
+                for other in occupied.get(entry, ()):
+                    cost += graph.edge_weight(pc, other)
+            if best_cost is None or cost < best_cost:
+                best_residue, best_cost = residue, cost
+                if cost == 0:
+                    break
+        chosen_residue[key] = best_residue
+        for offset, pc in branches:
+            occupied.setdefault(
+                (offset + best_residue) % bht_size, []
+            ).append(pc)
+        # intra-unit aliasing is immovable; count it once per unit
+        seen: Dict[int, List[int]] = {}
+        for offset, pc in branches:
+            seen.setdefault(offset % bht_size, []).append(pc)
+        for pcs in seen.values():
+            for i, a in enumerate(pcs):
+                for b in pcs[i + 1:]:
+                    intra_cost += graph.edge_weight(a, b)
+
+    # realise residues as sequential pads; positions are absolute word
+    # addresses so the chosen residues are true BHT entries regardless of
+    # the text base's alignment
+    pads: Dict[InstanceKey, int] = {}
+    position = min(packed_extents[key][0] for key in order) // 4
+    for key in order:
+        target = chosen_residue[key]
+        pad = (target - position) % bht_size
+        pads[key] = pad
+        position += pad + lengths[key]
+
+    aligned = build_workload(spec, explicit_pads=pads)
+
+    # predicted aligned cost: every branch PC moves with its unit
+    aligned_extents = aligned.kernel_extents()
+    relocated: Dict[int, int] = {}
+    for key in order:
+        old_start = original.kernel_extents()[key][0]
+        new_start = aligned_extents[key][0]
+        for _, pc in unit_branches[key]:
+            relocated[pc] = pc - old_start + new_start
+    aligned_cost = 0
+    for a, b, count in graph.edges():
+        entry_a = (relocated.get(a, a) >> 2) % bht_size
+        entry_b = (relocated.get(b, b) >> 2) % bht_size
+        if entry_a == entry_b:
+            aligned_cost += count
+    return AlignmentResult(
+        aligned=aligned,
+        pads=pads,
+        original_cost=original_cost,
+        aligned_cost=aligned_cost,
+        intra_unit_cost=intra_cost,
+    )

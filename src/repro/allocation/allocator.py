@@ -1,0 +1,89 @@
+"""The branch allocator: profile -> BHT index assignment (paper §5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..analysis.conflict_graph import (
+    DEFAULT_THRESHOLD,
+    ConflictGraph,
+    build_conflict_graph,
+)
+from ..predictors.indexing import PCModuloIndex, StaticIndexMap
+from ..profiling.profile import InterleaveProfile
+from .coloring import ColoringResult, color_graph
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """A complete branch allocation for one BHT size.
+
+    Attributes:
+        bht_size: entries in the target BHT.
+        assignment: static branch PC -> BHT entry.
+        cost: conflict cost of the assignment on the pruned graph.
+        shared_branches: branches forced to share an entry with a conflict
+            neighbour.
+        threshold: edge threshold the conflict graph was pruned at.
+    """
+
+    bht_size: int
+    assignment: Dict[int, int]
+    cost: int
+    shared_branches: frozenset
+    threshold: int
+
+    def index_map(self) -> StaticIndexMap:
+        """The predictor-facing index function for this allocation.
+
+        Unmapped (cold / unprofiled) branches fall back to PC-modulo
+        indexing, matching the paper's treatment of unannotated code.
+        """
+        return StaticIndexMap(
+            self.bht_size,
+            self.assignment,
+            fallback=PCModuloIndex(self.bht_size),
+        )
+
+
+class BranchAllocator:
+    """Computes branch-to-BHT-entry assignments from a profile.
+
+    The three paper steps: interleave profile (done upstream), conflict
+    graph construction with threshold pruning, then graph colouring with
+    entry sharing instead of spilling.
+
+    Example::
+
+        allocator = BranchAllocator(profile)
+        allocation = allocator.allocate(bht_size=128)
+        predictor = PAgPredictor.allocated(allocation.index_map())
+    """
+
+    def __init__(
+        self,
+        profile: InterleaveProfile,
+        threshold: int = DEFAULT_THRESHOLD,
+        restrict_to: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.profile = profile
+        self.threshold = threshold
+        self.graph: ConflictGraph = build_conflict_graph(
+            profile, threshold=threshold, restrict_to=restrict_to
+        )
+
+    def allocate(self, bht_size: int) -> AllocationResult:
+        """Assign every profiled branch to one of *bht_size* entries.
+
+        Raises:
+            ValueError: if *bht_size* is not positive.
+        """
+        result: ColoringResult = color_graph(self.graph, bht_size)
+        return AllocationResult(
+            bht_size=bht_size,
+            assignment=result.assignment,
+            cost=result.cost,
+            shared_branches=result.shared_nodes,
+            threshold=self.threshold,
+        )

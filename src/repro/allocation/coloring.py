@@ -1,0 +1,148 @@
+"""Graph colouring for branch allocation (paper §5.1).
+
+The allocator follows the Chaitin/Briggs register-allocation shape the paper
+cites, with the key difference the paper spells out: **there is no spill**.
+When a working set has more members than the table has entries, the
+overflowing branches simply share an entry, and "the allocation routine
+chooses the branches with the fewest conflicts among the working set
+branches to map to the same location".
+
+Phases:
+
+1. **Simplify** — repeatedly remove a node with degree < K (it is trivially
+   colourable) and push it on a stack.  When no such node exists, remove the
+   node with the *smallest weighted degree* (fewest conflicts — the paper's
+   sharing victim) and push it marked as an overflow candidate.
+2. **Select** — pop nodes and assign each a colour unused by its coloured
+   neighbours; a node with no free colour takes the colour that minimises
+   the summed interleave weight to its same-coloured neighbours.
+
+Among the conflict-free colours, the allocator picks the one carrying the
+least execution weight so far.  Two branches from *different* working sets
+can share an entry without any conflict-graph cost (they never interleave),
+but each still evicts the other's history across phase transitions; load
+balancing spreads branches over the whole table exactly the way the paper's
+one-to-one intent implies when the table is big enough.
+
+The result is deterministic: ties break on PC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..analysis.conflict_graph import ConflictGraph
+
+
+@dataclass(frozen=True)
+class ColoringResult:
+    """Outcome of one colouring run.
+
+    Attributes:
+        assignment: PC -> colour in ``range(colors)``.
+        colors: number of colours (BHT entries) made available.
+        shared_nodes: PCs that ended up sharing a colour with a conflict
+            neighbour (the no-spill overflow case).
+        cost: summed interleave weight across same-colour conflict edges.
+    """
+
+    assignment: Dict[int, int]
+    colors: int
+    shared_nodes: frozenset
+    cost: int
+
+    @property
+    def colors_used(self) -> int:
+        """Distinct colours actually assigned."""
+        return len(set(self.assignment.values()))
+
+
+def color_graph(
+    graph: ConflictGraph,
+    colors: int,
+    color_offset: int = 0,
+) -> ColoringResult:
+    """Colour *graph* with *colors* colours, minimising shared-entry weight.
+
+    Args:
+        graph: the pruned conflict graph.
+        colors: available colours (BHT entries); must be positive.
+        color_offset: first colour number to use (the classified allocator
+            reserves low entries for biased classes).
+
+    Raises:
+        ValueError: if *colors* is not positive.
+    """
+    if colors <= 0:
+        raise ValueError(f"colors must be positive, got {colors}")
+
+    # ---- simplify ----------------------------------------------------------
+    degrees: Dict[int, int] = {pc: graph.degree(pc) for pc in graph.nodes()}
+    weighted: Dict[int, int] = {
+        pc: graph.weighted_degree(pc) for pc in graph.nodes()
+    }
+    remaining: Set[int] = set(degrees)
+    # bucket of currently-simplifiable nodes (degree < colors)
+    stack: List[int] = []
+    while remaining:
+        simplifiable = [pc for pc in remaining if degrees[pc] < colors]
+        if simplifiable:
+            # remove all currently simplifiable nodes, lightest first for
+            # determinism (order within this batch does not affect safety)
+            simplifiable.sort(key=lambda pc: (degrees[pc], pc))
+            victim = simplifiable[0]
+        else:
+            # overflow: the paper's rule — fewest conflicts shares
+            victim = min(remaining, key=lambda pc: (weighted[pc], pc))
+        stack.append(victim)
+        remaining.discard(victim)
+        for neighbor, weight in graph.neighbors(victim).items():
+            if neighbor in remaining:
+                degrees[neighbor] -= 1
+                weighted[neighbor] -= weight
+
+    # ---- select ------------------------------------------------------------
+    assignment: Dict[int, int] = {}
+    shared: Set[int] = set()
+    palette = list(range(color_offset, color_offset + colors))
+    load: Dict[int, int] = {color: 0 for color in palette}
+    while stack:
+        pc = stack.pop()
+        neighbor_colors: Dict[int, int] = {}
+        for neighbor, weight in graph.neighbors(pc).items():
+            color = assignment.get(neighbor)
+            if color is not None:
+                neighbor_colors[color] = neighbor_colors.get(color, 0) + weight
+        free = [color for color in palette if color not in neighbor_colors]
+        if free:
+            # conflict-free: balance execution weight across the table
+            chosen = min(free, key=lambda c: (load[c], c))
+        else:
+            # every colour conflicts: take the cheapest one
+            chosen = min(palette, key=lambda c: (neighbor_colors[c], c))
+            shared.add(pc)
+        assignment[pc] = chosen
+        load[chosen] += graph.node_weight(pc) or 1
+
+    cost = 0
+    for a, b, count in graph.edges():
+        if assignment[a] == assignment[b]:
+            cost += count
+    return ColoringResult(
+        assignment=assignment,
+        colors=colors,
+        shared_nodes=frozenset(shared),
+        cost=cost,
+    )
+
+
+def verify_coloring(
+    graph: ConflictGraph, assignment: Dict[int, int]
+) -> Tuple[bool, int]:
+    """Check an assignment: (conflict-free?, same-colour edge weight)."""
+    clashes = 0
+    for a, b, count in graph.edges():
+        if assignment.get(a) == assignment.get(b):
+            clashes += count
+    return clashes == 0, clashes

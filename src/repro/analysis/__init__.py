@@ -1,0 +1,75 @@
+"""Branch working set analysis (the paper's §4)."""
+
+from .cliques import (
+    CliqueLimitExceeded,
+    MaximalCliqueStats,
+    maximal_clique_stats,
+    maximal_cliques,
+)
+from .clustering import (
+    ClusteringReport,
+    TransitionReport,
+    detect_transitions,
+    misprediction_clustering,
+)
+from .groups import (
+    Grouping,
+    expand_group_assignment,
+    fold_profile,
+    group_by_bias,
+    group_by_history_pattern,
+)
+from .classification import (
+    BiasClass,
+    ClassificationBounds,
+    classify_branch,
+    classify_profile,
+    drop_same_class_biased_edges,
+)
+from .conflict_graph import (
+    DEFAULT_THRESHOLD,
+    ConflictGraph,
+    build_conflict_graph,
+)
+from .metrics import (
+    WorkingSetMetrics,
+    metrics_from_partition,
+    working_set_metrics,
+)
+from .working_sets import (
+    WorkingSet,
+    WorkingSetPartition,
+    is_clique,
+    partition_working_sets,
+)
+
+__all__ = [
+    "BiasClass",
+    "ClassificationBounds",
+    "CliqueLimitExceeded",
+    "ClusteringReport",
+    "ConflictGraph",
+    "DEFAULT_THRESHOLD",
+    "Grouping",
+    "MaximalCliqueStats",
+    "TransitionReport",
+    "detect_transitions",
+    "expand_group_assignment",
+    "fold_profile",
+    "group_by_bias",
+    "group_by_history_pattern",
+    "maximal_clique_stats",
+    "maximal_cliques",
+    "misprediction_clustering",
+    "WorkingSet",
+    "WorkingSetMetrics",
+    "WorkingSetPartition",
+    "build_conflict_graph",
+    "classify_branch",
+    "classify_profile",
+    "drop_same_class_biased_edges",
+    "is_clique",
+    "metrics_from_partition",
+    "partition_working_sets",
+    "working_set_metrics",
+]

@@ -1,0 +1,88 @@
+"""Branch classification (Chang et al. [9], as used in paper §5.2).
+
+Branches are classified by profiled taken rate: *highly biased taken*
+(> 99% taken), *highly biased not-taken* (< 1% taken), or *mixed*.  Two
+conflicting branches in the same highly-biased class have essentially
+identical local histories, so their BHT contention is harmless — the
+classified allocator ignores those conflict edges and parks each biased
+class on one shared, reserved BHT entry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from ..profiling.profile import InterleaveProfile
+from .conflict_graph import ConflictGraph
+
+
+class BiasClass(enum.Enum):
+    """Taken-rate classes."""
+
+    TAKEN_BIASED = "taken"        # taken rate > taken_bound
+    NOT_TAKEN_BIASED = "not-taken"  # taken rate < not_taken_bound
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class ClassificationBounds:
+    """Bias thresholds; the paper uses 99% / 1%.
+
+    Raises:
+        ValueError: if bounds are not probabilities or overlap.
+    """
+
+    taken_bound: float = 0.99
+    not_taken_bound: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.not_taken_bound < self.taken_bound <= 1.0:
+            raise ValueError(
+                "bounds must satisfy 0 <= not_taken < taken <= 1, got "
+                f"{self.not_taken_bound} / {self.taken_bound}"
+            )
+
+
+def classify_branch(
+    taken_rate: float, bounds: ClassificationBounds = ClassificationBounds()
+) -> BiasClass:
+    """Classify a single branch by its profiled taken rate."""
+    if taken_rate > bounds.taken_bound:
+        return BiasClass.TAKEN_BIASED
+    if taken_rate < bounds.not_taken_bound:
+        return BiasClass.NOT_TAKEN_BIASED
+    return BiasClass.MIXED
+
+
+def classify_profile(
+    profile: InterleaveProfile,
+    bounds: ClassificationBounds = ClassificationBounds(),
+) -> Dict[int, BiasClass]:
+    """Classify every static branch in the profile."""
+    return {
+        pc: classify_branch(stats.taken_rate, bounds)
+        for pc, stats in profile.branches.items()
+    }
+
+
+def drop_same_class_biased_edges(
+    graph: ConflictGraph, classes: Dict[int, BiasClass]
+) -> ConflictGraph:
+    """Remove conflict edges between two branches of the same biased class.
+
+    This is the paper's §5.2 refinement: such conflicts "do not contain
+    significant negative effects" because the colliding histories agree.
+    Mixed-class branches keep all their edges.
+    """
+
+    def drop(a: int, b: int) -> bool:
+        class_a = classes.get(a, BiasClass.MIXED)
+        class_b = classes.get(b, BiasClass.MIXED)
+        return (
+            class_a is class_b
+            and class_a is not BiasClass.MIXED
+        )
+
+    return graph.filtered_edges(drop)

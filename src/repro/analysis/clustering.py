@@ -1,0 +1,167 @@
+"""Clustered-misprediction analysis (the paper's §6 open question).
+
+    "Are the clustered branch mispredictions found in recent work on
+    dynamic prediction caused by changes in working set?"
+
+This module gives the question an operational form:
+
+1. :func:`detect_transitions` finds *working-set transitions* in a trace —
+   event indices where the set of recently active working sets changes
+   (computed from a sliding window over the branch stream and the trace's
+   own working-set partition);
+2. :func:`misprediction_clustering` runs a predictor over the trace and
+   compares the misprediction rate within a window after each transition
+   against the steady-state rate elsewhere.
+
+A ratio above 1 says mispredictions cluster at working-set changes — the
+affirmative answer the paper conjectured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..predictors.base import BranchPredictor
+from ..trace.events import BranchTrace
+from .working_sets import WorkingSetPartition
+
+
+@dataclass(frozen=True)
+class TransitionReport:
+    """Where the active working sets changed.
+
+    Attributes:
+        transitions: event indices at which the active-set composition
+            changed (excluding index 0).
+        active_sets_trace: the number of simultaneously active working
+            sets per probe point (diagnostic).
+    """
+
+    transitions: List[int]
+    active_sets_trace: List[int]
+
+
+def _set_index(partition: WorkingSetPartition) -> Dict[int, int]:
+    lookup: Dict[int, int] = {}
+    for set_id, ws in enumerate(partition.sets):
+        for pc in ws.members:
+            lookup[pc] = set_id
+    return lookup
+
+
+def detect_transitions(
+    trace: BranchTrace,
+    partition: WorkingSetPartition,
+    window: int = 256,
+    stride: int = 64,
+) -> TransitionReport:
+    """Find event indices where the active working sets change.
+
+    The trace is probed every *stride* events; a probe's *active sets* are
+    the working sets with at least one member branch in the trailing
+    *window* events.  A transition is recorded at the first probe whose
+    active-set composition differs from the previous probe's.
+
+    Raises:
+        ValueError: on non-positive window/stride.
+    """
+    if window <= 0 or stride <= 0:
+        raise ValueError("window and stride must be positive")
+    lookup = _set_index(partition)
+    pcs = trace.pcs.tolist()
+    transitions: List[int] = []
+    active_counts: List[int] = []
+    previous: Set[int] = set()
+    for probe in range(0, len(pcs), stride):
+        start = max(0, probe - window + 1)
+        active = {
+            lookup[pc]
+            for pc in pcs[start : probe + 1]
+            if pc in lookup
+        }
+        active_counts.append(len(active))
+        if probe and active != previous:
+            transitions.append(probe)
+        previous = active
+    return TransitionReport(
+        transitions=transitions, active_sets_trace=active_counts
+    )
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """Misprediction density near transitions vs steady state.
+
+    Attributes:
+        transition_rate: misprediction rate within *radius* events after a
+            working-set transition.
+        steady_rate: misprediction rate everywhere else (after warmup).
+        transition_events: events counted as near-transition.
+        steady_events: events counted as steady-state.
+    """
+
+    transition_rate: float
+    steady_rate: float
+    transition_events: int
+    steady_events: int
+
+    @property
+    def clustering_ratio(self) -> float:
+        """transition_rate / steady_rate (inf if steady is perfect)."""
+        if self.steady_rate == 0.0:
+            return float("inf") if self.transition_rate > 0 else 1.0
+        return self.transition_rate / self.steady_rate
+
+
+def misprediction_clustering(
+    predictor: BranchPredictor,
+    trace: BranchTrace,
+    partition: WorkingSetPartition,
+    radius: int = 256,
+    warmup: int = 1024,
+    window: int = 256,
+    stride: int = 64,
+) -> ClusteringReport:
+    """Measure whether mispredictions cluster at working-set transitions.
+
+    Args:
+        predictor: consumed statefully (reset it first when reusing).
+        trace: the branch trace.
+        partition: working sets of the same program (from the profile).
+        radius: events after a transition counted as "near-transition".
+        warmup: initial events excluded from both buckets.
+        window/stride: forwarded to :func:`detect_transitions`.
+    """
+    report = detect_transitions(
+        trace, partition, window=window, stride=stride
+    )
+    near: Set[int] = set()
+    for transition in report.transitions:
+        near.update(range(transition, transition + radius))
+
+    access = predictor.access
+    pcs = trace.pcs.tolist()
+    targets = trace.targets.tolist()
+    outcomes = trace.taken.tolist()
+    transition_events = transition_wrong = 0
+    steady_events = steady_wrong = 0
+    for i in range(len(pcs)):
+        taken = outcomes[i]
+        wrong = access(pcs[i], taken, targets[i]) != taken
+        if i < warmup:
+            continue
+        if i in near:
+            transition_events += 1
+            transition_wrong += wrong
+        else:
+            steady_events += 1
+            steady_wrong += wrong
+    return ClusteringReport(
+        transition_rate=(
+            transition_wrong / transition_events if transition_events else 0.0
+        ),
+        steady_rate=steady_wrong / steady_events if steady_events else 0.0,
+        transition_events=transition_events,
+        steady_events=steady_events,
+    )

@@ -1,0 +1,219 @@
+"""Working-set analysis over pre-classified branch *groups*.
+
+The paper's future work (§6): "Branches can be pre-classified based on
+intra or inter-correlations and similar history patterns, and the working
+set analysis can be applied to these pre-classified branch groups."
+
+This module lifts the whole pipeline from individual static branches to
+groups: a grouping maps each branch PC to a group id, a group-level
+interleave profile is derived by folding the branch-level pair counts
+through the grouping (pairs internal to one group vanish — the group shares
+one resource, so internal interleaving is not contention), and the usual
+conflict graph / working set / allocation machinery runs unchanged on the
+group ids.
+
+Two groupings ship:
+
+* :func:`group_by_bias` — the paper's own §5.2 classes (taken-biased /
+  not-taken-biased / each mixed branch alone), which reproduces the
+  classified allocator's behaviour through the generic mechanism;
+* :func:`group_by_history_pattern` — branches whose dominant local history
+  patterns match share a group (the "similar history patterns" suggestion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, ItemsView, List, Optional, Tuple
+
+from ..profiling.profile import BranchStats, InterleaveProfile, pair_key
+from ..trace.events import BranchTrace
+from .classification import (
+    BiasClass,
+    ClassificationBounds,
+    classify_profile,
+)
+
+GroupId = int
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """A mapping from static branch PCs to group ids.
+
+    Attributes:
+        assignment: branch PC -> group id.
+        labels: optional human-readable label per group id.
+    """
+
+    assignment: Dict[int, GroupId]
+    labels: Dict[GroupId, str]
+
+    @property
+    def group_count(self) -> int:
+        return len(set(self.assignment.values()))
+
+    def members(self, group: GroupId) -> List[int]:
+        """Branch PCs in *group*, ascending."""
+        return sorted(
+            pc for pc, gid in self.assignment.items() if gid == group
+        )
+
+    def items(self) -> ItemsView[int, GroupId]:
+        return self.assignment.items()
+
+
+def group_by_bias(
+    profile: InterleaveProfile,
+    bounds: ClassificationBounds = ClassificationBounds(),
+) -> Grouping:
+    """Group highly biased branches together; mixed branches stay alone.
+
+    Group 0 = taken-biased, group 1 = not-taken-biased, then one group per
+    mixed branch — mirroring the classified allocator's two reserved
+    entries.
+    """
+    classes = classify_profile(profile, bounds)
+    assignment: Dict[int, GroupId] = {}
+    labels: Dict[GroupId, str] = {0: "taken-biased", 1: "not-taken-biased"}
+    next_group = 2
+    for pc in sorted(classes):
+        bias = classes[pc]
+        if bias is BiasClass.TAKEN_BIASED:
+            assignment[pc] = 0
+        elif bias is BiasClass.NOT_TAKEN_BIASED:
+            assignment[pc] = 1
+        else:
+            assignment[pc] = next_group
+            labels[next_group] = f"branch-0x{pc:x}"
+            next_group += 1
+    return Grouping(assignment=assignment, labels=labels)
+
+
+def group_by_history_pattern(
+    trace: BranchTrace,
+    pattern_bits: int = 4,
+    tolerance: float = 0.05,
+) -> Grouping:
+    """Group branches whose outcome streams share a short periodic cycle.
+
+    For each static branch, the smallest period ``p <= pattern_bits`` with
+    at most *tolerance* of positions violating ``stream[i] == stream[i-p]``
+    is detected; the branch joins the group of that cycle's *canonical
+    rotation* (so phase-shifted copies of the same pattern group
+    together).  Aperiodic branches stay in singleton groups.
+
+    Raises:
+        ValueError: on a non-positive width or tolerance outside [0, 1).
+    """
+    if pattern_bits <= 0:
+        raise ValueError("pattern_bits must be positive")
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    outcomes: Dict[int, List[bool]] = {}
+    for pc, taken in zip(trace.pcs.tolist(), trace.taken.tolist()):
+        outcomes.setdefault(pc, []).append(bool(taken))
+
+    assignment: Dict[int, GroupId] = {}
+    labels: Dict[GroupId, str] = {}
+    pattern_groups: Dict[str, GroupId] = {}
+    next_group = 0
+    for pc in sorted(outcomes):
+        cycle = _periodic_cycle(outcomes[pc], pattern_bits, tolerance)
+        if cycle is None:
+            assignment[pc] = next_group
+            labels[next_group] = f"branch-0x{pc:x}"
+            next_group += 1
+            continue
+        group = pattern_groups.get(cycle)
+        if group is None:
+            group = next_group
+            pattern_groups[cycle] = group
+            labels[group] = f"pattern-{cycle}"
+            next_group += 1
+        assignment[pc] = group
+    return Grouping(assignment=assignment, labels=labels)
+
+
+def _periodic_cycle(
+    stream: List[bool], max_period: int, tolerance: float
+) -> Optional[str]:
+    """Canonical rotation of the stream's shortest cycle, if periodic."""
+    if len(stream) < 4 * max_period:
+        return None
+    for period in range(1, max_period + 1):
+        mismatches = sum(
+            1
+            for i in range(period, len(stream))
+            if stream[i] != stream[i - period]
+        )
+        if mismatches <= tolerance * (len(stream) - period):
+            # majority vote per residue class absorbs tolerated noise
+            votes = [[0, 0] for _ in range(period)]
+            for i, taken in enumerate(stream):
+                votes[i % period][taken] += 1
+            cycle = "".join(
+                "T" if v[1] >= v[0] else "N" for v in votes
+            )
+            rotations = [
+                cycle[i:] + cycle[:i] for i in range(len(cycle))
+            ]
+            return min(rotations)
+    return None
+
+
+def fold_profile(
+    profile: InterleaveProfile, grouping: Grouping
+) -> InterleaveProfile:
+    """Fold a branch-level profile into a group-level profile.
+
+    Group execution/taken counts are the sums over members; a group pair's
+    interleave count is the sum of cross-group branch-pair counts.  Pairs
+    internal to one group are dropped — members share one predictor
+    resource, so their mutual interleaving is no longer contention (the
+    same reasoning as §5.2's same-class conflict filtering).
+
+    Branches absent from the grouping are passed through as singleton
+    groups with fresh ids.
+    """
+    assignment = dict(grouping.assignment)
+    next_group = max(assignment.values(), default=-1) + 1
+    for pc in profile.branches:
+        if pc not in assignment:
+            assignment[pc] = next_group
+            next_group += 1
+
+    folded = InterleaveProfile(name=f"{profile.name}(grouped)")
+    for pc, stats in profile.branches.items():
+        gid = assignment[pc]
+        acc = folded.branches.get(gid)
+        if acc is None:
+            folded.branches[gid] = BranchStats(
+                stats.executions, stats.taken
+            )
+        else:
+            acc.executions += stats.executions
+            acc.taken += stats.taken
+    for (a, b), count in profile.pairs.items():
+        ga, gb = assignment[a], assignment[b]
+        if ga == gb:
+            continue
+        key = pair_key(ga, gb)
+        folded.pairs[key] = folded.pairs.get(key, 0) + count
+    folded.instructions = profile.instructions
+    return folded
+
+
+def expand_group_assignment(
+    group_assignment: Dict[GroupId, int], grouping: Grouping
+) -> Dict[int, int]:
+    """Expand a group -> BHT entry map back to branch PC -> entry.
+
+    Used to drive :class:`~repro.predictors.indexing.StaticIndexMap` from a
+    group-level allocation: all members of a group share its entry.
+    """
+    return {
+        pc: group_assignment[gid]
+        for pc, gid in grouping.assignment.items()
+        if gid in group_assignment
+    }

@@ -1,0 +1,63 @@
+"""Working-set metrics: the Table 2 row for one benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiling.profile import InterleaveProfile
+from .conflict_graph import DEFAULT_THRESHOLD, build_conflict_graph
+from .working_sets import WorkingSetPartition, partition_working_sets
+
+
+@dataclass(frozen=True)
+class WorkingSetMetrics:
+    """One Table 2 row.
+
+    Attributes:
+        name: benchmark label.
+        total_sets: total number of working sets.
+        average_static_size: unweighted mean working-set size.
+        average_dynamic_size: execution-weighted mean working-set size.
+        largest_size: size of the largest set (not in the paper's table but
+            the quantity that pressures the BHT).
+        static_branches: static conditional branches analysed.
+        threshold: edge-pruning threshold used.
+    """
+
+    name: str
+    total_sets: int
+    average_static_size: float
+    average_dynamic_size: float
+    largest_size: int
+    static_branches: int
+    threshold: int
+
+
+def working_set_metrics(
+    profile: InterleaveProfile,
+    threshold: int = DEFAULT_THRESHOLD,
+) -> WorkingSetMetrics:
+    """Run steps 2–3 of the analysis and summarise (Table 2)."""
+    graph = build_conflict_graph(profile, threshold=threshold)
+    partition = partition_working_sets(graph)
+    return metrics_from_partition(
+        profile.name, partition, profile.static_branch_count, threshold
+    )
+
+
+def metrics_from_partition(
+    name: str,
+    partition: WorkingSetPartition,
+    static_branches: int,
+    threshold: int,
+) -> WorkingSetMetrics:
+    """Summarise an existing partition into a Table 2 row."""
+    return WorkingSetMetrics(
+        name=name,
+        total_sets=partition.count,
+        average_static_size=partition.average_static_size,
+        average_dynamic_size=partition.average_dynamic_size,
+        largest_size=partition.largest_size,
+        static_branches=static_branches,
+        threshold=threshold,
+    )

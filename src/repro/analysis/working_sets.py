@@ -1,0 +1,157 @@
+"""Working-set partitioning (paper §4.1 step 3).
+
+The paper defines a working set as "a set of conditional branch instructions
+which form a completely interconnected subgraph" of the (pruned) conflict
+graph, and notes it picked the complete-subgraph definition "for the
+simplicity of the study".  Partitioning a graph into a minimum number of
+cliques is NP-hard, so — like any practical implementation — we use a
+deterministic greedy clique cover:
+
+1. visit nodes in descending weighted-degree order (ties broken by PC);
+2. seed a new set with the heaviest unassigned node;
+3. repeatedly add the unassigned candidate that is adjacent to *every*
+   current member, choosing the one with the largest total edge weight into
+   the set (ties by PC);
+4. isolated or exhausted nodes end up in singleton sets.
+
+Every emitted set is verified to be a clique; tests assert this on random
+graphs, and on synthetic phased traces the recovered sets match the
+generator's ground-truth phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from .conflict_graph import ConflictGraph
+
+
+@dataclass(frozen=True)
+class WorkingSet:
+    """One branch working set (a clique in the conflict graph)."""
+
+    members: FrozenSet[int]
+    execution_weight: int  # summed execution counts of the members
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class WorkingSetPartition:
+    """The full partition of a program's branches into working sets."""
+
+    sets: List[WorkingSet] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Total number of working sets (Table 2, column 2)."""
+        return len(self.sets)
+
+    @property
+    def average_static_size(self) -> float:
+        """Unweighted mean set size (Table 2, column 3)."""
+        if not self.sets:
+            return 0.0
+        return sum(ws.size for ws in self.sets) / len(self.sets)
+
+    @property
+    def average_dynamic_size(self) -> float:
+        """Execution-weighted mean set size (Table 2, column 4).
+
+        The expected size of the working set containing a uniformly random
+        *dynamic* branch instance — the paper's "dynamic average number
+        weighted by branch execution count".
+        """
+        total_weight = sum(ws.execution_weight for ws in self.sets)
+        if total_weight == 0:
+            return self.average_static_size
+        return (
+            sum(ws.size * ws.execution_weight for ws in self.sets)
+            / total_weight
+        )
+
+    @property
+    def largest_size(self) -> int:
+        """Size of the biggest working set (drives BHT sizing pressure)."""
+        return max((ws.size for ws in self.sets), default=0)
+
+    def set_of(self, pc: int) -> Optional[WorkingSet]:
+        """The working set containing branch *pc*, if any."""
+        for ws in self.sets:
+            if pc in ws.members:
+                return ws
+        return None
+
+    def as_pc_sets(self) -> List[Set[int]]:
+        """Plain ``set`` view, largest first (deterministic)."""
+        return [
+            set(ws.members)
+            for ws in sorted(
+                self.sets, key=lambda w: (-w.size, min(w.members))
+            )
+        ]
+
+
+def partition_working_sets(graph: ConflictGraph) -> WorkingSetPartition:
+    """Partition the conflict graph into working sets via greedy clique cover.
+
+    Every node lands in exactly one set; every set is a clique in *graph*.
+    """
+    order = sorted(
+        graph.nodes(),
+        key=lambda pc: (-graph.weighted_degree(pc), pc),
+    )
+    assigned: Set[int] = set()
+    sets: List[WorkingSet] = []
+    for seed in order:
+        if seed in assigned:
+            continue
+        members = _grow_clique(graph, seed, assigned)
+        assigned.update(members)
+        weight = sum(graph.node_weight(pc) for pc in members)
+        sets.append(
+            WorkingSet(members=frozenset(members), execution_weight=weight)
+        )
+    return WorkingSetPartition(sets=sets)
+
+
+def _grow_clique(
+    graph: ConflictGraph, seed: int, assigned: Set[int]
+) -> List[int]:
+    members = [seed]
+    member_set = {seed}
+    # candidates: unassigned neighbours of the seed, with how strongly each
+    # is connected to the current clique.
+    candidate_weight: Dict[int, int] = {
+        pc: w
+        for pc, w in graph.neighbors(seed).items()
+        if pc not in assigned
+    }
+    while candidate_weight:
+        best = min(
+            candidate_weight,
+            key=lambda pc: (-candidate_weight[pc], pc),
+        )
+        members.append(best)
+        member_set.add(best)
+        best_neighbors = graph.neighbors(best)
+        # keep only candidates adjacent to the new member too
+        candidate_weight = {
+            pc: candidate_weight[pc] + best_neighbors[pc]
+            for pc in candidate_weight
+            if pc != best and pc in best_neighbors
+        }
+    return members
+
+
+def is_clique(graph: ConflictGraph, members: Sequence[int]) -> bool:
+    """True if *members* are pairwise adjacent in *graph*."""
+    pcs = list(members)
+    for i, a in enumerate(pcs):
+        for b in pcs[i + 1 :]:
+            if not graph.has_edge(a, b):
+                return False
+    return True

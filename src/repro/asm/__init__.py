@@ -1,0 +1,35 @@
+"""Assembler for the miniature RISC ISA.
+
+Public entry point: :func:`~repro.asm.assembler.assemble`, which turns
+assembly source text into a loadable :class:`~repro.isa.program.Program`.
+"""
+
+from .assembler import Assembler, assemble
+from .lexer import AsmSyntaxError, Token, TokenKind, tokenize
+from .parser import (
+    DirectiveStmt,
+    ImmOperand,
+    InstrStmt,
+    LabelStmt,
+    MemOperand,
+    RegOperand,
+    SymOperand,
+    parse,
+)
+
+__all__ = [
+    "AsmSyntaxError",
+    "Assembler",
+    "DirectiveStmt",
+    "ImmOperand",
+    "InstrStmt",
+    "LabelStmt",
+    "MemOperand",
+    "RegOperand",
+    "SymOperand",
+    "Token",
+    "TokenKind",
+    "assemble",
+    "parse",
+    "tokenize",
+]

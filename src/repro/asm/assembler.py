@@ -1,0 +1,535 @@
+"""Two-pass assembler.
+
+Pass 1 walks the statement list, tracks the current segment, expands
+pseudo-instructions just far enough to know their size, lays out data
+directives and records every label's byte address.  Pass 2 emits concrete
+:class:`~repro.isa.instructions.Instruction` objects with all symbols
+resolved (branch/jump offsets are relative to the instruction's own address).
+
+Supported pseudo-instructions::
+
+    nop                      addi zero, zero, 0
+    mv rd, rs                addi rd, rs, 0
+    not rd, rs               xori rd, rs, -1
+    neg rd, rs               sub rd, zero, rs
+    li rd, imm               addi | lui+ori (size depends on imm)
+    la rd, label             lui+ori (always two instructions)
+    j label                  jal zero, label
+    jr rs                    jalr zero, rs, 0
+    call label               jal ra, label
+    ret                      jalr zero, ra, 0
+    beqz/bnez rs, label      beq/bne rs, zero, label
+    bltz/bgez rs, label      blt/bge rs, zero, label
+    bgtz/blez rs, label      blt/bge zero, rs, label
+    bgt/ble/bgtu/bleu a,b,L  blt/bge with operands swapped
+
+Directives: ``.text``, ``.data``, ``.globl`` (accepted, ignored), ``.word``,
+``.byte``, ``.half``, ``.asciiz``, ``.ascii``, ``.space``, ``.align``, and
+``.skip N`` (text segment: emit N never-executed filler instructions —
+used by the workload builder to scatter functions across a realistically
+large text segment so PC-indexed predictor tables alias as they would in
+a real program).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import DATA_BASE, INSTRUCTION_SIZE, TEXT_BASE, Program
+from .lexer import AsmSyntaxError
+from .parser import (
+    DirectiveStmt,
+    ImmOperand,
+    InstrStmt,
+    LabelStmt,
+    MemOperand,
+    Operand,
+    RegOperand,
+    Statement,
+    SymOperand,
+    parse,
+)
+
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+LUI_SHIFT = 13  # lui rd, k  =>  rd = k << 13
+
+_R_OPS = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "div": Opcode.DIV, "rem": Opcode.REM, "and": Opcode.AND,
+    "or": Opcode.OR, "xor": Opcode.XOR, "sll": Opcode.SLL,
+    "srl": Opcode.SRL, "sra": Opcode.SRA, "slt": Opcode.SLT,
+    "sltu": Opcode.SLTU,
+}
+_I_OPS = {
+    "addi": Opcode.ADDI, "andi": Opcode.ANDI, "ori": Opcode.ORI,
+    "xori": Opcode.XORI, "slli": Opcode.SLLI, "srli": Opcode.SRLI,
+    "srai": Opcode.SRAI, "slti": Opcode.SLTI,
+}
+_LOAD_OPS = {"lw": Opcode.LW, "lb": Opcode.LB}
+_STORE_OPS = {"sw": Opcode.SW, "sb": Opcode.SB}
+_BRANCH_OPS = {
+    "beq": Opcode.BEQ, "bne": Opcode.BNE, "blt": Opcode.BLT,
+    "bge": Opcode.BGE, "bltu": Opcode.BLTU, "bgeu": Opcode.BGEU,
+}
+_SWAPPED_BRANCHES = {
+    "bgt": Opcode.BLT, "ble": Opcode.BGE,
+    "bgtu": Opcode.BLTU, "bleu": Opcode.BGEU,
+}
+_ZERO_BRANCHES = {
+    "beqz": (Opcode.BEQ, False), "bnez": (Opcode.BNE, False),
+    "bltz": (Opcode.BLT, False), "bgez": (Opcode.BGE, False),
+    "bgtz": (Opcode.BLT, True), "blez": (Opcode.BGE, True),
+}
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction slot awaiting symbol resolution in pass 2."""
+
+    emit: Callable[[int, Dict[str, int]], Instruction]
+    line: int
+
+
+class Assembler:
+    """Translates assembly source into a :class:`Program`.
+
+    Typical use::
+
+        program = Assembler().assemble(source, name="compress")
+    """
+
+    def __init__(
+        self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE
+    ) -> None:
+        self._text_base = text_base
+        self._data_base = data_base
+
+    def assemble(self, source: str, name: str = "<asm>") -> Program:
+        """Assemble *source* and return the loadable program.
+
+        Raises:
+            AsmSyntaxError: on syntax errors, unknown mnemonics, undefined
+                or duplicate labels, or out-of-range operands.
+        """
+        statements = parse(source)
+        pending, data, symbols, fixups = self._pass1(statements)
+        instructions = [
+            slot.emit(self._text_base + i * INSTRUCTION_SIZE, symbols)
+            for i, slot in enumerate(pending)
+        ]
+        for offset, symbol, line in fixups:
+            value = self._resolve(symbol, symbols, line)
+            data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(
+                4, "little"
+            )
+        return Program(
+            instructions=instructions,
+            data=bytes(data),
+            symbols=symbols,
+            name=name,
+            text_base=self._text_base,
+            data_base=self._data_base,
+        )
+
+    # -- pass 1 -----------------------------------------------------------
+
+    def _pass1(self, statements: Sequence[Statement]):
+        pending: List[_PendingInstr] = []
+        data = bytearray()
+        symbols: Dict[str, int] = {}
+        fixups: List[tuple] = []  # (data offset, symbol, line)
+        segment = "text"
+        for stmt in statements:
+            if isinstance(stmt, LabelStmt):
+                if stmt.name in symbols:
+                    raise AsmSyntaxError(
+                        f"duplicate label {stmt.name!r}", stmt.line
+                    )
+                if segment == "text":
+                    symbols[stmt.name] = (
+                        self._text_base + len(pending) * INSTRUCTION_SIZE
+                    )
+                else:
+                    symbols[stmt.name] = self._data_base + len(data)
+            elif isinstance(stmt, DirectiveStmt):
+                if stmt.name == ".skip":
+                    if segment != "text":
+                        raise AsmSyntaxError(
+                            ".skip only valid in .text segment", stmt.line
+                        )
+                    pending.extend(self._expand_skip(stmt))
+                else:
+                    segment = self._directive(stmt, segment, data, fixups)
+            else:
+                if segment != "text":
+                    raise AsmSyntaxError(
+                        "instruction outside .text segment", stmt.line
+                    )
+                pending.extend(self._expand(stmt))
+        return pending, data, symbols, fixups
+
+    @staticmethod
+    def _expand_skip(stmt: DirectiveStmt) -> List[_PendingInstr]:
+        if len(stmt.args) != 1 or not isinstance(stmt.args[0], int):
+            raise AsmSyntaxError(".skip expects one integer count", stmt.line)
+        count = stmt.args[0]
+        if count < 0:
+            raise AsmSyntaxError(".skip count must be non-negative", stmt.line)
+        filler = Instruction(Opcode.ADDI)  # nop; shared, never executed
+        slot = _PendingInstr(lambda a, s: filler, stmt.line)
+        return [slot] * count
+
+    def _directive(
+        self,
+        stmt: DirectiveStmt,
+        segment: str,
+        data: bytearray,
+        fixups: List[tuple],
+    ) -> str:
+        name = stmt.name
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name == ".globl":
+            return segment
+        if segment != "data":
+            raise AsmSyntaxError(
+                f"{name} outside .data segment", stmt.line
+            )
+        if name == ".word":
+            for arg in stmt.args:
+                if isinstance(arg, SymOperand):
+                    # symbol-valued word: reserve space, patch after pass 2
+                    fixups.append((len(data), arg.name, stmt.line))
+                    data.extend(b"\x00\x00\x00\x00")
+                else:
+                    data.extend(self._directive_int(arg, stmt.line, 32))
+        elif name == ".half":
+            for arg in stmt.args:
+                data.extend(self._directive_int(arg, stmt.line, 16))
+        elif name == ".byte":
+            for arg in stmt.args:
+                data.extend(self._directive_int(arg, stmt.line, 8))
+        elif name in (".asciiz", ".ascii"):
+            for arg in stmt.args:
+                if not isinstance(arg, str):
+                    raise AsmSyntaxError(
+                        f"{name} expects string literals", stmt.line
+                    )
+                data.extend(arg.encode("latin-1"))
+                if name == ".asciiz":
+                    data.append(0)
+        elif name == ".space":
+            (count,) = stmt.args
+            if not isinstance(count, int) or count < 0:
+                raise AsmSyntaxError(".space expects a size", stmt.line)
+            data.extend(b"\x00" * count)
+        elif name == ".align":
+            (power,) = stmt.args
+            if not isinstance(power, int) or power < 0:
+                raise AsmSyntaxError(".align expects a power of two", stmt.line)
+            step = 1 << power
+            while len(data) % step:
+                data.append(0)
+        else:
+            raise AsmSyntaxError(f"unknown directive {name}", stmt.line)
+        return segment
+
+    def _directive_int(self, arg: object, line: int, bits: int) -> bytes:
+        if isinstance(arg, SymOperand):
+            raise AsmSyntaxError(
+                f"symbol references only allowed in .word, not .{bits}-bit "
+                "directives",
+                line,
+            )
+        if not isinstance(arg, int):
+            raise AsmSyntaxError(f"expected integer, got {arg!r}", line)
+        return (arg & ((1 << bits) - 1)).to_bytes(bits // 8, "little")
+
+    # -- pass 2 helpers -----------------------------------------------------
+
+    def _expand(self, stmt: InstrStmt) -> List[_PendingInstr]:
+        """Expand one statement into pending instruction slots."""
+        m, ops, line = stmt.mnemonic, list(stmt.operands), stmt.line
+
+        def fixed(instr: Instruction) -> List[_PendingInstr]:
+            return [_PendingInstr(lambda addr, sym: instr, line)]
+
+        if m in _R_OPS:
+            rd, rs1, rs2 = self._regs(ops, 3, line)
+            return fixed(Instruction(_R_OPS[m], rd=rd, rs1=rs1, rs2=rs2))
+        if m in _I_OPS:
+            rd, rs1 = self._regs(ops[:2], 2, line)
+            imm = self._imm(ops, 2, line)
+            self._check_imm14(imm, line)
+            return fixed(Instruction(_I_OPS[m], rd=rd, rs1=rs1, imm=imm))
+        if m in _LOAD_OPS:
+            rd = self._reg(ops, 0, line)
+            mem = self._mem(ops, 1, line)
+            return self._mem_access(
+                _LOAD_OPS[m], rd, mem, line, is_store=False
+            )
+        if m in _STORE_OPS:
+            rs2 = self._reg(ops, 0, line)
+            mem = self._mem(ops, 1, line)
+            return self._mem_access(
+                _STORE_OPS[m], rs2, mem, line, is_store=True
+            )
+        if m in _BRANCH_OPS:
+            rs1, rs2 = self._regs(ops[:2], 2, line)
+            return [self._branch(_BRANCH_OPS[m], rs1, rs2, ops, 2, line)]
+        if m in _SWAPPED_BRANCHES:
+            rs1, rs2 = self._regs(ops[:2], 2, line)
+            return [
+                self._branch(_SWAPPED_BRANCHES[m], rs2, rs1, ops, 2, line)
+            ]
+        if m in _ZERO_BRANCHES:
+            opcode, reg_is_rs2 = _ZERO_BRANCHES[m]
+            rs = self._reg(ops, 0, line)
+            rs1, rs2 = (0, rs) if reg_is_rs2 else (rs, 0)
+            return [self._branch(opcode, rs1, rs2, ops, 1, line)]
+        return self._expand_pseudo(m, ops, line)
+
+    def _expand_pseudo(
+        self, m: str, ops: List[Operand], line: int
+    ) -> List[_PendingInstr]:
+        if m == "nop":
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.ADDI), line
+            )]
+        if m == "mv":
+            rd, rs = self._regs(ops, 2, line)
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.ADDI, rd=rd, rs1=rs), line
+            )]
+        if m == "not":
+            rd, rs = self._regs(ops, 2, line)
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.XORI, rd=rd, rs1=rs, imm=-1),
+                line,
+            )]
+        if m == "neg":
+            rd, rs = self._regs(ops, 2, line)
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.SUB, rd=rd, rs1=0, rs2=rs),
+                line,
+            )]
+        if m == "li":
+            rd = self._reg(ops, 0, line)
+            imm = self._imm(ops, 1, line)
+            return self._load_constant(rd, imm, line)
+        if m == "la":
+            rd = self._reg(ops, 0, line)
+            sym = self._sym(ops, 1, line)
+            return self._load_symbol(rd, sym, line)
+        if m == "j":
+            return [self._jump(Opcode.JAL, 0, ops, 0, line)]
+        if m == "jal":
+            if len(ops) == 1:
+                return [self._jump(Opcode.JAL, 1, ops, 0, line)]
+            rd = self._reg(ops, 0, line)
+            return [self._jump(Opcode.JAL, rd, ops, 1, line)]
+        if m == "call":
+            return [self._jump(Opcode.JAL, 1, ops, 0, line)]
+        if m == "jr":
+            rs = self._reg(ops, 0, line)
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.JALR, rd=0, rs1=rs), line
+            )]
+        if m == "jalr":
+            rd, rs = self._regs(ops[:2], 2, line)
+            imm = self._imm(ops, 2, line) if len(ops) > 2 else 0
+            self._check_imm14(imm, line)
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.JALR, rd=rd, rs1=rs, imm=imm),
+                line,
+            )]
+        if m == "ret":
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.JALR, rd=0, rs1=1), line
+            )]
+        if m == "lui":
+            rd = self._reg(ops, 0, line)
+            imm = self._imm(ops, 1, line)
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.LUI, rd=rd, imm=imm), line
+            )]
+        if m == "ecall":
+            return [_PendingInstr(lambda a, s: Instruction(Opcode.ECALL), line)]
+        if m == "halt":
+            return [_PendingInstr(lambda a, s: Instruction(Opcode.HALT), line)]
+        raise AsmSyntaxError(f"unknown mnemonic {m!r}", line)
+
+    def _load_constant(
+        self, rd: int, imm: int, line: int
+    ) -> List[_PendingInstr]:
+        # accept unsigned 32-bit spellings (e.g. li t0, 0xEDB88320)
+        if not -(1 << 31) <= imm < (1 << 32):
+            raise AsmSyntaxError(f"constant out of 32-bit range: {imm}", line)
+        if imm >= 1 << 31:
+            imm -= 1 << 32
+        if IMM14_MIN <= imm <= IMM14_MAX:
+            return [_PendingInstr(
+                lambda a, s: Instruction(Opcode.ADDI, rd=rd, imm=imm), line
+            )]
+        upper, lower = imm >> LUI_SHIFT, imm & ((1 << LUI_SHIFT) - 1)
+        return [
+            _PendingInstr(
+                lambda a, s: Instruction(Opcode.LUI, rd=rd, imm=upper), line
+            ),
+            _PendingInstr(
+                lambda a, s: Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=lower),
+                line,
+            ),
+        ]
+
+    def _load_symbol(
+        self, rd: int, sym: str, line: int
+    ) -> List[_PendingInstr]:
+        def emit_hi(addr: int, symbols: Dict[str, int]) -> Instruction:
+            value = self._resolve(sym, symbols, line)
+            return Instruction(Opcode.LUI, rd=rd, imm=value >> LUI_SHIFT)
+
+        def emit_lo(addr: int, symbols: Dict[str, int]) -> Instruction:
+            value = self._resolve(sym, symbols, line)
+            return Instruction(
+                Opcode.ORI, rd=rd, rs1=rd,
+                imm=value & ((1 << LUI_SHIFT) - 1),
+            )
+
+        return [_PendingInstr(emit_hi, line), _PendingInstr(emit_lo, line)]
+
+    def _branch(
+        self,
+        opcode: Opcode,
+        rs1: int,
+        rs2: int,
+        ops: List[Operand],
+        target_index: int,
+        line: int,
+    ) -> _PendingInstr:
+        target = self._target(ops, target_index, line)
+
+        def emit(addr: int, symbols: Dict[str, int]) -> Instruction:
+            dest = self._target_addr(target, symbols, line)
+            return Instruction(
+                opcode, rs1=rs1, rs2=rs2, imm=dest - addr,
+                label=target if isinstance(target, str) else None,
+            )
+
+        return _PendingInstr(emit, line)
+
+    def _jump(
+        self,
+        opcode: Opcode,
+        rd: int,
+        ops: List[Operand],
+        target_index: int,
+        line: int,
+    ) -> _PendingInstr:
+        target = self._target(ops, target_index, line)
+
+        def emit(addr: int, symbols: Dict[str, int]) -> Instruction:
+            dest = self._target_addr(target, symbols, line)
+            return Instruction(
+                opcode, rd=rd, imm=dest - addr,
+                label=target if isinstance(target, str) else None,
+            )
+
+        return _PendingInstr(emit, line)
+
+    def _mem_access(
+        self,
+        opcode: Opcode,
+        reg: int,
+        mem: MemOperand,
+        line: int,
+        is_store: bool,
+    ) -> List[_PendingInstr]:
+        disp = mem.displacement
+        if isinstance(disp, str):
+            raise AsmSyntaxError(
+                "symbolic displacement not supported; use la first", line
+            )
+        self._check_imm14(disp, line)
+        if is_store:
+            instr = Instruction(opcode, rs2=reg, rs1=mem.base, imm=disp)
+        else:
+            instr = Instruction(opcode, rd=reg, rs1=mem.base, imm=disp)
+        return [_PendingInstr(lambda a, s: instr, line)]
+
+    # -- operand extraction -------------------------------------------------
+
+    @staticmethod
+    def _resolve(sym: str, symbols: Dict[str, int], line: int) -> int:
+        if sym not in symbols:
+            raise AsmSyntaxError(f"undefined symbol {sym!r}", line)
+        return symbols[sym]
+
+    def _target_addr(
+        self, target: Union[str, int], symbols: Dict[str, int], line: int
+    ) -> int:
+        if isinstance(target, str):
+            return self._resolve(target, symbols, line)
+        return target
+
+    @staticmethod
+    def _target(
+        ops: List[Operand], index: int, line: int
+    ) -> Union[str, int]:
+        if index >= len(ops):
+            raise AsmSyntaxError("missing branch target", line)
+        op = ops[index]
+        if isinstance(op, SymOperand):
+            return op.name
+        if isinstance(op, ImmOperand):
+            return op.value
+        raise AsmSyntaxError("branch target must be label or address", line)
+
+    @staticmethod
+    def _reg(ops: List[Operand], index: int, line: int) -> int:
+        if index >= len(ops) or not isinstance(ops[index], RegOperand):
+            raise AsmSyntaxError(f"operand {index + 1} must be a register", line)
+        return ops[index].number  # type: ignore[union-attr]
+
+    def _regs(self, ops: List[Operand], count: int, line: int) -> List[int]:
+        if len(ops) < count:
+            raise AsmSyntaxError(f"expected {count} register operands", line)
+        return [self._reg(ops, i, line) for i in range(count)]
+
+    @staticmethod
+    def _imm(ops: List[Operand], index: int, line: int) -> int:
+        if index >= len(ops) or not isinstance(ops[index], ImmOperand):
+            raise AsmSyntaxError(
+                f"operand {index + 1} must be an immediate", line
+            )
+        return ops[index].value  # type: ignore[union-attr]
+
+    @staticmethod
+    def _sym(ops: List[Operand], index: int, line: int) -> str:
+        if index >= len(ops) or not isinstance(ops[index], SymOperand):
+            raise AsmSyntaxError(f"operand {index + 1} must be a symbol", line)
+        return ops[index].name  # type: ignore[union-attr]
+
+    @staticmethod
+    def _mem(ops: List[Operand], index: int, line: int) -> MemOperand:
+        if index >= len(ops) or not isinstance(ops[index], MemOperand):
+            raise AsmSyntaxError(
+                f"operand {index + 1} must be disp(base)", line
+            )
+        return ops[index]  # type: ignore[return-value]
+
+    @staticmethod
+    def _check_imm14(value: int, line: int) -> None:
+        if not IMM14_MIN <= value <= IMM14_MAX:
+            raise AsmSyntaxError(
+                f"immediate out of 14-bit range: {value}", line
+            )
+
+
+def assemble(source: str, name: str = "<asm>") -> Program:
+    """Assemble *source* with default bases; convenience wrapper."""
+    return Assembler().assemble(source, name=name)

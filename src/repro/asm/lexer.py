@@ -1,0 +1,128 @@
+"""Tokenizer for the miniature assembly language.
+
+The language is line-oriented.  A line contains an optional label
+(``name:``), an optional mnemonic or directive with comma-separated operands,
+and an optional comment introduced by ``#`` or ``;``.  String literals use
+double quotes with C-style escapes; character literals use single quotes.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class AsmSyntaxError(ValueError):
+    """Raised on malformed assembly input; carries the source line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"       # mnemonics, register names, label references
+    DIRECTIVE = "directive"  # .word, .text, ...
+    NUMBER = "number"     # decimal, hex, char literal (already an int)
+    STRING = "string"     # decoded str value
+    COMMA = "comma"
+    COLON = "colon"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    NEWLINE = "newline"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: object
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>[#;].*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<number>[+-]?(?:0[xX][0-9a-fA-F]+|\d+))
+  | (?P<directive>\.[A-Za-z_][\w.]*)
+  | (?P<ident>[A-Za-z_][\w.$]*)
+  | (?P<comma>,)
+  | (?P<colon>:)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+def _decode_string(raw: str, line: int) -> str:
+    body = raw[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise AsmSyntaxError("dangling escape in string", line)
+            esc = body[i]
+            if esc not in _ESCAPES:
+                raise AsmSyntaxError(f"unknown escape \\{esc}", line)
+            out.append(_ESCAPES[esc])
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens for *source*, with a NEWLINE token after each line.
+
+    Raises:
+        AsmSyntaxError: on characters that start no token.
+    """
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise AsmSyntaxError(
+                    f"unexpected character {text[pos]!r}", lineno
+                )
+            pos = match.end()
+            kind = match.lastgroup
+            if kind in ("ws", "comment"):
+                continue
+            raw = match.group()
+            if kind == "number":
+                yield Token(TokenKind.NUMBER, int(raw, 0), lineno)
+            elif kind == "char":
+                value = _decode_string(raw, lineno)
+                if len(value) != 1:
+                    raise AsmSyntaxError("bad character literal", lineno)
+                yield Token(TokenKind.NUMBER, ord(value), lineno)
+            elif kind == "string":
+                yield Token(
+                    TokenKind.STRING, _decode_string(raw, lineno), lineno
+                )
+            elif kind == "directive":
+                yield Token(TokenKind.DIRECTIVE, raw, lineno)
+            elif kind == "ident":
+                yield Token(TokenKind.IDENT, raw, lineno)
+            else:
+                yield Token(TokenKind[kind.upper()], raw, lineno)
+        yield Token(TokenKind.NEWLINE, "\n", lineno)

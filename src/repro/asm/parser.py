@@ -1,0 +1,218 @@
+"""Parser producing line statements from the token stream.
+
+A statement is one of:
+
+* :class:`LabelStmt` — ``name:``
+* :class:`DirectiveStmt` — ``.word 1, 2, label`` etc.
+* :class:`InstrStmt` — mnemonic with parsed operands
+
+Operands are small tagged objects (:class:`RegOperand`, :class:`ImmOperand`,
+:class:`SymOperand`, :class:`MemOperand`) so the assembler never re-parses
+text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..isa.registers import is_register, register_number
+from .lexer import AsmSyntaxError, Token, TokenKind, tokenize
+
+
+@dataclass(frozen=True)
+class RegOperand:
+    """A register operand, already resolved to its number."""
+
+    number: int
+
+
+@dataclass(frozen=True)
+class ImmOperand:
+    """A literal integer operand."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class SymOperand:
+    """A symbolic operand (label reference), resolved during assembly."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A ``disp(base)`` memory operand; displacement may be symbolic."""
+
+    base: int
+    displacement: Union[int, str] = 0
+
+
+Operand = Union[RegOperand, ImmOperand, SymOperand, MemOperand]
+
+
+@dataclass(frozen=True)
+class LabelStmt:
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class DirectiveStmt:
+    name: str
+    args: Sequence[object]  # ints, strs (symbol refs), decoded string literals
+    line: int
+
+
+@dataclass(frozen=True)
+class InstrStmt:
+    mnemonic: str
+    operands: Sequence[Operand]
+    line: int
+
+
+Statement = Union[LabelStmt, DirectiveStmt, InstrStmt]
+
+
+class _TokenCursor:
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise AsmSyntaxError("unexpected end of input", 0)
+        self._pos += 1
+        return token
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        token = self.peek()
+        if token is not None and token.kind is kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.peek()
+        if token is None or token.kind is not kind:
+            line = token.line if token else 0
+            found = token.kind.value if token else "end of input"
+            raise AsmSyntaxError(f"expected {kind.value}, found {found}", line)
+        return self.next()
+
+
+def _parse_operand(cur: _TokenCursor) -> Operand:
+    token = cur.peek()
+    if token is None:
+        raise AsmSyntaxError("expected operand", 0)
+    if token.kind is TokenKind.NUMBER:
+        cur.next()
+        # disp(base) memory operand?
+        if cur.accept(TokenKind.LPAREN):
+            base = cur.expect(TokenKind.IDENT)
+            cur.expect(TokenKind.RPAREN)
+            if not is_register(str(base.value)):
+                raise AsmSyntaxError(
+                    f"bad base register {base.value!r}", base.line
+                )
+            return MemOperand(
+                base=register_number(str(base.value)),
+                displacement=int(token.value),  # type: ignore[arg-type]
+            )
+        return ImmOperand(int(token.value))  # type: ignore[arg-type]
+    if token.kind is TokenKind.LPAREN:
+        cur.next()
+        base = cur.expect(TokenKind.IDENT)
+        cur.expect(TokenKind.RPAREN)
+        if not is_register(str(base.value)):
+            raise AsmSyntaxError(f"bad base register {base.value!r}", base.line)
+        return MemOperand(base=register_number(str(base.value)))
+    if token.kind is TokenKind.IDENT:
+        cur.next()
+        name = str(token.value)
+        if is_register(name):
+            return RegOperand(register_number(name))
+        # symbol(base) memory operand, e.g. table(t0)
+        if cur.accept(TokenKind.LPAREN):
+            base = cur.expect(TokenKind.IDENT)
+            cur.expect(TokenKind.RPAREN)
+            if not is_register(str(base.value)):
+                raise AsmSyntaxError(
+                    f"bad base register {base.value!r}", base.line
+                )
+            return MemOperand(
+                base=register_number(str(base.value)), displacement=name
+            )
+        return SymOperand(name)
+    raise AsmSyntaxError(
+        f"unexpected token {token.kind.value} in operand", token.line
+    )
+
+
+def parse(source: str) -> List[Statement]:
+    """Parse assembly *source* into a statement list.
+
+    Raises:
+        AsmSyntaxError: on any syntax error, tagged with the line number.
+    """
+    statements: List[Statement] = []
+    cur = _TokenCursor(list(tokenize(source)))
+    while cur.peek() is not None:
+        token = cur.peek()
+        assert token is not None
+        if token.kind is TokenKind.NEWLINE:
+            cur.next()
+            continue
+        if token.kind is TokenKind.IDENT:
+            cur.next()
+            if cur.accept(TokenKind.COLON):
+                statements.append(LabelStmt(str(token.value), token.line))
+                continue
+            # instruction mnemonic with operands until newline
+            operands: List[Operand] = []
+            nxt = cur.peek()
+            if nxt is not None and nxt.kind is not TokenKind.NEWLINE:
+                operands.append(_parse_operand(cur))
+                while cur.accept(TokenKind.COMMA):
+                    operands.append(_parse_operand(cur))
+            cur.expect(TokenKind.NEWLINE)
+            statements.append(
+                InstrStmt(str(token.value).lower(), tuple(operands), token.line)
+            )
+            continue
+        if token.kind is TokenKind.DIRECTIVE:
+            cur.next()
+            args: List[object] = []
+            nxt = cur.peek()
+            if nxt is not None and nxt.kind is not TokenKind.NEWLINE:
+                args.append(_parse_directive_arg(cur))
+                while cur.accept(TokenKind.COMMA):
+                    args.append(_parse_directive_arg(cur))
+            cur.expect(TokenKind.NEWLINE)
+            statements.append(
+                DirectiveStmt(str(token.value).lower(), tuple(args), token.line)
+            )
+            continue
+        raise AsmSyntaxError(
+            f"unexpected {token.kind.value} at start of statement", token.line
+        )
+    return statements
+
+
+def _parse_directive_arg(cur: _TokenCursor) -> object:
+    token = cur.next()
+    if token.kind is TokenKind.NUMBER:
+        return int(token.value)  # type: ignore[arg-type]
+    if token.kind is TokenKind.STRING:
+        return str(token.value)
+    if token.kind is TokenKind.IDENT:
+        return SymOperand(str(token.value))
+    raise AsmSyntaxError(
+        f"bad directive argument {token.kind.value}", token.line
+    )

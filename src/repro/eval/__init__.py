@@ -1,0 +1,63 @@
+"""Experiment harness: tables, figures, ablations and orchestration."""
+
+from .ablations import (
+    run_hash_baseline,
+    run_input_sensitivity,
+    run_predictor_family,
+    run_threshold_ablation,
+)
+from .experiments import EXPERIMENTS, Experiment, run_all, run_experiment
+from .figures import (
+    FigureRow,
+    average_improvement,
+    format_figure,
+    run_figure3,
+    run_figure4,
+)
+from .report import render_table, to_csv, write_csv
+from .runner import BenchmarkRunner, RunArtifacts
+from .tables import (
+    SizingRow,
+    Table1Row,
+    Table2Row,
+    format_sizing_table,
+    format_table1,
+    format_table2,
+    reduction_summary,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "BenchmarkRunner",
+    "EXPERIMENTS",
+    "Experiment",
+    "FigureRow",
+    "RunArtifacts",
+    "SizingRow",
+    "Table1Row",
+    "Table2Row",
+    "average_improvement",
+    "format_figure",
+    "format_sizing_table",
+    "format_table1",
+    "format_table2",
+    "reduction_summary",
+    "render_table",
+    "run_all",
+    "run_experiment",
+    "run_figure3",
+    "run_figure4",
+    "run_hash_baseline",
+    "run_input_sensitivity",
+    "run_predictor_family",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_threshold_ablation",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,174 @@
+"""Experiment registry: one entry per paper table/figure plus ablations.
+
+Gives the examples and the CLI-style scripts a uniform way to enumerate and
+run everything DESIGN.md's per-experiment index lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import ablations, figures, tables
+from .runner import BenchmarkRunner
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable experiment: produces printable text from a runner."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    run: Callable[[BenchmarkRunner], str]
+
+
+def _table1(runner: BenchmarkRunner) -> str:
+    return tables.format_table1(tables.run_table1(runner))
+
+
+def _table2(runner: BenchmarkRunner) -> str:
+    return tables.format_table2(tables.run_table2(runner))
+
+
+def _table3(runner: BenchmarkRunner) -> str:
+    rows = tables.run_table3(runner)
+    return tables.format_sizing_table(
+        rows, "Table 3", "(working sets only)"
+    )
+
+
+def _table4(runner: BenchmarkRunner) -> str:
+    rows = tables.run_table4(runner)
+    return tables.format_sizing_table(
+        rows, "Table 4", "with branch classification"
+    )
+
+
+def _figure3(runner: BenchmarkRunner) -> str:
+    rows = figures.run_figure3(runner)
+    return figures.format_figure(
+        rows, "Figure 3", "allocation without classification"
+    )
+
+
+def _figure4(runner: BenchmarkRunner) -> str:
+    rows = figures.run_figure4(runner)
+    return figures.format_figure(
+        rows, "Figure 4", "allocation with classification"
+    )
+
+
+def _ablation_threshold(runner: BenchmarkRunner) -> str:
+    rows = ablations.run_threshold_ablation(
+        runner, ["compress", "gcc", "python"]
+    )
+    return ablations.format_threshold_ablation(rows)
+
+
+def _ablation_inputs(runner: BenchmarkRunner) -> str:
+    rows = ablations.run_input_sensitivity(runner)
+    return ablations.format_input_sensitivity(rows)
+
+
+def _ablation_predictors(runner: BenchmarkRunner) -> str:
+    results = ablations.run_predictor_family(
+        runner, ["compress", "gcc", "li", "chess"]
+    )
+    return ablations.format_predictor_family(results)
+
+
+def _ablation_hash(runner: BenchmarkRunner) -> str:
+    rows = ablations.run_hash_baseline(
+        runner, ["gcc", "python", "chess", "gs"]
+    )
+    return ablations.format_hash_baseline(rows)
+
+
+def _ablation_groups(runner: BenchmarkRunner) -> str:
+    from .group_allocation import format_group_ablation, run_group_ablation
+
+    rows = run_group_ablation(runner, ["compress", "gcc", "tex"])
+    return format_group_ablation(rows)
+
+
+def _ablation_alignment(runner: BenchmarkRunner) -> str:
+    rows = ablations.run_alignment_ablation(runner, ["gcc", "tex"])
+    return ablations.format_alignment_ablation(rows)
+
+
+def _ablation_history(runner: BenchmarkRunner) -> str:
+    rows = ablations.run_history_sweep(runner, ["gcc", "tex"])
+    return ablations.format_history_sweep(rows)
+
+
+def _ablation_cliques(runner: BenchmarkRunner) -> str:
+    rows = ablations.run_clique_definition_ablation(
+        runner, ["compress", "pgp", "plot", "chess"]
+    )
+    return ablations.format_clique_definition(rows)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp
+    for exp in [
+        Experiment("table1", "Table 1",
+                   "benchmarks, input sets, % dynamic branches analyzed",
+                   _table1),
+        Experiment("table2", "Table 2",
+                   "working-set counts and sizes", _table2),
+        Experiment("table3", "Table 3",
+                   "BHT size required by branch allocation", _table3),
+        Experiment("table4", "Table 4",
+                   "BHT size required with branch classification", _table4),
+        Experiment("figure3", "Figure 3",
+                   "misprediction: allocation without classification",
+                   _figure3),
+        Experiment("figure4", "Figure 4",
+                   "misprediction: allocation with classification",
+                   _figure4),
+        Experiment("ablation_threshold", "§4.2",
+                   "edge-threshold sensitivity", _ablation_threshold),
+        Experiment("ablation_inputs", "§5.2",
+                   "profile input sensitivity + cumulative merge",
+                   _ablation_inputs),
+        Experiment("ablation_predictors", "context",
+                   "predictor family comparison", _ablation_predictors),
+        Experiment("ablation_hash", "context",
+                   "indexing-scheme conflict cost", _ablation_hash),
+        Experiment("ablation_groups", "§6 extension",
+                   "group-level allocation (bias / history-pattern groups)",
+                   _ablation_groups),
+        Experiment("ablation_alignment", "§5 alternative",
+                   "branch alignment (no ISA change) vs branch allocation",
+                   _ablation_alignment),
+        Experiment("ablation_cliques", "§4.1 note",
+                   "working-set definition: partition vs maximal cliques",
+                   _ablation_cliques),
+        Experiment("ablation_history", "context",
+                   "PAg history-length sweep with/without allocation",
+                   _ablation_history),
+    ]
+}
+
+
+def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
+    """Run one experiment by id.
+
+    Raises:
+        KeyError: for unknown experiment ids.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id].run(runner)
+
+
+def run_all(runner: BenchmarkRunner) -> List[str]:
+    """Run every registered experiment, returning rendered blocks."""
+    return [
+        f"== {exp.paper_artifact} ({exp.id}) ==\n{exp.run(runner)}"
+        for exp in EXPERIMENTS.values()
+    ]

@@ -1,0 +1,62 @@
+"""Result rendering: monospace tables and CSV export."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned monospace table (the harness's printed output)."""
+    formatted: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def to_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> str:
+    """Render rows as CSV text (no quoting needed for our cell contents)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = [_format_cell(c) for c in row]
+        if any("," in c for c in cells):
+            raise ValueError("cell contains a comma; refusing to emit CSV")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> None:
+    """Write rows to *path* as CSV."""
+    Path(path).write_text(to_csv(headers, rows), encoding="utf-8")

@@ -1,0 +1,137 @@
+"""Experiment orchestration.
+
+:class:`BenchmarkRunner` builds, simulates and profiles benchmark analogs
+with memoisation, because every table/figure re-uses the same traces and
+profiles.  An optional cache directory persists traces and profiles across
+processes (the benchmark harness uses it so pytest-benchmark rounds do not
+re-simulate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..profiling.interleave import profile_trace
+from ..profiling.profile import InterleaveProfile
+from ..trace.capture import TraceCapture
+from ..trace.events import BranchTrace
+from ..trace.io import load_trace, save_trace
+from ..workloads.build import build_workload, run_workload
+from ..workloads.suite import get_benchmark
+
+
+@dataclass(frozen=True)
+class RunArtifacts:
+    """Everything the experiments need for one benchmark run."""
+
+    name: str
+    trace: BranchTrace
+    profile: InterleaveProfile
+    instructions: int
+    static_branches: int
+
+
+class BenchmarkRunner:
+    """Builds, runs and profiles the analog suite with caching.
+
+    Example::
+
+        runner = BenchmarkRunner(scale=1.0)
+        artifacts = runner.artifacts("compress")
+        artifacts.profile  # InterleaveProfile for the compress analog
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        cache_dir: Optional[Path] = None,
+        trace_limit: Optional[int] = None,
+    ) -> None:
+        """
+        Args:
+            scale: workload scale forwarded to the suite.
+            cache_dir: optional directory for persistent trace/profile
+                caching (created on demand).
+            trace_limit: optional cap on captured events per run
+                (downsampled profiling for quick passes).
+        """
+        self.scale = scale
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.trace_limit = trace_limit
+        self._artifacts: Dict[str, RunArtifacts] = {}
+
+    # -- cache paths -----------------------------------------------------------
+
+    def _cache_paths(self, name: str) -> Optional[Tuple[Path, Path]]:
+        if self.cache_dir is None:
+            return None
+        tag = f"{name}-s{self.scale:g}"
+        if self.trace_limit:
+            tag += f"-l{self.trace_limit}"
+        return (
+            self.cache_dir / f"{tag}.trace.npz",
+            self.cache_dir / f"{tag}.profile.json",
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def artifacts(self, name: str) -> RunArtifacts:
+        """Trace + profile for benchmark *name* (memoised)."""
+        cached = self._artifacts.get(name)
+        if cached is not None:
+            return cached
+        artifact = self._load_or_run(name)
+        self._artifacts[name] = artifact
+        return artifact
+
+    def trace(self, name: str) -> BranchTrace:
+        """The benchmark's branch trace."""
+        return self.artifacts(name).trace
+
+    def profile(self, name: str) -> InterleaveProfile:
+        """The benchmark's interleave profile."""
+        return self.artifacts(name).profile
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop memoised artifacts (all of them when *name* is None)."""
+        if name is None:
+            self._artifacts.clear()
+        else:
+            self._artifacts.pop(name, None)
+
+    # -- internals ------------------------------------------------------------
+
+    def _load_or_run(self, name: str) -> RunArtifacts:
+        paths = self._cache_paths(name)
+        if paths is not None:
+            trace_path, profile_path = paths
+            if trace_path.exists() and profile_path.exists():
+                trace = load_trace(trace_path)
+                profile = InterleaveProfile.load(profile_path)
+                return RunArtifacts(
+                    name=name,
+                    trace=trace,
+                    profile=profile,
+                    instructions=profile.instructions,
+                    static_branches=profile.static_branch_count,
+                )
+        spec = get_benchmark(name, scale=self.scale)
+        built = build_workload(spec)
+        capture = TraceCapture(limit=self.trace_limit)
+        result = run_workload(built, branch_hook=capture)
+        trace = capture.finish(name)
+        profile = profile_trace(trace, name=name)
+        profile.instructions = result.instructions
+        if paths is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            save_trace(trace, paths[0])
+            profile.save(paths[1])
+        return RunArtifacts(
+            name=name,
+            trace=trace,
+            profile=profile,
+            instructions=result.instructions,
+            static_branches=built.static_conditional_branches,
+        )

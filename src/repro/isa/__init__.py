@@ -1,0 +1,52 @@
+"""Miniature RISC instruction set architecture.
+
+This package defines the ISA executed by the trace substrate: register file
+(:mod:`~repro.isa.registers`), opcodes and decoded instruction objects
+(:mod:`~repro.isa.instructions`), 32-bit binary encoding
+(:mod:`~repro.isa.encoding`) and the loadable :class:`~repro.isa.program.
+Program` container.
+"""
+
+from .encoding import EncodingError, decode, encode
+from .instructions import (
+    CONDITIONAL_BRANCHES,
+    UNCONDITIONAL_JUMPS,
+    Format,
+    Instruction,
+    Opcode,
+)
+from .program import (
+    DATA_BASE,
+    INSTRUCTION_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    Program,
+)
+from .registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    is_register,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "ABI_NAMES",
+    "CONDITIONAL_BRANCHES",
+    "DATA_BASE",
+    "EncodingError",
+    "Format",
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "NUM_REGISTERS",
+    "Opcode",
+    "Program",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "UNCONDITIONAL_JUMPS",
+    "decode",
+    "encode",
+    "is_register",
+    "register_name",
+    "register_number",
+]

@@ -1,0 +1,125 @@
+"""Binary encoding and decoding of instructions.
+
+Instructions are 32 bits.  Bits 31..24 always hold the opcode; the remaining
+24 bits are laid out per format:
+
+====== =============================================================
+Format Layout (high to low)
+====== =============================================================
+R      rd[23:19] rs1[18:14] rs2[13:9] zero[8:0]
+I      rd[23:19] rs1[18:14] imm14[13:0]          (signed)
+LOAD   rd[23:19] rs1[18:14] imm14[13:0]          (signed)
+STORE  rs2[23:19] rs1[18:14] imm14[13:0]         (signed)
+B      rs1[23:19] rs2[18:14] off14[13:0]         (signed, byte offset / 4)
+J      rd[23:19] off19[18:0]                     (signed, byte offset / 4)
+JR     rd[23:19] rs1[18:14] imm14[13:0]          (signed)
+U      rd[23:19] imm19[18:0]                     (signed)
+SYS    zero[23:0]
+====== =============================================================
+
+The functional simulator executes decoded :class:`~repro.isa.instructions.
+Instruction` objects directly — encoding is used for on-disk program images
+and exercised by round-trip tests.
+"""
+
+from __future__ import annotations
+
+from .instructions import Format, Instruction, Opcode
+
+WORD_BITS = 32
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+IMM19_MIN, IMM19_MAX = -(1 << 18), (1 << 18) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded (field out of range)."""
+
+
+def _check_imm(value: int, lo: int, hi: int, what: str) -> int:
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} out of range [{lo}, {hi}]: {value}")
+    return value
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def _to_signed(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into its 32-bit word."""
+    op = int(instr.opcode) << 24
+    fmt = instr.format
+    if fmt is Format.R:
+        return op | (instr.rd << 19) | (instr.rs1 << 14) | (instr.rs2 << 9)
+    if fmt in (Format.I, Format.LOAD):
+        imm = _check_imm(instr.imm, IMM14_MIN, IMM14_MAX, "imm14")
+        return op | (instr.rd << 19) | (instr.rs1 << 14) | _to_unsigned(imm, 14)
+    if fmt is Format.STORE:
+        imm = _check_imm(instr.imm, IMM14_MIN, IMM14_MAX, "imm14")
+        return op | (instr.rs2 << 19) | (instr.rs1 << 14) | _to_unsigned(imm, 14)
+    if fmt is Format.B:
+        if instr.imm % 4:
+            raise EncodingError(f"branch offset not word aligned: {instr.imm}")
+        off = _check_imm(instr.imm >> 2, IMM14_MIN, IMM14_MAX, "branch offset/4")
+        return op | (instr.rs1 << 19) | (instr.rs2 << 14) | _to_unsigned(off, 14)
+    if fmt is Format.J:
+        if instr.imm % 4:
+            raise EncodingError(f"jump offset not word aligned: {instr.imm}")
+        off = _check_imm(instr.imm >> 2, IMM19_MIN, IMM19_MAX, "jump offset/4")
+        return op | (instr.rd << 19) | _to_unsigned(off, 19)
+    if fmt is Format.JR:
+        imm = _check_imm(instr.imm, IMM14_MIN, IMM14_MAX, "imm14")
+        return op | (instr.rd << 19) | (instr.rs1 << 14) | _to_unsigned(imm, 14)
+    if fmt is Format.U:
+        imm = _check_imm(instr.imm, IMM19_MIN, IMM19_MAX, "imm19")
+        return op | (instr.rd << 19) | _to_unsigned(imm, 19)
+    # SYS
+    return op
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`.
+
+    Raises:
+        EncodingError: if the opcode byte is not a valid opcode.
+    """
+    opnum = (word >> 24) & 0xFF
+    try:
+        opcode = Opcode(opnum)
+    except ValueError as exc:
+        raise EncodingError(f"invalid opcode byte 0x{opnum:02x}") from exc
+    fmt = Instruction(opcode).format
+    f5 = lambda shift: (word >> shift) & 0x1F  # noqa: E731 - tiny local helper
+    if fmt is Format.R:
+        return Instruction(opcode, rd=f5(19), rs1=f5(14), rs2=f5(9))
+    if fmt in (Format.I, Format.LOAD):
+        return Instruction(
+            opcode, rd=f5(19), rs1=f5(14), imm=_to_signed(word & 0x3FFF, 14)
+        )
+    if fmt is Format.STORE:
+        return Instruction(
+            opcode, rs2=f5(19), rs1=f5(14), imm=_to_signed(word & 0x3FFF, 14)
+        )
+    if fmt is Format.B:
+        return Instruction(
+            opcode,
+            rs1=f5(19),
+            rs2=f5(14),
+            imm=_to_signed(word & 0x3FFF, 14) << 2,
+        )
+    if fmt is Format.J:
+        return Instruction(
+            opcode, rd=f5(19), imm=_to_signed(word & 0x7FFFF, 19) << 2
+        )
+    if fmt is Format.JR:
+        return Instruction(
+            opcode, rd=f5(19), rs1=f5(14), imm=_to_signed(word & 0x3FFF, 14)
+        )
+    if fmt is Format.U:
+        return Instruction(opcode, rd=f5(19), imm=_to_signed(word & 0x7FFFF, 19))
+    return Instruction(opcode)

@@ -1,0 +1,208 @@
+"""Instruction set definition.
+
+Every executable operation of the miniature RISC machine is listed here as a
+member of :class:`Opcode`, tagged with the :class:`Format` that determines its
+operand fields and its binary encoding layout.  Decoded instructions are
+represented by the immutable :class:`Instruction` dataclass; the functional
+simulator dispatches directly on ``Opcode`` so encoding is only exercised when
+programs are written to or read from disk.
+
+Formats
+-------
+``R``    register-register ALU:        ``op rd, rs1, rs2``
+``I``    register-immediate ALU:       ``op rd, rs1, imm``
+``LOAD`` memory load:                  ``op rd, imm(rs1)``
+``STORE`` memory store:                ``op rs2, imm(rs1)``
+``B``    conditional branch:           ``op rs1, rs2, target``
+``J``    jump-and-link:                ``op rd, target``
+``JR``   indirect jump-and-link:       ``op rd, rs1, imm``
+``U``    upper immediate:              ``op rd, imm``
+``SYS``  environment call / halt:      ``op``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Format(enum.Enum):
+    """Operand/encoding format classes."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - conventional ISA format name
+    LOAD = "LOAD"
+    STORE = "STORE"
+    B = "B"
+    J = "J"
+    JR = "JR"
+    U = "U"
+    SYS = "SYS"
+
+
+class Opcode(enum.IntEnum):
+    """All machine opcodes, with stable numeric values used by the encoder."""
+
+    # R-type ALU
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    DIV = 0x04
+    REM = 0x05
+    AND = 0x06
+    OR = 0x07
+    XOR = 0x08
+    SLL = 0x09
+    SRL = 0x0A
+    SRA = 0x0B
+    SLT = 0x0C
+    SLTU = 0x0D
+    # I-type ALU
+    ADDI = 0x20
+    ANDI = 0x21
+    ORI = 0x22
+    XORI = 0x23
+    SLLI = 0x24
+    SRLI = 0x25
+    SRAI = 0x26
+    SLTI = 0x27
+    # Memory
+    LW = 0x30
+    LB = 0x31
+    SW = 0x34
+    SB = 0x35
+    # Conditional branches (the objects of study)
+    BEQ = 0x40
+    BNE = 0x41
+    BLT = 0x42
+    BGE = 0x43
+    BLTU = 0x44
+    BGEU = 0x45
+    # Unconditional control
+    JAL = 0x50
+    JALR = 0x51
+    # Upper immediate
+    LUI = 0x60
+    # Environment
+    ECALL = 0x70
+    HALT = 0x71
+
+
+#: Map from opcode to its format class.
+OPCODE_FORMAT = {
+    Opcode.ADD: Format.R,
+    Opcode.SUB: Format.R,
+    Opcode.MUL: Format.R,
+    Opcode.DIV: Format.R,
+    Opcode.REM: Format.R,
+    Opcode.AND: Format.R,
+    Opcode.OR: Format.R,
+    Opcode.XOR: Format.R,
+    Opcode.SLL: Format.R,
+    Opcode.SRL: Format.R,
+    Opcode.SRA: Format.R,
+    Opcode.SLT: Format.R,
+    Opcode.SLTU: Format.R,
+    Opcode.ADDI: Format.I,
+    Opcode.ANDI: Format.I,
+    Opcode.ORI: Format.I,
+    Opcode.XORI: Format.I,
+    Opcode.SLLI: Format.I,
+    Opcode.SRLI: Format.I,
+    Opcode.SRAI: Format.I,
+    Opcode.SLTI: Format.I,
+    Opcode.LW: Format.LOAD,
+    Opcode.LB: Format.LOAD,
+    Opcode.SW: Format.STORE,
+    Opcode.SB: Format.STORE,
+    Opcode.BEQ: Format.B,
+    Opcode.BNE: Format.B,
+    Opcode.BLT: Format.B,
+    Opcode.BGE: Format.B,
+    Opcode.BLTU: Format.B,
+    Opcode.BGEU: Format.B,
+    Opcode.JAL: Format.J,
+    Opcode.JALR: Format.JR,
+    Opcode.LUI: Format.U,
+    Opcode.ECALL: Format.SYS,
+    Opcode.HALT: Format.SYS,
+}
+
+#: Opcodes that are conditional branches — the instructions this whole
+#: reproduction profiles, analyses and predicts.
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU}
+)
+
+#: Opcodes that transfer control unconditionally.
+UNCONDITIONAL_JUMPS = frozenset({Opcode.JAL, Opcode.JALR})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded machine instruction.
+
+    Fields that do not apply to the opcode's format are ``None``/0.  The
+    simulator treats instances as immutable; programs share them freely.
+
+    Attributes:
+        opcode: the operation.
+        rd: destination register number (R/I/LOAD/J/JR/U formats).
+        rs1: first source register (R/I/LOAD/STORE/B/JR formats).
+        rs2: second source register (R/STORE/B formats).
+        imm: immediate operand; for B/J formats this is a *byte* offset
+            relative to the branch's own address (resolved by the assembler).
+        label: optional symbolic target kept for disassembly/debugging.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: Optional[str] = None
+
+    @property
+    def format(self) -> Format:
+        """The instruction's format class."""
+        return OPCODE_FORMAT[self.opcode]
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for the six conditional branch opcodes."""
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    @property
+    def is_control(self) -> bool:
+        """True for any control transfer (conditional or not)."""
+        return (
+            self.opcode in CONDITIONAL_BRANCHES
+            or self.opcode in UNCONDITIONAL_JUMPS
+        )
+
+    def disassemble(self) -> str:
+        """Render the instruction in assembler syntax."""
+        from .registers import register_name as rn
+
+        fmt = self.format
+        name = self.opcode.name.lower()
+        if fmt is Format.R:
+            return f"{name} {rn(self.rd)}, {rn(self.rs1)}, {rn(self.rs2)}"
+        if fmt is Format.I:
+            return f"{name} {rn(self.rd)}, {rn(self.rs1)}, {self.imm}"
+        if fmt is Format.LOAD:
+            return f"{name} {rn(self.rd)}, {self.imm}({rn(self.rs1)})"
+        if fmt is Format.STORE:
+            return f"{name} {rn(self.rs2)}, {self.imm}({rn(self.rs1)})"
+        if fmt is Format.B:
+            target = self.label if self.label else f".{self.imm:+d}"
+            return f"{name} {rn(self.rs1)}, {rn(self.rs2)}, {target}"
+        if fmt is Format.J:
+            target = self.label if self.label else f".{self.imm:+d}"
+            return f"{name} {rn(self.rd)}, {target}"
+        if fmt is Format.JR:
+            return f"{name} {rn(self.rd)}, {rn(self.rs1)}, {self.imm}"
+        if fmt is Format.U:
+            return f"{name} {rn(self.rd)}, {self.imm}"
+        return name

@@ -1,0 +1,123 @@
+"""Executable program container.
+
+A :class:`Program` is what the assembler produces and the simulator loads:
+a text segment (decoded instructions), an initialised data segment and a
+symbol table.  Addresses are byte addresses; instructions occupy 4 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .encoding import decode, encode
+from .instructions import Instruction
+
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x0010_0000
+STACK_TOP = 0x0100_0000
+INSTRUCTION_SIZE = 4
+
+
+@dataclass
+class Program:
+    """A loadable program image.
+
+    Attributes:
+        instructions: the text segment, in address order.
+        data: initialised data bytes placed at :data:`DATA_BASE`.
+        symbols: label -> byte address (text and data labels).
+        name: optional human-readable program name.
+        text_base: load address of the first instruction.
+        data_base: load address of the data segment.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    data: bytes = b""
+    symbols: Dict[str, int] = field(default_factory=dict)
+    name: str = "<anonymous>"
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, index: int) -> int:
+        """Byte address of the instruction at *index*."""
+        return self.text_base + index * INSTRUCTION_SIZE
+
+    def index_of(self, address: int) -> int:
+        """Instruction index for a text-segment byte *address*.
+
+        Raises:
+            ValueError: if the address is outside the text segment or not
+                word aligned.
+        """
+        offset = address - self.text_base
+        if offset % INSTRUCTION_SIZE:
+            raise ValueError(f"misaligned text address 0x{address:x}")
+        index = offset // INSTRUCTION_SIZE
+        if not 0 <= index < len(self.instructions):
+            raise ValueError(f"address 0x{address:x} outside text segment")
+        return index
+
+    def fetch(self, address: int) -> Instruction:
+        """Return the instruction stored at byte *address*."""
+        return self.instructions[self.index_of(address)]
+
+    @property
+    def entry_point(self) -> int:
+        """Start address: the ``main`` symbol if present, else text base."""
+        return self.symbols.get("main", self.text_base)
+
+    def static_conditional_branches(self) -> List[int]:
+        """Addresses of every static conditional branch in the program."""
+        return [
+            self.address_of(i)
+            for i, ins in enumerate(self.instructions)
+            if ins.is_conditional_branch
+        ]
+
+    def listing(self) -> str:
+        """Disassembly listing with addresses and labels, for debugging."""
+        by_addr: Dict[int, List[str]] = {}
+        for label, addr in self.symbols.items():
+            by_addr.setdefault(addr, []).append(label)
+        lines: List[str] = []
+        for i, ins in enumerate(self.instructions):
+            addr = self.address_of(i)
+            for label in sorted(by_addr.get(addr, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  0x{addr:08x}  {ins.disassemble()}")
+        return "\n".join(lines)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_image(self) -> Tuple[bytes, bytes]:
+        """Encode the text segment to raw bytes; returns (text, data)."""
+        text = b"".join(
+            encode(ins).to_bytes(4, "little") for ins in self.instructions
+        )
+        return text, self.data
+
+    @classmethod
+    def from_image(
+        cls,
+        text: bytes,
+        data: bytes = b"",
+        symbols: Optional[Dict[str, int]] = None,
+        name: str = "<image>",
+    ) -> "Program":
+        """Decode a raw text image back into a Program."""
+        if len(text) % INSTRUCTION_SIZE:
+            raise ValueError("text image length not a multiple of 4")
+        instructions = [
+            decode(int.from_bytes(text[i : i + 4], "little"))
+            for i in range(0, len(text), INSTRUCTION_SIZE)
+        ]
+        return cls(
+            instructions=instructions,
+            data=data,
+            symbols=dict(symbols or {}),
+            name=name,
+        )

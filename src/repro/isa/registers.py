@@ -1,0 +1,66 @@
+"""Register file definition for the miniature RISC ISA.
+
+The reproduction's trace substrate executes programs for a small 32-register
+RISC machine.  Register naming follows familiar RISC conventions so the
+hand-written workload kernels in :mod:`repro.workloads` stay readable:
+
+* ``x0``/``zero`` is hard-wired to zero,
+* ``ra`` (x1) holds return addresses written by ``jal``/``call``,
+* ``sp`` (x2) is the stack pointer initialised by the simulator,
+* ``t0``–``t6`` are caller-saved temporaries,
+* ``s0``–``s11`` are callee-saved,
+* ``a0``–``a7`` carry arguments and return values (and syscall numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+NUM_REGISTERS = 32
+
+#: Canonical ABI names indexed by register number.
+ABI_NAMES: List[str] = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+assert len(ABI_NAMES) == NUM_REGISTERS
+
+#: Accepted spellings (ABI names, ``x<N>``, ``r<N>`` and ``fp``) -> number.
+REGISTER_ALIASES: Dict[str, int] = {}
+for _num, _name in enumerate(ABI_NAMES):
+    REGISTER_ALIASES[_name] = _num
+    REGISTER_ALIASES[f"x{_num}"] = _num
+    REGISTER_ALIASES[f"r{_num}"] = _num
+REGISTER_ALIASES["fp"] = REGISTER_ALIASES["s0"]
+
+
+def register_number(name: str) -> int:
+    """Resolve a register spelling to its number.
+
+    Accepts ABI names (``sp``, ``t3``), ``x``-prefixed (``x7``) and
+    ``r``-prefixed (``r7``) spellings, case-insensitively.
+
+    Raises:
+        KeyError: if the spelling is not a register.
+    """
+    key = name.strip().lower()
+    if key not in REGISTER_ALIASES:
+        raise KeyError(f"unknown register {name!r}")
+    return REGISTER_ALIASES[key]
+
+
+def register_name(number: int) -> str:
+    """Return the canonical ABI name for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError(f"register number out of range: {number}")
+    return ABI_NAMES[number]
+
+
+def is_register(name: str) -> bool:
+    """Return True if *name* spells a register."""
+    return name.strip().lower() in REGISTER_ALIASES

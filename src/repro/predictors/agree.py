@@ -1,0 +1,76 @@
+"""Agree predictor (Sprangle et al., ISCA '97 — the paper's related work).
+
+Each branch carries a *bias bit* (here: its profiled majority direction, or
+its first observed outcome when no profile is supplied).  PHT counters learn
+whether the branch **agrees** with its bias rather than its raw direction,
+converting destructive PHT interference between opposite-direction branches
+into neutral interference — the hardware counterpart of the paper's
+compiler-driven conflict avoidance, included for comparison benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..profiling.profile import InterleaveProfile
+from .base import BranchPredictor
+from .counters import CounterTable
+
+
+class AgreePredictor(BranchPredictor):
+    """gshare-indexed PHT of agree/disagree counters plus bias bits."""
+
+    name = "agree"
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        profile: Optional[InterleaveProfile] = None,
+    ) -> None:
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self._mask = (1 << history_bits) - 1
+        self.history = 0
+        # counters predict "agrees with bias"; initialise strongly-agree
+        self.pht = CounterTable(1 << history_bits, bits=2, initial=3)
+        self.bias: Dict[int, bool] = {}
+        if profile is not None:
+            self.bias = {
+                pc: stats.taken_rate >= 0.5
+                for pc, stats in profile.branches.items()
+            }
+        self._from_profile = profile is not None
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & self._mask
+
+    def _bias_of(self, pc: int, taken: bool) -> bool:
+        bias = self.bias.get(pc)
+        if bias is None:
+            # first-time policy: the first outcome becomes the bias bit
+            self.bias[pc] = taken
+            return taken
+        return bias
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        bias = self.bias.get(pc, True)
+        agree = self.pht.predict(self._index(pc))
+        return bias if agree else not bias
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        bias = self._bias_of(pc, taken)
+        self.pht.update(self._index(pc), taken == bias)
+        self.history = ((self.history << 1) | taken) & self._mask
+
+    def access(self, pc: int, taken: bool, target: int = 0) -> bool:
+        index = self._index(pc)
+        bias = self._bias_of(pc, taken)
+        agree = self.pht.access(index, taken == bias)
+        self.history = ((self.history << 1) | taken) & self._mask
+        return bias if agree else not bias
+
+    def reset(self) -> None:
+        self.history = 0
+        self.pht.reset(3)
+        if not self._from_profile:
+            self.bias.clear()

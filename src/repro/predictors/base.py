@@ -1,0 +1,41 @@
+"""Predictor interface.
+
+All predictors implement :class:`BranchPredictor`: ``predict`` returns the
+direction guess for a static branch, ``update`` trains on the resolved
+outcome, and ``access`` fuses the two (the common fast path used by the
+trace simulator).  Predictors are deterministic and see branches strictly in
+program order, mirroring sim-bpred.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class BranchPredictor(abc.ABC):
+    """A dynamic (or static) conditional branch direction predictor."""
+
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, pc: int, target: int = 0) -> bool:
+        """Predicted direction for the branch at *pc* (True = taken)."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        """Train on the resolved outcome of the branch at *pc*."""
+
+    def access(self, pc: int, taken: bool, target: int = 0) -> bool:
+        """Predict then update; returns the prediction.
+
+        Subclasses override this when predict/update share table lookups.
+        """
+        prediction = self.predict(pc, target)
+        self.update(pc, taken, target)
+        return prediction
+
+    def reset(self) -> None:
+        """Restore power-on state.  Default: no state."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

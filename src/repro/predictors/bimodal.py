@@ -1,0 +1,32 @@
+"""Bimodal predictor (Smith): one saturating counter per PC hash."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .counters import CounterTable
+from .indexing import IndexFunction, PCModuloIndex
+
+
+class BimodalPredictor(BranchPredictor):
+    """A single table of 2-bit counters indexed by PC."""
+
+    name = "bimodal"
+
+    def __init__(self, size: int = 2048, bits: int = 2,
+                 index_fn: "IndexFunction | None" = None) -> None:
+        self.index_fn = index_fn if index_fn is not None else PCModuloIndex(size)
+        if self.index_fn.size != size:
+            raise ValueError("index function size must match table size")
+        self.counters = CounterTable(size, bits=bits)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.counters.predict(self.index_fn.index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self.counters.update(self.index_fn.index(pc), taken)
+
+    def access(self, pc: int, taken: bool, target: int = 0) -> bool:
+        return self.counters.access(self.index_fn.index(pc), taken)
+
+    def reset(self) -> None:
+        self.counters.reset()

@@ -1,0 +1,82 @@
+"""Bias-filtering predictor (Chang, Evers & Patt, PACT '96 — related work
+[15] in the paper).
+
+Highly biased branches pollute shared pattern tables without needing them:
+their outcome is a constant.  The filter predicts profiled-biased branches
+statically and keeps them from updating the dynamic component, so the
+PHT's capacity is spent entirely on the hard, mixed branches — the
+hardware-only counterpart of the paper's classified branch allocation
+(which solves the same interference problem in the *first* level table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.classification import ClassificationBounds
+from ..profiling.profile import InterleaveProfile
+from .base import BranchPredictor
+
+
+class BiasFilteredPredictor(BranchPredictor):
+    """Static prediction for biased branches, a backing predictor for the
+    rest.
+
+    Args:
+        backing: the dynamic predictor handling mixed branches.
+        profile: profile run supplying per-branch taken rates.
+        bounds: bias thresholds (paper/related work use 99%/1%).
+        min_executions: branches with fewer profiled executions are never
+            filtered (their rate estimate is unreliable).
+
+    Raises:
+        ValueError: if min_executions is negative.
+    """
+
+    name = "bias-filtered"
+
+    def __init__(
+        self,
+        backing: BranchPredictor,
+        profile: InterleaveProfile,
+        bounds: ClassificationBounds = ClassificationBounds(),
+        min_executions: int = 16,
+    ) -> None:
+        if min_executions < 0:
+            raise ValueError("min_executions must be non-negative")
+        self.backing = backing
+        self.static_direction: Dict[int, bool] = {}
+        for pc, stats in profile.branches.items():
+            if stats.executions < min_executions:
+                continue
+            if stats.taken_rate > bounds.taken_bound:
+                self.static_direction[pc] = True
+            elif stats.taken_rate < bounds.not_taken_bound:
+                self.static_direction[pc] = False
+
+    @property
+    def filtered_count(self) -> int:
+        """Number of statically predicted branches."""
+        return len(self.static_direction)
+
+    def _static(self, pc: int) -> Optional[bool]:
+        return self.static_direction.get(pc)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        direction = self._static(pc)
+        if direction is not None:
+            return direction
+        return self.backing.predict(pc, target)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        if self._static(pc) is None:
+            self.backing.update(pc, taken, target)
+
+    def access(self, pc: int, taken: bool, target: int = 0) -> bool:
+        direction = self._static(pc)
+        if direction is not None:
+            return direction
+        return self.backing.access(pc, taken, target)
+
+    def reset(self) -> None:
+        self.backing.reset()

@@ -1,0 +1,63 @@
+"""McFarling hybrid: two components arbitrated by a selector table."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .counters import CounterTable
+from .indexing import IndexFunction, PCModuloIndex
+
+
+class HybridPredictor(BranchPredictor):
+    """Combining predictor (McFarling [6]).
+
+    A table of 2-bit selector counters (indexed by PC) chooses between two
+    component predictors; the selector trains toward whichever component
+    was correct when they disagree.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        first: BranchPredictor,
+        second: BranchPredictor,
+        selector_size: int = 4096,
+        index_fn: "IndexFunction | None" = None,
+    ) -> None:
+        self.first = first
+        self.second = second
+        self.index_fn = (
+            index_fn if index_fn is not None else PCModuloIndex(selector_size)
+        )
+        if self.index_fn.size != selector_size:
+            raise ValueError("selector index size must match table size")
+        # counter >= 2 selects the first component
+        self.selector = CounterTable(selector_size, bits=2)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        if self.selector.predict(self.index_fn.index(pc)):
+            return self.first.predict(pc, target)
+        return self.second.predict(pc, target)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        p1 = self.first.predict(pc, target)
+        p2 = self.second.predict(pc, target)
+        if p1 != p2:
+            # train selector toward the component that got it right
+            self.selector.update(self.index_fn.index(pc), p1 == taken)
+        self.first.update(pc, taken, target)
+        self.second.update(pc, taken, target)
+
+    def access(self, pc: int, taken: bool, target: int = 0) -> bool:
+        index = self.index_fn.index(pc)
+        use_first = self.selector.predict(index)
+        p1 = self.first.access(pc, taken, target)
+        p2 = self.second.access(pc, taken, target)
+        if p1 != p2:
+            self.selector.update(index, p1 == taken)
+        return p1 if use_first else p2
+
+    def reset(self) -> None:
+        self.first.reset()
+        self.second.reset()
+        self.selector.reset()

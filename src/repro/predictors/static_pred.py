@@ -1,0 +1,87 @@
+"""Static predictors: always-taken, BTFNT, and profile-guided.
+
+These anchor the low end of the accuracy comparisons and implement the
+paper's note that, given an accommodating ISA, highly biased branches can be
+"statically predicted reducing the requirements of a hardware predictor".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..profiling.profile import InterleaveProfile
+from .base import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict taken, always."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        return None
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predict not-taken, always."""
+
+    name = "always-not-taken"
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        return None
+
+
+class BTFNTPredictor(BranchPredictor):
+    """Backward taken, forward not taken — the classic static heuristic."""
+
+    name = "btfnt"
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return target < pc
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        return None
+
+
+class ProfileStaticPredictor(BranchPredictor):
+    """Per-branch majority direction from a profile run.
+
+    Branches absent from the profile fall back to BTFNT.
+    """
+
+    name = "profile-static"
+
+    def __init__(self, profile: Optional[InterleaveProfile] = None,
+                 directions: Optional[Dict[int, bool]] = None) -> None:
+        """
+        Args:
+            profile: profile whose per-branch taken rates set directions.
+            directions: explicit PC -> direction map (overrides profile).
+
+        Raises:
+            ValueError: if neither source is given.
+        """
+        if directions is not None:
+            self.directions = dict(directions)
+        elif profile is not None:
+            self.directions = {
+                pc: stats.taken_rate >= 0.5
+                for pc, stats in profile.branches.items()
+            }
+        else:
+            raise ValueError("need a profile or an explicit direction map")
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        direction = self.directions.get(pc)
+        if direction is None:
+            return target < pc
+        return direction
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        return None

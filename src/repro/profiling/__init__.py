@@ -1,0 +1,20 @@
+"""Profile collection: per-branch statistics and interleave analysis."""
+
+from .interleave import (
+    InterleaveAnalyzer,
+    interleave_pairs_bruteforce,
+    profile_trace,
+)
+from .merge import coverage_against, merge_profiles
+from .profile import BranchStats, InterleaveProfile, pair_key
+
+__all__ = [
+    "BranchStats",
+    "InterleaveAnalyzer",
+    "InterleaveProfile",
+    "coverage_against",
+    "interleave_pairs_bruteforce",
+    "merge_profiles",
+    "pair_key",
+    "profile_trace",
+]

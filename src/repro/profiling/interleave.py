@@ -1,0 +1,155 @@
+"""The time-stamp interleave analysis (paper §4.1, Figure 1).
+
+The paper's procedure: every static branch carries the time stamp of its
+latest dynamic instance (the retired-instruction count before it).  When a
+branch *A* re-executes, every branch whose time stamp exceeds A's previous
+stamp has interleaved with A since then, and each such pair's interleave
+counter is incremented; A's stamp is then updated.
+
+Because time stamps are strictly increasing over the run, "branches with a
+stamp greater than A's previous stamp" is exactly "branches that executed at
+least once since A's previous instance" — i.e. the branches *above A on a
+recency stack*.  :class:`InterleaveAnalyzer` exploits that to process each
+event in O(stack distance) instead of O(static branches).
+:func:`interleave_pairs_bruteforce` implements the paper's literal
+timestamp scan; a property test asserts the two agree on arbitrary traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..trace.events import BranchTrace
+from .profile import BranchStats, InterleaveProfile, PairKey, pair_key
+
+
+class InterleaveAnalyzer:
+    """Streaming recency-stack interleave analysis.
+
+    Feed dynamic conditional-branch events in program order via
+    :meth:`observe` (or use :func:`profile_trace`); read the result with
+    :meth:`finish`.  Also usable directly as a simulator branch hook.
+    """
+
+    def __init__(self, name: str = "<profile>") -> None:
+        self._name = name
+        # Recency list: _above[pc] is the branch executed immediately more
+        # recently than pc; _below[pc] the one less recently.  _head is the
+        # most recently executed branch.
+        self._above: Dict[int, Optional[int]] = {}
+        self._below: Dict[int, Optional[int]] = {}
+        self._head: Optional[int] = None
+        self._stats: Dict[int, BranchStats] = {}
+        self._pairs: Dict[PairKey, int] = {}
+        self._instructions = 0
+
+    # -- event intake --------------------------------------------------------
+
+    def observe(self, pc: int, taken: bool = False) -> None:
+        """Record one dynamic instance of branch *pc* (in program order)."""
+        stats = self._stats.get(pc)
+        if stats is None:
+            stats = BranchStats()
+            self._stats[pc] = stats
+            self._push_new(pc)
+        else:
+            self._count_and_raise(pc)
+        stats.executions += 1
+        if taken:
+            stats.taken += 1
+
+    def on_branch(
+        self, pc: int, target: int, taken: bool, instruction_count: int
+    ) -> None:
+        """Simulator branch-hook adapter."""
+        self._instructions = instruction_count
+        self.observe(pc, taken)
+
+    def _push_new(self, pc: int) -> None:
+        self._above[pc] = None
+        self._below[pc] = self._head
+        if self._head is not None:
+            self._above[self._head] = pc
+        self._head = pc
+
+    def _count_and_raise(self, pc: int) -> None:
+        """Count pairs with every branch more recent than *pc*, then move
+        *pc* to the top of the recency list."""
+        if self._head == pc:
+            return
+        pairs = self._pairs
+        node = self._head
+        while node != pc:
+            assert node is not None, "recency list corrupted"
+            key = (pc, node) if pc <= node else (node, pc)
+            pairs[key] = pairs.get(key, 0) + 1
+            node = self._below[node]
+        # unlink pc
+        above, below = self._above[pc], self._below[pc]
+        if above is not None:
+            self._below[above] = below
+        if below is not None:
+            self._above[below] = above
+        # relink at head
+        self._above[pc] = None
+        self._below[pc] = self._head
+        if self._head is not None:
+            self._above[self._head] = pc
+        self._head = pc
+
+    # -- results ---------------------------------------------------------------
+
+    def finish(self) -> InterleaveProfile:
+        """Freeze the analysis into an :class:`InterleaveProfile`."""
+        return InterleaveProfile(
+            branches=self._stats,
+            pairs=self._pairs,
+            instructions=self._instructions,
+            name=self._name,
+        )
+
+
+def profile_trace(
+    trace: BranchTrace, name: Optional[str] = None
+) -> InterleaveProfile:
+    """Run the interleave analysis over a recorded trace."""
+    analyzer = InterleaveAnalyzer(name=name or trace.name)
+    observe = analyzer.observe
+    for pc, taken in zip(trace.pcs.tolist(), trace.taken.tolist()):
+        observe(pc, taken)
+    if len(trace):
+        analyzer._instructions = int(trace.timestamps[-1])
+    return analyzer.finish()
+
+
+def interleave_pairs_bruteforce(
+    events: Iterable[Tuple[int, int]]
+) -> Dict[PairKey, int]:
+    """The paper's literal Figure 1 procedure, O(statics) per event.
+
+    Args:
+        events: iterable of (pc, timestamp) in program order; timestamps
+            must be strictly increasing.
+
+    Returns:
+        Unordered pair -> interleave count.  Used as the reference
+        implementation in property tests; do not use on large traces.
+
+    Raises:
+        ValueError: if timestamps are not strictly increasing.
+    """
+    last_ts: Dict[int, int] = {}
+    pairs: Dict[PairKey, int] = {}
+    previous_ts = -1
+    for pc, ts in events:
+        if ts <= previous_ts:
+            raise ValueError("timestamps must be strictly increasing")
+        previous_ts = ts
+        if pc in last_ts:
+            my_prev = last_ts[pc]
+            for other, other_ts in last_ts.items():
+                if other != pc and other_ts > my_prev:
+                    key = pair_key(pc, other)
+                    pairs[key] = pairs.get(key, 0) + 1
+        last_ts[pc] = ts
+    return pairs

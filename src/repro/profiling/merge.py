@@ -1,0 +1,59 @@
+"""Cumulative profile merging (paper §5.2).
+
+The paper observes that profile-guided allocation degrades when the actual
+input exercises code the profile run never saw, and proposes merging the
+conflict graphs of several profile runs "until the resulting graph indicates
+that most part of the program has been exercised".  Merging sums execution
+statistics and pairwise interleave counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .profile import BranchStats, InterleaveProfile
+
+
+def merge_profiles(
+    profiles: Iterable[InterleaveProfile], name: str = "merged"
+) -> InterleaveProfile:
+    """Merge several profile runs into one cumulative profile.
+
+    Raises:
+        ValueError: if no profiles are given.
+    """
+    profile_list: List[InterleaveProfile] = list(profiles)
+    if not profile_list:
+        raise ValueError("merge_profiles needs at least one profile")
+    merged = InterleaveProfile(name=name)
+    for profile in profile_list:
+        merged.instructions += profile.instructions
+        for pc, stats in profile.branches.items():
+            acc = merged.branches.get(pc)
+            if acc is None:
+                merged.branches[pc] = BranchStats(
+                    stats.executions, stats.taken
+                )
+            else:
+                acc.executions += stats.executions
+                acc.taken += stats.taken
+        for key, count in profile.pairs.items():
+            merged.pairs[key] = merged.pairs.get(key, 0) + count
+    return merged
+
+
+def coverage_against(
+    profile: InterleaveProfile, reference: InterleaveProfile
+) -> float:
+    """Fraction of *reference*'s dynamic executions whose static branch also
+    appears in *profile* — the "has most of the program been exercised?"
+    check that drives the cumulative-profile loop."""
+    total = reference.dynamic_branch_count
+    if total == 0:
+        return 1.0
+    covered = sum(
+        stats.executions
+        for pc, stats in reference.branches.items()
+        if pc in profile.branches
+    )
+    return covered / total

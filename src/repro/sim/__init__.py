@@ -1,0 +1,51 @@
+"""Functional simulator for the miniature RISC ISA.
+
+The simulator is the reproduction's stand-in for the SimpleScalar toolset:
+it executes workload programs and emits the conditional-branch event stream
+consumed by :mod:`repro.profiling`.
+"""
+
+from .debug import SingleStepper, StepRecord, trace_listing
+from .executor import Executor, FuelExhausted, SimulationError
+from .hooks import BranchHook, CompositeBranchHook, NullBranchHook
+from .machine import RunResult, Simulator
+from .memory import Memory
+from .state import MachineState, unsigned32, wrap32
+from .syscalls import (
+    SYS_EXIT,
+    SYS_GET_CHAR,
+    SYS_INPUT_SIZE,
+    SYS_PRINT_INT,
+    SYS_PUT_CHAR,
+    SYS_RANDOM,
+    SYS_SEEK_INPUT,
+    Environment,
+    SyscallError,
+)
+
+__all__ = [
+    "BranchHook",
+    "CompositeBranchHook",
+    "Environment",
+    "Executor",
+    "FuelExhausted",
+    "MachineState",
+    "Memory",
+    "NullBranchHook",
+    "RunResult",
+    "SYS_EXIT",
+    "SYS_GET_CHAR",
+    "SYS_INPUT_SIZE",
+    "SYS_PRINT_INT",
+    "SYS_PUT_CHAR",
+    "SYS_RANDOM",
+    "SYS_SEEK_INPUT",
+    "SimulationError",
+    "Simulator",
+    "SingleStepper",
+    "StepRecord",
+    "SyscallError",
+    "trace_listing",
+    "unsigned32",
+    "wrap32",
+]

@@ -1,0 +1,169 @@
+"""Single-step debugging utilities.
+
+Kernel authors need to see what a program actually does when a
+hand-written assembly routine misbehaves.  :class:`SingleStepper` drives
+the ordinary executor one instruction at a time and reports, per step, the
+disassembly plus every architectural change (register writes, memory
+words, PC redirects) — the classic ``sim-safe -v`` experience.
+
+The stepper is intentionally built on the public executor (fuel = 1 per
+step) so that what you debug is exactly what the experiments run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.program import Program
+from ..isa.registers import register_name
+from .executor import FuelExhausted, SimulationError
+from .machine import Simulator
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One executed instruction and its architectural effects.
+
+    Attributes:
+        index: retired-instruction index of this step.
+        pc: address of the executed instruction.
+        disassembly: rendered instruction text.
+        register_writes: register name -> new value (x0 writes excluded).
+        next_pc: PC after the step.
+        taken_branch: True/False for conditional branches, None otherwise.
+    """
+
+    index: int
+    pc: int
+    disassembly: str
+    register_writes: Dict[str, int] = field(default_factory=dict)
+    next_pc: int = 0
+    taken_branch: Optional[bool] = None
+
+    def render(self) -> str:
+        """One log line: address, disassembly, effects."""
+        effects = ", ".join(
+            f"{name}={value}" for name, value in self.register_writes.items()
+        )
+        parts = [f"{self.index:>8}  0x{self.pc:08x}  {self.disassembly:<28}"]
+        if self.taken_branch is not None:
+            parts.append("taken" if self.taken_branch else "not-taken")
+        if effects:
+            parts.append(effects)
+        return "  ".join(parts)
+
+
+class SingleStepper:
+    """Steps a simulator one instruction at a time.
+
+    Example::
+
+        stepper = SingleStepper(program, input_data=b"...")
+        for record in stepper.run(limit=100):
+            print(record.render())
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        input_data: bytes = b"",
+        random_seed: int = 0x2545F491,
+    ) -> None:
+        self.program = program
+        self._branch_flag: List[Optional[bool]] = [None]
+        flag = self._branch_flag
+
+        class _Probe:
+            def on_branch(self, pc, target, taken, instruction_count):
+                flag[0] = taken
+
+        self.simulator = Simulator(
+            program,
+            input_data=input_data,
+            branch_hook=_Probe(),
+            random_seed=random_seed,
+        )
+
+    @property
+    def halted(self) -> bool:
+        return self.simulator.state.halted
+
+    def step(self) -> Optional[StepRecord]:
+        """Execute one instruction; None when already halted.
+
+        Raises:
+            SimulationError: if the PC leaves the text segment.
+        """
+        state = self.simulator.state
+        if state.halted:
+            return None
+        pc = state.pc
+        instruction = self.program.fetch(pc)
+        before = list(state.regs)
+        self._branch_flag[0] = None
+        index = self.simulator.executor.instruction_count
+        try:
+            self.simulator.executor.run(max_instructions=1)
+        except FuelExhausted:
+            pass  # exactly one instruction retired; expected
+        writes = {
+            register_name(i): state.regs[i]
+            for i in range(len(before))
+            if state.regs[i] != before[i]
+        }
+        return StepRecord(
+            index=index,
+            pc=pc,
+            disassembly=instruction.disassemble(),
+            register_writes=writes,
+            next_pc=state.pc,
+            taken_branch=self._branch_flag[0],
+        )
+
+    def run(self, limit: int = 1000) -> List[StepRecord]:
+        """Step up to *limit* instructions (stops early on halt).
+
+        Raises:
+            ValueError: on a non-positive limit.
+        """
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        records: List[StepRecord] = []
+        for _ in range(limit):
+            record = self.step()
+            if record is None:
+                break
+            records.append(record)
+        return records
+
+    def run_until(self, address: int, limit: int = 1_000_000) -> List[
+        StepRecord
+    ]:
+        """Step until the PC reaches *address* (a breakpoint) or halt.
+
+        Returns the records executed, the last one being the instruction
+        *before* the breakpoint address is fetched.
+        """
+        records: List[StepRecord] = []
+        for _ in range(limit):
+            if self.halted or self.simulator.state.pc == address:
+                break
+            record = self.step()
+            if record is None:
+                break
+            records.append(record)
+        return records
+
+
+def trace_listing(
+    program: Program,
+    input_data: bytes = b"",
+    limit: int = 50,
+    random_seed: int = 0x2545F491,
+) -> str:
+    """Convenience: the first *limit* executed instructions as text."""
+    stepper = SingleStepper(
+        program, input_data=input_data, random_seed=random_seed
+    )
+    return "\n".join(record.render() for record in stepper.run(limit))

@@ -1,0 +1,51 @@
+"""Observation hooks for the functional simulator.
+
+The working-set analysis only needs the conditional-branch event stream, so
+the simulator exposes a single narrow hook: :class:`BranchHook`, invoked once
+per dynamic conditional branch with the branch's address, its outcome, and
+the count of instructions retired *before* it — exactly the "time stamp"
+quantity used in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+
+class BranchHook(Protocol):
+    """Callback protocol for dynamic conditional branch events."""
+
+    def on_branch(
+        self, pc: int, target: int, taken: bool, instruction_count: int
+    ) -> None:
+        """Called after each conditional branch resolves.
+
+        Args:
+            pc: byte address of the static branch instruction.
+            target: byte address of the taken-path destination.
+            taken: whether the branch was taken.
+            instruction_count: instructions retired before this branch —
+                the paper's per-instance time stamp.
+        """
+
+
+class NullBranchHook:
+    """A hook that ignores everything (default)."""
+
+    def on_branch(
+        self, pc: int, target: int, taken: bool, instruction_count: int
+    ) -> None:
+        return None
+
+
+class CompositeBranchHook:
+    """Fan a branch event out to several hooks in order."""
+
+    def __init__(self, hooks: List[BranchHook]):
+        self._hooks = list(hooks)
+
+    def on_branch(
+        self, pc: int, target: int, taken: bool, instruction_count: int
+    ) -> None:
+        for hook in self._hooks:
+            hook.on_branch(pc, target, taken, instruction_count)

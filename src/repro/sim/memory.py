@@ -1,0 +1,109 @@
+"""Sparse paged byte-addressable memory.
+
+The simulated machine has a 32-bit address space; only touched 4 KiB pages
+are materialised.  Multi-byte accesses are little-endian and may cross page
+boundaries (handled generically, byte by byte, since they are rare).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+ADDRESS_MASK = 0xFFFF_FFFF
+
+
+class MemoryError_(RuntimeError):
+    """Raised on invalid simulated memory access."""
+
+
+class Memory:
+    """Sparse paged memory with word/byte accessors."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page_number = address >> PAGE_SHIFT
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # -- byte access -------------------------------------------------------
+
+    def load_byte(self, address: int) -> int:
+        """Unsigned byte at *address*."""
+        address &= ADDRESS_MASK
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def store_byte(self, address: int, value: int) -> None:
+        """Store the low 8 bits of *value* at *address*."""
+        address &= ADDRESS_MASK
+        self._page(address)[address & PAGE_MASK] = value & 0xFF
+
+    # -- word access -------------------------------------------------------
+
+    def load_word(self, address: int) -> int:
+        """Signed 32-bit little-endian load."""
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            raw = int.from_bytes(page[offset : offset + 4], "little")
+        else:
+            raw = 0
+            for i in range(4):
+                raw |= self.load_byte(address + i) << (8 * i)
+        return raw - 0x1_0000_0000 if raw & 0x8000_0000 else raw
+
+    def store_word(self, address: int, value: int) -> None:
+        """Little-endian store of the low 32 bits of *value*."""
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        raw = value & 0xFFFF_FFFF
+        if offset <= PAGE_SIZE - 4:
+            self._page(address)[offset : offset + 4] = raw.to_bytes(4, "little")
+        else:
+            for i in range(4):
+                self.store_byte(address + i, raw >> (8 * i))
+
+    # -- bulk access ---------------------------------------------------------
+
+    def load_bytes(self, address: int, length: int) -> bytes:
+        """Read *length* bytes starting at *address*."""
+        return bytes(self.load_byte(address + i) for i in range(length))
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write *data* starting at *address*."""
+        for i, byte in enumerate(data):
+            self.store_byte(address + i, byte)
+
+    def load_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated byte string (without the terminator).
+
+        Raises:
+            MemoryError_: if no terminator is found within *limit* bytes.
+        """
+        out = bytearray()
+        for i in range(limit):
+            byte = self.load_byte(address + i)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise MemoryError_(f"unterminated string at 0x{address:x}")
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of materialised 4 KiB pages (memory footprint metric)."""
+        return len(self._pages)

@@ -1,0 +1,58 @@
+"""Architectural machine state: registers, PC and memory."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.registers import NUM_REGISTERS, register_name
+from .memory import Memory
+
+INT32_MIN = -(1 << 31)
+INT32_MASK = 0xFFFF_FFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap an arbitrary Python int to signed 32-bit two's complement."""
+    value &= INT32_MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def unsigned32(value: int) -> int:
+    """Reinterpret a signed 32-bit value as unsigned."""
+    return value & INT32_MASK
+
+
+class MachineState:
+    """Registers, program counter and memory of the simulated machine.
+
+    Register values are stored as signed 32-bit Python ints; writers must
+    pass already-wrapped values (the executor wraps ALU results).  ``x0``
+    reads as zero regardless of writes.
+    """
+
+    __slots__ = ("regs", "pc", "memory", "halted", "exit_code")
+
+    def __init__(self) -> None:
+        self.regs: List[int] = [0] * NUM_REGISTERS
+        self.pc: int = 0
+        self.memory = Memory()
+        self.halted: bool = False
+        self.exit_code: int = 0
+
+    def read(self, number: int) -> int:
+        """Read register *number* (x0 is always zero)."""
+        return self.regs[number]
+
+    def write(self, number: int, value: int) -> None:
+        """Write *value* (already signed-32-bit) to register *number*."""
+        if number:
+            self.regs[number] = value
+
+    def dump_registers(self) -> str:
+        """Human-readable register dump for debugging."""
+        parts = [
+            f"{register_name(i):>5}={self.regs[i]:#010x}"
+            for i in range(NUM_REGISTERS)
+        ]
+        rows = [" ".join(parts[i : i + 4]) for i in range(0, NUM_REGISTERS, 4)]
+        return f"pc={self.pc:#010x}\n" + "\n".join(rows)

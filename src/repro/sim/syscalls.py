@@ -1,0 +1,93 @@
+"""Environment-call layer.
+
+The workload kernels need only a minimal I/O surface: an input byte stream
+(the benchmark's "input set"), an output byte sink, and integer printing for
+self-checking.  The syscall number is passed in ``a0``; arguments in ``a1``
+and ``a2``; results return in ``a0``.
+
+========= ============================ =====================================
+ number    name                         semantics
+========= ============================ =====================================
+ 0         EXIT                         halt; exit code = a1
+ 1         PRINT_INT                    append decimal a1 and '\\n' to output
+ 2         PUT_CHAR                     append low byte of a1 to output
+ 3         GET_CHAR                     a0 = next input byte, or -1 at EOF
+ 4         INPUT_SIZE                   a0 = total input length in bytes
+ 5         SEEK_INPUT                   input cursor = a1 (clamped)
+ 6         RANDOM                       a0 = next value of a seeded xorshift
+========= ============================ =====================================
+
+``RANDOM`` is deterministic (xorshift32 seeded by the environment) so runs
+are reproducible; it exists so kernels can synthesise data-dependent branch
+behaviour without shipping large inputs.
+"""
+
+from __future__ import annotations
+
+from .state import MachineState, wrap32
+
+SYS_EXIT = 0
+SYS_PRINT_INT = 1
+SYS_PUT_CHAR = 2
+SYS_GET_CHAR = 3
+SYS_INPUT_SIZE = 4
+SYS_SEEK_INPUT = 5
+SYS_RANDOM = 6
+
+A0, A1, A2 = 10, 11, 12  # register numbers for a0..a2
+
+
+class SyscallError(RuntimeError):
+    """Raised on an unknown syscall number."""
+
+
+class Environment:
+    """Program I/O environment: input stream, output sink, PRNG."""
+
+    def __init__(self, input_data: bytes = b"", random_seed: int = 0x2545F491):
+        self.input_data = input_data
+        self.cursor = 0
+        self.output = bytearray()
+        self._rng_state = random_seed & 0xFFFF_FFFF or 1
+
+    def _next_random(self) -> int:
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFF_FFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFF_FFFF
+        self._rng_state = x
+        return x
+
+    def handle(self, state: MachineState) -> None:
+        """Execute the syscall selected by the current register state.
+
+        Raises:
+            SyscallError: on an unknown syscall number.
+        """
+        number = state.read(A0)
+        if number == SYS_EXIT:
+            state.halted = True
+            state.exit_code = state.read(A1)
+        elif number == SYS_PRINT_INT:
+            self.output.extend(str(state.read(A1)).encode())
+            self.output.append(ord("\n"))
+        elif number == SYS_PUT_CHAR:
+            self.output.append(state.read(A1) & 0xFF)
+        elif number == SYS_GET_CHAR:
+            if self.cursor < len(self.input_data):
+                state.write(A0, self.input_data[self.cursor])
+                self.cursor += 1
+            else:
+                state.write(A0, -1)
+        elif number == SYS_INPUT_SIZE:
+            state.write(A0, wrap32(len(self.input_data)))
+        elif number == SYS_SEEK_INPUT:
+            self.cursor = max(0, min(state.read(A1), len(self.input_data)))
+        elif number == SYS_RANDOM:
+            state.write(A0, wrap32(self._next_random()))
+        else:
+            raise SyscallError(f"unknown syscall {number}")
+
+    def output_text(self) -> str:
+        """The output sink decoded as latin-1 (always succeeds)."""
+        return self.output.decode("latin-1")

@@ -1,0 +1,34 @@
+"""Branch trace capture, storage, statistics and synthesis."""
+
+from .capture import TraceCapture
+from .events import BranchEvent, BranchTrace
+from .io import load_trace, load_trace_ndjson, save_trace, save_trace_ndjson
+from .sampling import systematic_sample, truncate
+from .stats import TraceSummary, frequency_cutoff, summarize_trace
+from .synthetic import (
+    Behavior,
+    Phase,
+    SyntheticBranch,
+    SyntheticWorkload,
+    make_phased_workload,
+)
+
+__all__ = [
+    "Behavior",
+    "BranchEvent",
+    "BranchTrace",
+    "Phase",
+    "SyntheticBranch",
+    "SyntheticWorkload",
+    "TraceCapture",
+    "TraceSummary",
+    "frequency_cutoff",
+    "load_trace",
+    "load_trace_ndjson",
+    "make_phased_workload",
+    "save_trace",
+    "save_trace_ndjson",
+    "summarize_trace",
+    "systematic_sample",
+    "truncate",
+]

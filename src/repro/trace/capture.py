@@ -1,0 +1,60 @@
+"""Trace capture: a branch hook that accumulates a :class:`BranchTrace`."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .events import BranchTrace
+
+
+class TraceCapture:
+    """Simulator branch hook that records every event in memory.
+
+    Attach to a :class:`~repro.sim.machine.Simulator` and call
+    :meth:`finish` after the run::
+
+        capture = TraceCapture()
+        Simulator(program, branch_hook=capture).run()
+        trace = capture.finish("compress/default")
+
+    An optional *limit* stops recording after that many events (downsampled
+    profiling of long runs); the simulator keeps executing, the capture just
+    goes quiet.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self._pcs: List[int] = []
+        self._targets: List[int] = []
+        self._taken: List[bool] = []
+        self._timestamps: List[int] = []
+        self._limit = limit
+
+    def on_branch(
+        self, pc: int, target: int, taken: bool, instruction_count: int
+    ) -> None:
+        if self._limit is not None and len(self._pcs) >= self._limit:
+            return
+        self._pcs.append(pc)
+        self._targets.append(target)
+        self._taken.append(taken)
+        self._timestamps.append(instruction_count)
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    @property
+    def saturated(self) -> bool:
+        """True once the event limit has been reached."""
+        return self._limit is not None and len(self._pcs) >= self._limit
+
+    def finish(self, name: str = "<capture>") -> BranchTrace:
+        """Freeze the accumulated events into an immutable trace."""
+        return BranchTrace(
+            np.array(self._pcs, dtype=np.uint64),
+            np.array(self._targets, dtype=np.uint64),
+            np.array(self._taken, dtype=bool),
+            np.array(self._timestamps, dtype=np.uint64),
+            name=name,
+        )

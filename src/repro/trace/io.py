@@ -1,0 +1,108 @@
+"""Trace persistence.
+
+Two formats:
+
+* **binary** (``.npz``) — the columnar arrays, compact and fast; the format
+  used by the experiment harness's trace cache.
+* **ndjson** (``.ndjson``) — one JSON object per event, self-describing and
+  diff-able; used for small fixture traces and interoperability.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .events import BranchTrace
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: BranchTrace, path: PathLike) -> None:
+    """Write *trace* to an ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        version=np.array([_FORMAT_VERSION]),
+        name=np.array([trace.name]),
+        pcs=trace.pcs,
+        targets=trace.targets,
+        taken=trace.taken,
+        timestamps=trace.timestamps,
+    )
+
+
+def load_trace(path: PathLike) -> BranchTrace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on a format-version mismatch.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        return BranchTrace(
+            archive["pcs"],
+            archive["targets"],
+            archive["taken"],
+            archive["timestamps"],
+            name=str(archive["name"][0]),
+        )
+
+
+def save_trace_ndjson(trace: BranchTrace, path: PathLike) -> None:
+    """Write *trace* as newline-delimited JSON events."""
+    with open(Path(path), "w", encoding="utf-8") as fh:
+        header = {"format": "branch-trace", "version": _FORMAT_VERSION,
+                  "name": trace.name, "events": len(trace)}
+        fh.write(json.dumps(header) + "\n")
+        for event in trace:
+            fh.write(
+                json.dumps(
+                    {
+                        "pc": event.pc,
+                        "target": event.target,
+                        "taken": event.taken,
+                        "ts": event.timestamp,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_trace_ndjson(path: PathLike) -> BranchTrace:
+    """Read a trace written by :func:`save_trace_ndjson`.
+
+    Raises:
+        ValueError: if the header is missing or malformed.
+    """
+    pcs, targets, taken, timestamps = [], [], [], []
+    name = "<ndjson>"
+    with open(Path(path), encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "branch-trace":
+            raise ValueError("not a branch-trace ndjson file")
+        name = header.get("name", name)
+        for line in fh:
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            pcs.append(obj["pc"])
+            targets.append(obj["target"])
+            taken.append(obj["taken"])
+            timestamps.append(obj["ts"])
+    return BranchTrace(
+        np.array(pcs, dtype=np.uint64),
+        np.array(targets, dtype=np.uint64),
+        np.array(taken, dtype=bool),
+        np.array(timestamps, dtype=np.uint64),
+        name=name,
+    )

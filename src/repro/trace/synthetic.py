@@ -1,0 +1,252 @@
+"""Stochastic synthetic branch-trace generator.
+
+The assembly workloads in :mod:`repro.workloads` are the primary substrate,
+but scale studies and property tests need traces whose ground-truth working
+set structure is *known by construction*.  This module generates such traces
+from an explicit phase model:
+
+* a workload is a sequence of **phases**;
+* each phase owns a set of static branches (its intended working set) that
+  execute round-robin for a number of loop iterations;
+* each branch has a behaviour model — biased coin, periodic pattern, or
+  correlation with the previous branch outcome — so different predictor
+  families are separable on the same trace.
+
+Because branches in different phases never interleave (beyond adjacent-phase
+boundary effects), the conflict-graph working sets recovered by the analysis
+should match the phase populations — which is exactly what the property
+tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .events import BranchTrace
+
+
+class Behavior(enum.Enum):
+    """Outcome models for synthetic branches."""
+
+    BIASED = "biased"       # independent coin with P(taken) = bias
+    PATTERN = "pattern"     # deterministic periodic pattern, e.g. "TTNT"
+    CORRELATED = "correlated"  # copies the previous dynamic branch outcome
+    LOOP = "loop"           # taken (iterations-1) times then not taken
+
+
+@dataclass(frozen=True)
+class SyntheticBranch:
+    """One static branch in the synthetic model.
+
+    Attributes:
+        pc: the branch's static address (must be unique in the workload).
+        behavior: outcome model.
+        bias: P(taken) for BIASED; ignored otherwise.
+        pattern: taken/not-taken cycle for PATTERN, as a string of 'T'/'N'.
+        trip_count: loop body count for LOOP behaviour.
+    """
+
+    pc: int
+    behavior: Behavior = Behavior.BIASED
+    bias: float = 0.5
+    pattern: str = "TN"
+    trip_count: int = 4
+
+    def __post_init__(self) -> None:
+        if self.behavior is Behavior.BIASED and not 0.0 <= self.bias <= 1.0:
+            raise ValueError(f"bias must be a probability, got {self.bias}")
+        if self.behavior is Behavior.PATTERN:
+            if not self.pattern or set(self.pattern) - {"T", "N"}:
+                raise ValueError(f"bad pattern {self.pattern!r}")
+        if self.behavior is Behavior.LOOP and self.trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A program phase: its branch working set and how long it runs.
+
+    Attributes:
+        branches: static branches live in this phase.
+        iterations: loop iterations per visit (each iteration executes every
+            branch in the phase once).
+        mean_gap: mean instructions between consecutive branches.
+    """
+
+    branches: Sequence[SyntheticBranch]
+    iterations: int = 200
+    mean_gap: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise ValueError("phase must contain at least one branch")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.mean_gap < 1:
+            raise ValueError("mean_gap must be >= 1")
+
+
+@dataclass
+class SyntheticWorkload:
+    """A phased synthetic workload.
+
+    Attributes:
+        phases: the phase list.
+        schedule: order of phase visits (indices into *phases*); defaults to
+            one visit per phase, in order.
+        name: trace label.
+    """
+
+    phases: List[Phase]
+    schedule: Optional[List[int]] = None
+    name: str = "synthetic"
+    _loop_positions: dict = field(default_factory=dict, repr=False)
+
+    def ground_truth_working_sets(self) -> List[List[int]]:
+        """The intended working sets (per-phase branch PC lists)."""
+        return [[b.pc for b in phase.branches] for phase in self.phases]
+
+    def generate(self, seed: int = 0) -> BranchTrace:
+        """Produce the branch trace for one run of the workload."""
+        rng = np.random.default_rng(seed)
+        schedule = (
+            self.schedule
+            if self.schedule is not None
+            else list(range(len(self.phases)))
+        )
+        pcs: List[int] = []
+        taken_flags: List[bool] = []
+        timestamps: List[int] = []
+        clock = 0
+        last_outcome = False
+        pattern_pos: dict = {}
+        loop_pos: dict = {}
+        for phase_index in schedule:
+            phase = self.phases[phase_index]
+            for _ in range(phase.iterations):
+                for branch in phase.branches:
+                    clock += int(rng.integers(1, 2 * phase.mean_gap))
+                    outcome = self._resolve(
+                        branch, rng, last_outcome, pattern_pos, loop_pos
+                    )
+                    pcs.append(branch.pc)
+                    taken_flags.append(outcome)
+                    timestamps.append(clock)
+                    last_outcome = outcome
+                    clock += 1  # the branch instruction itself
+        targets = [pc + 16 for pc in pcs]  # arbitrary forward target
+        return BranchTrace(
+            np.array(pcs, dtype=np.uint64),
+            np.array(targets, dtype=np.uint64),
+            np.array(taken_flags, dtype=bool),
+            np.array(timestamps, dtype=np.uint64),
+            name=self.name,
+        )
+
+    @staticmethod
+    def _resolve(
+        branch: SyntheticBranch,
+        rng: np.random.Generator,
+        last_outcome: bool,
+        pattern_pos: dict,
+        loop_pos: dict,
+    ) -> bool:
+        if branch.behavior is Behavior.BIASED:
+            return bool(rng.random() < branch.bias)
+        if branch.behavior is Behavior.PATTERN:
+            pos = pattern_pos.get(branch.pc, 0)
+            pattern_pos[branch.pc] = (pos + 1) % len(branch.pattern)
+            return branch.pattern[pos] == "T"
+        if branch.behavior is Behavior.CORRELATED:
+            return last_outcome
+        # LOOP: taken trip_count-1 times, then fall through once
+        pos = loop_pos.get(branch.pc, 0)
+        loop_pos[branch.pc] = (pos + 1) % branch.trip_count
+        return pos != branch.trip_count - 1
+
+
+def make_phased_workload(
+    n_phases: int,
+    branches_per_phase: int,
+    iterations: int = 200,
+    biased_fraction: float = 0.3,
+    seed: int = 0,
+    name: str = "synthetic",
+    pc_base: int = 0x1000,
+    pc_stride: int = 4,
+    text_span: int = 0,
+) -> SyntheticWorkload:
+    """Build a workload with *n_phases* disjoint working sets.
+
+    A *biased_fraction* of each phase's branches are highly biased (>99%
+    or <1% taken, mirroring the paper's classification bounds); the rest
+    mix LOOP, PATTERN and moderately biased behaviours.
+
+    Args:
+        text_span: when positive, branch PCs are scattered uniformly over
+            ``[pc_base, pc_base + text_span)`` (word aligned, unique) the
+            way real programs spread branches across a large text segment —
+            which is what makes PC-modulo BHT indexing alias.  When 0,
+            PCs are consecutive (``pc_stride`` apart), which never aliases
+            in tables larger than the branch count; useful for isolating
+            working-set effects from indexing effects.
+    """
+    if n_phases < 1 or branches_per_phase < 1:
+        raise ValueError("need at least one phase and one branch per phase")
+    rng = np.random.default_rng(seed)
+    total_branches = n_phases * branches_per_phase
+    if text_span:
+        slots = text_span // 4
+        if slots < total_branches:
+            raise ValueError(
+                f"text_span {text_span} too small for {total_branches} branches"
+            )
+        chosen = rng.choice(slots, size=total_branches, replace=False)
+        pc_pool = [pc_base + 4 * int(slot) for slot in sorted(chosen)]
+    else:
+        pc_pool = [
+            pc_base + pc_stride * i for i in range(total_branches)
+        ]
+    pool_iter = iter(pc_pool)
+    phases: List[Phase] = []
+    patterns = ["TTN", "TTTN", "TN", "TTTTTTN", "TTNN"]
+    for _ in range(n_phases):
+        branches: List[SyntheticBranch] = []
+        for b in range(branches_per_phase):
+            pc = next(pool_iter)
+            roll = rng.random()
+            if roll < biased_fraction:
+                bias = 0.995 if rng.random() < 0.5 else 0.005
+                branches.append(
+                    SyntheticBranch(pc, Behavior.BIASED, bias=bias)
+                )
+            elif roll < biased_fraction + 0.25:
+                branches.append(
+                    SyntheticBranch(
+                        pc,
+                        Behavior.PATTERN,
+                        pattern=patterns[b % len(patterns)],
+                    )
+                )
+            elif roll < biased_fraction + 0.45:
+                branches.append(
+                    SyntheticBranch(
+                        pc,
+                        Behavior.LOOP,
+                        trip_count=int(rng.integers(2, 12)),
+                    )
+                )
+            else:
+                branches.append(
+                    SyntheticBranch(
+                        pc,
+                        Behavior.BIASED,
+                        bias=float(rng.uniform(0.2, 0.8)),
+                    )
+                )
+        phases.append(Phase(tuple(branches), iterations=iterations))
+    return SyntheticWorkload(phases=phases, name=name)

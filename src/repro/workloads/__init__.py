@@ -1,0 +1,48 @@
+"""Workload substrate: kernels, inputs, builder and the benchmark suite."""
+
+from .build import (
+    BuiltWorkload,
+    InputSpec,
+    KernelCall,
+    PhaseSpec,
+    WorkloadSpec,
+    build_workload,
+    replicated_calls,
+    run_workload,
+)
+from .inputs import binary_runs, make_input, mixed_input, text_input
+from .kernels import KernelSpec, get_kernel, kernel_registry
+from .suite import (
+    ALL_BENCHMARKS,
+    FIGURE_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    TABLE34_BENCHMARKS,
+    benchmark_names,
+    benchmark_suite,
+    get_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BuiltWorkload",
+    "FIGURE_BENCHMARKS",
+    "InputSpec",
+    "KernelCall",
+    "KernelSpec",
+    "PhaseSpec",
+    "TABLE2_BENCHMARKS",
+    "TABLE34_BENCHMARKS",
+    "WorkloadSpec",
+    "benchmark_names",
+    "benchmark_suite",
+    "binary_runs",
+    "build_workload",
+    "get_benchmark",
+    "get_kernel",
+    "kernel_registry",
+    "make_input",
+    "mixed_input",
+    "replicated_calls",
+    "run_workload",
+    "text_input",
+]

@@ -1,0 +1,35 @@
+"""Workload kernels: hand-written assembly routines with Python references.
+
+Importing this package registers every kernel in the registry exposed by
+:func:`~repro.workloads.kernels.common.kernel_registry`.
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    arrays,
+    bintree,
+    crc,
+    fsm,
+    hashtab,
+    interp,
+    life,
+    matmul,
+    queens,
+    rle,
+    sieve,
+    strsearch,
+)
+from .common import (
+    KernelSpec,
+    get_kernel,
+    instantiate,
+    kernel_registry,
+    register_kernel,
+)
+
+__all__ = [
+    "KernelSpec",
+    "get_kernel",
+    "instantiate",
+    "kernel_registry",
+    "register_kernel",
+]

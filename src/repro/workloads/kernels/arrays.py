@@ -1,0 +1,157 @@
+"""Array utility kernels: pseudo-random fill, checksum, and quicksort.
+
+``fillrand`` seeds data-dependent workloads from the deterministic RANDOM
+syscall; ``checksum`` is the self-check primitive drivers print to validate
+runs; ``qsort`` is the classic recursive quicksort, whose partition branch
+is the textbook example of a hard-to-predict data-dependent branch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .common import KernelSpec, instantiate, register_kernel
+
+FILLRAND_TEMPLATE = """
+# fillrand@: fill words [a0, a0+4*a1) with masked pseudo-random values.
+#   a0 = base, a1 = count; returns a0 = base
+fillrand@:
+    mv t0, a0            # cursor
+    mv t1, a1            # remaining
+    mv t5, a0            # saved base
+fillrand_loop@:
+    blez t1, fillrand_done@
+    li a0, 6             # SYS_RANDOM
+    ecall
+    li t2, 0x7FFFFF
+    and a0, a0, t2       # keep values positive and compact
+    sw a0, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    j fillrand_loop@
+fillrand_done@:
+    mv a0, t5
+    ret
+"""
+
+CHECKSUM_TEMPLATE = """
+# checksum@: wrapped sum of words [a0, a0+4*a1).
+#   a0 = base, a1 = count; returns a0 = sum
+checksum@:
+    li t0, 0
+checksum_loop@:
+    blez a1, checksum_done@
+    lw t1, 0(a0)
+    add t0, t0, t1
+    addi a0, a0, 4
+    addi a1, a1, -1
+    j checksum_loop@
+checksum_done@:
+    mv a0, t0
+    ret
+"""
+
+QSORT_TEMPLATE = """
+# qsort@: recursive quicksort of words [a0, a0+4*a1) (Lomuto partition).
+#   a0 = base, a1 = count
+qsort@:
+    addi sp, sp, -16
+    sw ra, 0(sp)
+    sw s0, 4(sp)
+    sw s1, 8(sp)
+    sw s2, 12(sp)
+    mv s0, a0            # base
+    mv s1, a1            # n
+    li t0, 2
+    blt s1, t0, qsort_ret@
+    addi t1, s1, -1      # pivot index n-1
+    slli t2, t1, 2
+    add t2, t2, s0       # &arr[n-1]
+    lw t3, 0(t2)         # pivot value
+    li t4, 0             # i (store index)
+    li t5, 0             # j (scan index)
+qsort_part@:
+    bge t5, t1, qsort_pivot@
+    slli t6, t5, 2
+    add t6, t6, s0
+    lw a2, 0(t6)         # arr[j]
+    bge a2, t3, qsort_skip@
+    slli a3, t4, 2
+    add a3, a3, s0
+    lw a4, 0(a3)         # swap arr[i] <-> arr[j]
+    sw a2, 0(a3)
+    sw a4, 0(t6)
+    addi t4, t4, 1
+qsort_skip@:
+    addi t5, t5, 1
+    j qsort_part@
+qsort_pivot@:
+    slli a3, t4, 2
+    add a3, a3, s0
+    lw a4, 0(a3)         # swap arr[i] <-> pivot
+    sw t3, 0(a3)
+    sw a4, 0(t2)
+    mv s2, t4            # pivot landing index
+    mv a0, s0
+    mv a1, s2
+    call qsort@          # left half
+    addi t0, s2, 1
+    slli t1, t0, 2
+    add a0, s0, t1
+    sub a1, s1, t0
+    call qsort@          # right half
+qsort_ret@:
+    lw ra, 0(sp)
+    lw s0, 4(sp)
+    lw s1, 8(sp)
+    lw s2, 12(sp)
+    addi sp, sp, 16
+    ret
+"""
+
+
+def emit_fillrand(suffix: str = "") -> str:
+    """Instantiate the fillrand kernel."""
+    return instantiate(FILLRAND_TEMPLATE, suffix)
+
+
+def emit_checksum(suffix: str = "") -> str:
+    """Instantiate the checksum kernel."""
+    return instantiate(CHECKSUM_TEMPLATE, suffix)
+
+
+def emit_qsort(suffix: str = "") -> str:
+    """Instantiate the quicksort kernel."""
+    return instantiate(QSORT_TEMPLATE, suffix)
+
+
+def checksum_reference(values: List[int]) -> int:
+    """Wrapped 32-bit sum matching the checksum kernel."""
+    total = sum(values) & 0xFFFFFFFF
+    return total - (1 << 32) if total & (1 << 31) else total
+
+
+FILLRAND_SPEC = register_kernel(
+    KernelSpec(
+        name="fillrand",
+        emit=emit_fillrand,
+        description="fill an array with deterministic pseudo-random words",
+        scratch_bytes=1 << 16,
+    )
+)
+CHECKSUM_SPEC = register_kernel(
+    KernelSpec(
+        name="checksum",
+        emit=emit_checksum,
+        description="wrapped 32-bit sum of an array",
+        scratch_bytes=0,
+    )
+)
+QSORT_SPEC = register_kernel(
+    KernelSpec(
+        name="qsort",
+        emit=emit_qsort,
+        description="recursive quicksort (data-dependent branches)",
+        scratch_bytes=1 << 16,
+    )
+)

@@ -1,0 +1,116 @@
+"""Binary search tree kernel — the ``li``/``gs`` analog's pointer chasing.
+
+Bump-allocates nodes in an arena and inserts deterministic pseudo-random
+keys; the left/right descent branch is the canonical ~50/50 data-dependent
+branch, while the duplicate-found branch is rare.  Returns the number of
+distinct keys (tree size).
+
+Arena layout: word 0 = root pointer (0 = empty), word 1 = bump cursor,
+nodes are 12 bytes: key, left pointer, right pointer.
+"""
+
+from __future__ import annotations
+
+from .common import KernelSpec, instantiate, register_kernel
+
+NODE_BYTES = 12
+HEADER_BYTES = 8
+
+TEMPLATE = """
+# bintree@: insert a1 random keys into a BST allocated from arena a0.
+#   a0 = arena base, a1 = insert attempts; returns a0 = distinct keys
+bintree@:
+    addi sp, sp, -16
+    sw s0, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    mv s0, a0            # arena
+    mv s1, a1            # attempts
+    sw zero, 0(s0)       # root = null
+    addi t0, s0, 8
+    sw t0, 4(s0)         # bump cursor = arena + 8
+    li s2, 0             # attempt index
+    li s3, 0             # distinct keys
+bintree_loop@:
+    bge s2, s1, bintree_done@
+    li a0, 6             # SYS_RANDOM
+    ecall
+    li t0, 0xFFFF
+    and t6, a0, t0       # key
+    lw t1, 0(s0)         # current = root
+    beqz t1, bintree_newroot@
+bintree_walk@:
+    lw t2, 0(t1)         # current.key
+    beq t2, t6, bintree_next@   # duplicate
+    blt t6, t2, bintree_left@
+    lw t3, 8(t1)         # right child
+    beqz t3, bintree_attach_right@
+    mv t1, t3
+    j bintree_walk@
+bintree_left@:
+    lw t3, 4(t1)         # left child
+    beqz t3, bintree_attach_left@
+    mv t1, t3
+    j bintree_walk@
+bintree_attach_left@:
+    lw t4, 4(s0)         # new node from bump cursor
+    sw t6, 0(t4)
+    sw zero, 4(t4)
+    sw zero, 8(t4)
+    sw t4, 4(t1)
+    addi t4, t4, 12
+    sw t4, 4(s0)
+    addi s3, s3, 1
+    j bintree_next@
+bintree_attach_right@:
+    lw t4, 4(s0)
+    sw t6, 0(t4)
+    sw zero, 4(t4)
+    sw zero, 8(t4)
+    sw t4, 8(t1)
+    addi t4, t4, 12
+    sw t4, 4(s0)
+    addi s3, s3, 1
+    j bintree_next@
+bintree_newroot@:
+    lw t4, 4(s0)
+    sw t6, 0(t4)
+    sw zero, 4(t4)
+    sw zero, 8(t4)
+    sw t4, 0(s0)
+    addi t4, t4, 12
+    sw t4, 4(s0)
+    addi s3, s3, 1
+bintree_next@:
+    addi s2, s2, 1
+    j bintree_loop@
+bintree_done@:
+    mv a0, s3
+    lw s0, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    addi sp, sp, 16
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the BST kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def arena_bytes(inserts: int) -> int:
+    """Arena size needed for *inserts* worst-case distinct keys."""
+    return HEADER_BYTES + NODE_BYTES * inserts
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="bintree",
+        emit=emit,
+        description="binary search tree insert with bump allocation",
+        scratch_bytes=1 << 16,
+    )
+)

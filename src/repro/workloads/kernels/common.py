@@ -1,0 +1,98 @@
+"""Kernel template machinery.
+
+Each kernel module defines an assembly ``TEMPLATE`` whose labels end in the
+placeholder ``@`` and an ``emit(suffix)`` helper that instantiates the
+template.  Instantiating the same kernel under different suffixes yields
+textually distinct function bodies at distinct addresses — how the
+benchmark analogs reach realistic *static* branch populations (the paper's
+gcc has >16k static conditional branches; no hand-written kernel does, but
+two hundred specialised copies of a dozen kernels do).
+
+Calling convention (enforced by every kernel):
+
+* arguments in ``a0``–``a3``, result in ``a0``;
+* ``t``-registers and ``a``-registers are caller-saved (kernels clobber
+  them freely);
+* ``s``-registers, ``sp`` and ``ra`` are callee-saved (kernels that use
+  them push/pop on the stack);
+* scratch memory is supplied by the driver in ``a0`` so instantiations
+  never share state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+#: Placeholder character appended to every label in kernel templates.
+SUFFIX_MARK = "@"
+
+
+def instantiate(template: str, suffix: str) -> str:
+    """Expand a kernel template for one instantiation.
+
+    Args:
+        template: assembly text with ``@`` label placeholders.
+        suffix: instantiation suffix (e.g. ``"_3"``); must be a valid label
+            fragment.
+
+    Raises:
+        ValueError: if the suffix contains characters invalid in labels.
+    """
+    cleaned = suffix.replace("_", "")
+    if cleaned and not cleaned.isalnum():
+        raise ValueError(f"invalid kernel suffix {suffix!r}")
+    return template.replace(SUFFIX_MARK, suffix)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Registry entry for a kernel.
+
+    Attributes:
+        name: kernel id; the entry label is ``<name><suffix>``.
+        emit: ``emit(suffix) -> str`` producing the instantiated body.
+        description: one-line summary for documentation and listings.
+        needs_input: True if the kernel consumes the input byte stream.
+        scratch_bytes: scratch memory the driver must reserve per call.
+    """
+
+    name: str
+    emit: Callable[[str], str]
+    description: str
+    needs_input: bool = False
+    scratch_bytes: int = 0
+
+
+_REGISTRY: Dict[str, KernelSpec] = {}
+
+
+def register_kernel(spec: KernelSpec) -> KernelSpec:
+    """Add a kernel to the global registry (idempotent by name).
+
+    Raises:
+        ValueError: if a different spec is already registered for the name.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ValueError(f"kernel {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def kernel_registry() -> Dict[str, KernelSpec]:
+    """All registered kernels (import side effect of the kernel modules)."""
+    return dict(_REGISTRY)
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a kernel by name.
+
+    Raises:
+        KeyError: if the kernel is unknown.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]

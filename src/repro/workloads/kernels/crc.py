@@ -1,0 +1,62 @@
+"""Bitwise CRC-32 kernel — the ``pgp`` analog's integrity-check inner loop.
+
+Computes the standard reflected CRC-32 (polynomial 0xEDB88320) of the input
+stream one bit at a time.  The bit-test branch inside the unrolled-by-zero
+loop alternates data-dependently; the per-byte EOF branch is highly biased.
+The result matches :func:`binascii.crc32`, which the unit tests exploit.
+"""
+
+from __future__ import annotations
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+# crc@: CRC-32 (poly 0xEDB88320) of a prefix of the input stream.
+#   a0 = max bytes to consume (0 = all); returns a0 = crc
+crc@:
+    mv t5, a0            # input budget
+    bnez t5, crc_seek@
+    li t5, 0x7FFFFFFF    # 0 means unlimited
+crc_seek@:
+    li a0, 5             # SYS_SEEK_INPUT to offset 0
+    li a1, 0
+    ecall
+    li t0, -1            # crc = 0xFFFFFFFF
+crc_byte@:
+    blez t5, crc_done@
+    addi t5, t5, -1
+    li a0, 3             # SYS_GET_CHAR
+    ecall
+    bltz a0, crc_done@
+    xor t0, t0, a0
+    li t2, 8
+crc_bit@:
+    andi t3, t0, 1
+    srli t0, t0, 1
+    beqz t3, crc_nopoly@
+    li t4, 0xEDB88320
+    xor t0, t0, t4
+crc_nopoly@:
+    addi t2, t2, -1
+    bgtz t2, crc_bit@
+    j crc_byte@
+crc_done@:
+    not a0, t0
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the CRC-32 kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="crc",
+        emit=emit,
+        description="bitwise CRC-32 of the input stream",
+        needs_input=True,
+        scratch_bytes=0,
+    )
+)

@@ -1,0 +1,143 @@
+"""Table-driven finite-state machine kernel — the ``m88ksim`` decode analog.
+
+A tokenizer-like DFA over the input stream: bytes are classified into four
+character classes (whitespace / digit / letter / other) by a compare chain,
+then a ``.word`` transition table advances the state.  The classify chain's
+branches have input-distribution-dependent biases; the accept-state branch
+is rare — the structure of an instruction decoder's dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .common import KernelSpec, instantiate, register_kernel
+
+#: Character classes.
+CLASS_WS, CLASS_DIGIT, CLASS_ALPHA, CLASS_OTHER = 0, 1, 2, 3
+
+#: 8 states x 4 classes transition table; state 7 is the accept state
+#: ("token complete"), whose visits the kernel counts.
+TRANSITIONS: List[List[int]] = [
+    # ws digit alpha other
+    [0, 1, 2, 3],  # 0 idle
+    [7, 1, 4, 3],  # 1 in-number
+    [7, 4, 2, 3],  # 2 in-word
+    [0, 1, 2, 3],  # 3 punctuation
+    [0, 4, 4, 3],  # 4 error recovery
+    [0, 0, 0, 0],  # 5 (unused)
+    [0, 0, 0, 0],  # 6 (unused)
+    [0, 1, 2, 3],  # 7 accept
+]
+
+_TABLE_WORDS = ", ".join(
+    str(state) for row in TRANSITIONS for state in row
+)
+
+TEMPLATE = f"""
+.data
+.align 2
+fsm_table@: .word {_TABLE_WORDS}
+.text
+# fsm@: run the tokenizer DFA over a prefix of the input stream.
+#   a0 = max bytes to consume (0 = all)
+#   returns a0 = number of accept-state entries (tokens recognised)
+fsm@:
+    mv a3, a0            # input budget
+    bnez a3, fsm_seek@
+    li a3, 0x7FFFFFFF    # 0 means unlimited
+fsm_seek@:
+    li a0, 5             # SYS_SEEK_INPUT to 0
+    li a1, 0
+    ecall
+    li t0, 0             # state
+    li t6, 0             # tokens
+    la t5, fsm_table@
+fsm_loop@:
+    blez a3, fsm_done@
+    addi a3, a3, -1
+    li a0, 3             # SYS_GET_CHAR
+    ecall
+    bltz a0, fsm_done@
+    li t1, {CLASS_OTHER}
+    li t2, 32
+    beq a0, t2, fsm_ws@
+    li t2, 9
+    beq a0, t2, fsm_ws@
+    li t2, 10
+    beq a0, t2, fsm_ws@
+    li t2, 48
+    blt a0, t2, fsm_classified@
+    li t2, 58
+    blt a0, t2, fsm_digit@
+    li t2, 65
+    blt a0, t2, fsm_classified@
+    li t2, 91
+    blt a0, t2, fsm_alpha@
+    li t2, 97
+    blt a0, t2, fsm_classified@
+    li t2, 123
+    blt a0, t2, fsm_alpha@
+    j fsm_classified@
+fsm_ws@:
+    li t1, {CLASS_WS}
+    j fsm_classified@
+fsm_digit@:
+    li t1, {CLASS_DIGIT}
+    j fsm_classified@
+fsm_alpha@:
+    li t1, {CLASS_ALPHA}
+fsm_classified@:
+    slli t3, t0, 2
+    add t3, t3, t1
+    slli t3, t3, 2
+    add t3, t3, t5
+    lw t0, 0(t3)         # next state
+    li t4, 7
+    bne t0, t4, fsm_loop@
+    addi t6, t6, 1
+    j fsm_loop@
+fsm_done@:
+    mv a0, t6
+    ret
+"""
+
+
+def classify(byte: int) -> int:
+    """Character class of *byte* (reference for tests)."""
+    if byte in (32, 9, 10):
+        return CLASS_WS
+    if 48 <= byte < 58:
+        return CLASS_DIGIT
+    if 65 <= byte < 91 or 97 <= byte < 123:
+        return CLASS_ALPHA
+    return CLASS_OTHER
+
+
+def reference(data: bytes, limit: int = 0) -> int:
+    """Count accept-state entries over *data* (Python reference)."""
+    if limit:
+        data = data[:limit]
+    state = 0
+    tokens = 0
+    for byte in data:
+        state = TRANSITIONS[state][classify(byte)]
+        if state == 7:
+            tokens += 1
+    return tokens
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the FSM kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="fsm",
+        emit=emit,
+        description="table-driven tokenizer DFA over the input stream",
+        needs_input=True,
+        scratch_bytes=0,
+    )
+)

@@ -1,0 +1,118 @@
+"""Open-addressing hash table kernel — the ``perl`` analog's symbol table.
+
+Linear-probing insert-or-bump over a 4096-slot table of (key, value) pairs
+with deterministic pseudo-random keys.  Probe-loop branches depend on the
+table's fill state, so their bias drifts over the run; the duplicate-hit
+branch is data-dependent.  An insert cap keeps the load factor below 3/4 so
+probing always terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import KernelSpec, instantiate, register_kernel
+
+SLOTS = 256
+INSERT_CAP = 3 * SLOTS // 4
+
+TEMPLATE = f"""
+# hashtab@: perform a1 insert-or-bump operations with random keys.
+#   a0 = table base ({SLOTS} slots x 8 bytes), a1 = operations
+#   returns a0 = number of distinct keys inserted
+hashtab@:
+    addi sp, sp, -24
+    sw s0, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    sw s4, 16(sp)
+    sw s5, 20(sp)
+    mv s0, a0            # table
+    mv s1, a1            # ops
+    li s3, {SLOTS - 1}   # slot mask
+    li s5, 0             # inserts so far
+    li t0, 0
+hashtab_clear@:
+    li t1, {SLOTS}
+    bge t0, t1, hashtab_ops@
+    slli t2, t0, 3
+    add t2, t2, s0
+    sw zero, 0(t2)
+    sw zero, 4(t2)
+    addi t0, t0, 1
+    j hashtab_clear@
+hashtab_ops@:
+    li s2, 0             # op index
+hashtab_loop@:
+    bge s2, s1, hashtab_done@
+    li a0, 6             # SYS_RANDOM
+    ecall
+    li t0, 0x3FFF
+    and s4, a0, t0       # small key space -> frequent duplicates
+    ori s4, s4, 1        # keys are nonzero (0 marks an empty slot)
+    mul t1, s4, s4
+    srli t1, t1, 7
+    xor t1, t1, s4
+    and t1, t1, s3       # home slot
+hashtab_probe@:
+    slli t2, t1, 3
+    add t2, t2, s0
+    lw t3, 0(t2)
+    beqz t3, hashtab_insert@
+    beq t3, s4, hashtab_bump@
+    addi t1, t1, 1
+    and t1, t1, s3
+    j hashtab_probe@
+hashtab_insert@:
+    li t4, {INSERT_CAP}
+    bge s5, t4, hashtab_next@   # table nearly full: drop the insert
+    sw s4, 0(t2)
+    li t4, 1
+    sw t4, 4(t2)
+    addi s5, s5, 1
+    j hashtab_next@
+hashtab_bump@:
+    lw t4, 4(t2)
+    addi t4, t4, 1
+    sw t4, 4(t2)
+hashtab_next@:
+    addi s2, s2, 1
+    j hashtab_loop@
+hashtab_done@:
+    mv a0, s5
+    lw s0, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    lw s4, 16(sp)
+    lw s5, 20(sp)
+    addi sp, sp, 24
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the hash-table kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(keys: list) -> Dict[int, int]:
+    """Insert-or-bump reference over explicit keys (for unit tests)."""
+    table: Dict[int, int] = {}
+    for key in keys:
+        if key in table:
+            table[key] += 1
+        elif len(table) < INSERT_CAP:
+            table[key] = 1
+    return table
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="hashtab",
+        emit=emit,
+        description="linear-probing hash table insert/bump loop",
+        scratch_bytes=SLOTS * 8,
+    )
+)

@@ -1,0 +1,156 @@
+"""Bytecode-interpreter kernel — the ``li``/``python``/``perl`` analog core.
+
+Generates a small random bytecode program (2-byte instructions: opcode,
+immediate) and executes it for a fixed number of steps through a
+jump-table dispatch loop (``jr`` through a ``.word``-of-labels table) — the
+classic interpreter structure whose dispatch and operand branches dominate
+scripting-language branch profiles.
+
+Opcodes: 0 add-imm, 1 sub-imm, 2 xor-imm, 3 shift-left, 4 shift-right,
+5 conditional jump (pc = imm mod n when acc is odd), 6 acc = 3*acc + 1,
+7 and-imm.  The accumulator wraps at 32 bits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+# interp@: generate and run a random bytecode program.
+#   a0 = scratch (code area), a1 = instruction count, a2 = steps
+#   returns a0 = final accumulator
+interp@:
+    addi sp, sp, -20
+    sw s0, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    sw s4, 16(sp)
+    mv s0, a0            # code base
+    mv s1, a1            # instruction count
+    mv s4, a2            # step budget
+    li t0, 0
+interp_gen@:
+    bge t0, s1, interp_run@
+    li a0, 6             # SYS_RANDOM
+    ecall
+    andi t1, a0, 7       # opcode
+    srli t2, a0, 3
+    andi t2, t2, 255     # immediate
+    slli t3, t0, 1
+    add t3, t3, s0
+    sb t1, 0(t3)
+    sb t2, 1(t3)
+    addi t0, t0, 1
+    j interp_gen@
+interp_run@:
+    li s2, 0             # vm pc (instruction index)
+    li s3, 0             # accumulator
+interp_step@:
+    blez s4, interp_done@
+    addi s4, s4, -1
+    slli t0, s2, 1
+    add t0, t0, s0
+    lb t1, 0(t0)         # opcode
+    lb t2, 1(t0)         # immediate
+    addi s2, s2, 1       # advance vm pc, wrapping
+    blt s2, s1, interp_dispatch@
+    li s2, 0
+interp_dispatch@:
+    la t3, interp_table@
+    slli t4, t1, 2
+    add t4, t4, t3
+    lw t5, 0(t4)
+    jr t5
+interp_op0@:
+    add s3, s3, t2
+    j interp_step@
+interp_op1@:
+    sub s3, s3, t2
+    j interp_step@
+interp_op2@:
+    xor s3, s3, t2
+    j interp_step@
+interp_op3@:
+    slli s3, s3, 1
+    j interp_step@
+interp_op4@:
+    srli s3, s3, 1
+    j interp_step@
+interp_op5@:
+    andi t6, s3, 1
+    beqz t6, interp_step@
+    rem s2, t2, s1
+    j interp_step@
+interp_op6@:
+    slli t6, s3, 1
+    add s3, s3, t6
+    addi s3, s3, 1
+    j interp_step@
+interp_op7@:
+    and s3, s3, t2
+    j interp_step@
+interp_done@:
+    mv a0, s3
+    lw s0, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    lw s4, 16(sp)
+    addi sp, sp, 20
+    ret
+.data
+.align 2
+interp_table@: .word interp_op0@, interp_op1@, interp_op2@, interp_op3@
+               .word interp_op4@, interp_op5@, interp_op6@, interp_op7@
+.text
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the interpreter kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(program: List[Tuple[int, int]], steps: int) -> int:
+    """Python reference VM (same wrap semantics as the kernel)."""
+
+    def wrap(value: int) -> int:
+        value &= 0xFFFFFFFF
+        return value - (1 << 32) if value & (1 << 31) else value
+
+    n = len(program)
+    pc, acc = 0, 0
+    for _ in range(steps):
+        opcode, imm = program[pc]
+        pc = (pc + 1) % n
+        if opcode == 0:
+            acc = wrap(acc + imm)
+        elif opcode == 1:
+            acc = wrap(acc - imm)
+        elif opcode == 2:
+            acc = wrap(acc ^ imm)
+        elif opcode == 3:
+            acc = wrap(acc << 1)
+        elif opcode == 4:
+            acc = (acc & 0xFFFFFFFF) >> 1
+        elif opcode == 5:
+            if acc & 1:
+                pc = imm % n
+        elif opcode == 6:
+            acc = wrap(3 * acc + 1)
+        else:
+            acc = acc & imm
+    return acc
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="interp",
+        emit=emit,
+        description="jump-table bytecode interpreter over a random program",
+        scratch_bytes=1 << 12,
+    )
+)

@@ -1,0 +1,172 @@
+"""Conway's Game of Life kernel — the ``ss`` (simulator-simulating) analog.
+
+A 16x16 toroidal grid seeded from the deterministic RANDOM syscall, double
+buffered, evolved for a given number of generations.  The alive/dead rule
+branches correlate with spatial structure that shifts as the population
+stabilises — branch biases drift over the run, like a simulator warming up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .common import KernelSpec, instantiate, register_kernel
+
+GRID = 8
+CELLS = GRID * GRID
+
+GRID_SHIFT = GRID.bit_length() - 1
+
+TEMPLATE = f"""
+# life@: evolve a {GRID}x{GRID} toroidal Life grid.
+#   a0 = scratch (two {CELLS}-byte grids), a1 = generations
+#   returns a0 = live-cell count after the last generation
+life@:
+    addi sp, sp, -24
+    sw s0, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    sw s4, 16(sp)
+    sw s5, 20(sp)
+    mv s5, a1            # generations
+    mv s0, a0            # src grid
+    addi s1, a0, {CELLS} # dst grid
+    li t0, 0
+life_init@:
+    li t1, {CELLS}
+    bge t0, t1, life_genloop@
+    li a0, 6             # SYS_RANDOM
+    ecall
+    andi t2, a0, 1
+    add t3, s0, t0
+    sb t2, 0(t3)
+    addi t0, t0, 1
+    j life_init@
+life_genloop@:
+    blez s5, life_count@
+    li s2, 0             # row
+life_row@:
+    li t0, {GRID}
+    bge s2, t0, life_swap@
+    li s3, 0             # col
+life_col@:
+    li t0, {GRID}
+    bge s3, t0, life_row_next@
+    li t1, 0             # neighbour count
+    li t2, -1            # dr
+life_dr@:
+    li t0, 2
+    bge t2, t0, life_decide@
+    li t3, -1            # dc
+life_dc@:
+    li t0, 2
+    bge t3, t0, life_dr_next@
+    or t4, t2, t3
+    beqz t4, life_dc_next@   # skip the cell itself
+    add t4, s2, t2
+    andi t4, t4, {GRID - 1}
+    add t5, s3, t3
+    andi t5, t5, {GRID - 1}
+    slli t4, t4, {GRID_SHIFT}
+    add t4, t4, t5
+    add t4, t4, s0
+    lb t6, 0(t4)
+    add t1, t1, t6
+life_dc_next@:
+    addi t3, t3, 1
+    j life_dc@
+life_dr_next@:
+    addi t2, t2, 1
+    j life_dr@
+life_decide@:
+    slli t4, s2, {GRID_SHIFT}
+    add t4, t4, s3
+    add t5, t4, s0
+    lb t6, 0(t5)         # current cell
+    add t4, t4, s1       # destination address
+    li t0, 3
+    beq t1, t0, life_alive@
+    beqz t6, life_dead@
+    li t0, 2
+    beq t1, t0, life_alive@
+life_dead@:
+    sb zero, 0(t4)
+    j life_col_next@
+life_alive@:
+    li t0, 1
+    sb t0, 0(t4)
+life_col_next@:
+    addi s3, s3, 1
+    j life_col@
+life_row_next@:
+    addi s2, s2, 1
+    j life_row@
+life_swap@:
+    mv t0, s0
+    mv s0, s1
+    mv s1, t0
+    addi s5, s5, -1
+    j life_genloop@
+life_count@:
+    li t0, 0
+    li t1, 0
+life_cnt@:
+    li t2, {CELLS}
+    bge t1, t2, life_done@
+    add t3, s0, t1
+    lb t4, 0(t3)
+    add t0, t0, t4
+    addi t1, t1, 1
+    j life_cnt@
+life_done@:
+    mv a0, t0
+    lw s0, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    lw s4, 16(sp)
+    lw s5, 20(sp)
+    addi sp, sp, 24
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the Life kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(initial: List[int], generations: int) -> int:
+    """Evolve *initial* (flat GRIDxGRID 0/1 list); return the live count."""
+    if len(initial) != CELLS:
+        raise ValueError(f"grid must have {CELLS} cells")
+    src = list(initial)
+    for _ in range(generations):
+        dst = [0] * CELLS
+        for r in range(GRID):
+            for c in range(GRID):
+                neighbours = 0
+                for dr in (-1, 0, 1):
+                    for dc in (-1, 0, 1):
+                        if dr == 0 and dc == 0:
+                            continue
+                        rr = (r + dr) & (GRID - 1)
+                        cc = (c + dc) & (GRID - 1)
+                        neighbours += src[rr * GRID + cc]
+                alive = src[r * GRID + c]
+                dst[r * GRID + c] = int(
+                    neighbours == 3 or (alive and neighbours == 2)
+                )
+        src = dst
+    return sum(src)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="life",
+        emit=emit,
+        description="Conway's Life on a 8x8 torus",
+        scratch_bytes=2 * CELLS,
+    )
+)

@@ -1,0 +1,106 @@
+"""Integer matrix-multiply kernel — the ``ijpeg`` analog's regular compute.
+
+C = A x B over n x n signed 32-bit matrices laid out contiguously in the
+scratch buffer (A at base, B at base + 4n^2, C at base + 8n^2).  All loop
+branches are highly biased taken with deterministic periodic exits — the
+kind of branch population that makes ijpeg's working sets compact and its
+prediction accuracy high.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+# matmul@: C = A * B for n x n int matrices in one contiguous arena.
+#   a0 = arena base (A | B | C), a1 = n
+matmul@:
+    addi sp, sp, -24
+    sw s0, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    sw s4, 16(sp)
+    sw s5, 20(sp)
+    mv s0, a0            # A
+    mv s1, a1            # n
+    mul t0, s1, s1
+    slli t0, t0, 2
+    add s4, s0, t0       # B
+    add s5, s4, t0       # C
+    li s2, 0             # i
+matmul_i@:
+    bge s2, s1, matmul_done@
+    li s3, 0             # j
+matmul_j@:
+    bge s3, s1, matmul_i_next@
+    li t0, 0             # acc
+    li t1, 0             # k
+matmul_k@:
+    bge t1, s1, matmul_store@
+    mul t2, s2, s1
+    add t2, t2, t1
+    slli t2, t2, 2
+    add t2, t2, s0
+    lw t3, 0(t2)         # A[i][k]
+    mul t4, t1, s1
+    add t4, t4, s3
+    slli t4, t4, 2
+    add t4, t4, s4
+    lw t5, 0(t4)         # B[k][j]
+    mul t6, t3, t5
+    add t0, t0, t6
+    addi t1, t1, 1
+    j matmul_k@
+matmul_store@:
+    mul t2, s2, s1
+    add t2, t2, s3
+    slli t2, t2, 2
+    add t2, t2, s5
+    sw t0, 0(t2)
+    addi s3, s3, 1
+    j matmul_j@
+matmul_i_next@:
+    addi s2, s2, 1
+    j matmul_i@
+matmul_done@:
+    lw s0, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    lw s4, 16(sp)
+    lw s5, 20(sp)
+    addi sp, sp, 24
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the matmul kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+    """Python reference with 32-bit wrap, matching the kernel."""
+    n = len(a)
+    out = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc += a[i][k] * b[k][j]
+            acc &= 0xFFFFFFFF
+            out[i][j] = acc - (1 << 32) if acc & (1 << 31) else acc
+    return out
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="matmul",
+        emit=emit,
+        description="n x n integer matrix multiply",
+        scratch_bytes=3 * 4 * 32 * 32,
+    )
+)

@@ -1,0 +1,93 @@
+"""N-queens backtracking kernel — the ``chess`` analog's search engine.
+
+Bitmask backtracking search counting all solutions.  Deep recursion with
+data-dependent pruning branches at every level gives the large, highly
+interleaved branch working sets characteristic of game-tree search.
+"""
+
+from __future__ import annotations
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+# queens@: count the solutions of the n-queens problem.
+#   a0 = n (1..16); returns a0 = solution count
+queens@:
+    addi sp, sp, -8
+    sw ra, 0(sp)
+    sw s0, 4(sp)
+    li t0, 1
+    sll t0, t0, a0
+    addi s0, t0, -1      # all = (1 << n) - 1
+    li a0, 0             # cols
+    li a1, 0             # left diagonals
+    li a2, 0             # right diagonals
+    call queens_rec@
+    lw ra, 0(sp)
+    lw s0, 4(sp)
+    addi sp, sp, 8
+    ret
+
+# queens_rec@: a0 = cols, a1 = ld, a2 = rd (s0 = all, live across calls)
+queens_rec@:
+    bne a0, s0, queens_go@
+    li a0, 1             # all columns filled: one solution
+    ret
+queens_go@:
+    addi sp, sp, -24
+    sw ra, 0(sp)
+    sw s1, 4(sp)
+    sw s2, 8(sp)
+    sw s3, 12(sp)
+    sw s4, 16(sp)
+    sw s5, 20(sp)
+    mv s3, a0            # cols
+    mv s4, a1            # ld
+    mv s5, a2            # rd
+    or t0, a0, a1
+    or t0, t0, a2
+    not t0, t0
+    and s1, t0, s0       # poss = ~(cols|ld|rd) & all
+    li s2, 0             # count
+queens_loop@:
+    beqz s1, queens_rdone@
+    neg t1, s1
+    and t1, t1, s1       # bit = poss & -poss
+    sub s1, s1, t1
+    or a0, s3, t1
+    or t2, s4, t1
+    slli a1, t2, 1
+    or t3, s5, t1
+    srli a2, t3, 1
+    call queens_rec@
+    add s2, s2, a0
+    j queens_loop@
+queens_rdone@:
+    mv a0, s2
+    lw ra, 0(sp)
+    lw s1, 4(sp)
+    lw s2, 8(sp)
+    lw s3, 12(sp)
+    lw s4, 16(sp)
+    lw s5, 20(sp)
+    addi sp, sp, 24
+    ret
+"""
+
+#: Known solution counts, used by the kernel unit tests.
+SOLUTIONS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352}
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the n-queens kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="queens",
+        emit=emit,
+        description="n-queens backtracking solution count",
+        scratch_bytes=0,
+    )
+)

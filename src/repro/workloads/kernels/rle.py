@@ -1,0 +1,98 @@
+"""Run-length encoding kernel — the ``compress`` analog's core.
+
+Encodes the environment input stream into ``(count, byte)`` pairs in the
+scratch buffer; runs are capped at 255.  Branch population: the run-continue
+test is data-dependent and moderately biased; the EOF and cap tests are
+highly biased — the mix that makes compress's working sets small but
+non-trivial.
+"""
+
+from __future__ import annotations
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+# rle@: run-length encode a prefix of the input stream into scratch.
+#   a0 = scratch base, a1 = max input bytes to consume (0 = all)
+#   returns a0 = encoded length in bytes
+rle@:
+    mv t0, a0            # output cursor
+    mv t6, a0            # output base
+    mv t4, a1            # remaining input budget
+    bnez t4, rle_seek@
+    li t4, 0x7FFFFFFF    # 0 means unlimited
+rle_seek@:
+    li a0, 5             # SYS_SEEK_INPUT
+    li a1, 0
+    ecall
+    li a0, 3             # SYS_GET_CHAR
+    ecall
+    mv t1, a0            # current run byte
+    bltz t1, rle_done@   # empty input
+    addi t4, t4, -1
+    li t2, 1             # current run length
+rle_loop@:
+    blez t4, rle_flush@  # input budget exhausted
+    li a0, 3
+    ecall
+    bltz a0, rle_flush@
+    addi t4, t4, -1
+    bne a0, t1, rle_break@
+    li t3, 255
+    bge t2, t3, rle_cap@
+    addi t2, t2, 1
+    j rle_loop@
+rle_cap@:
+    sb t2, 0(t0)         # flush the capped run, start a fresh one
+    sb t1, 1(t0)
+    addi t0, t0, 2
+    li t2, 1
+    j rle_loop@
+rle_break@:
+    sb t2, 0(t0)
+    sb t1, 1(t0)
+    addi t0, t0, 2
+    mv t1, a0
+    li t2, 1
+    j rle_loop@
+rle_flush@:
+    sb t2, 0(t0)
+    sb t1, 1(t0)
+    addi t0, t0, 2
+rle_done@:
+    sub a0, t0, t6
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the RLE kernel under *suffix*."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(data: bytes, limit: int = 0) -> bytes:
+    """Python reference implementation (for kernel unit tests)."""
+    if limit:
+        data = data[:limit]
+    out = bytearray()
+    i = 0
+    while i < len(data):
+        byte = data[i]
+        run = 1
+        while i + run < len(data) and data[i + run] == byte and run < 255:
+            run += 1
+        out.append(run)
+        out.append(byte)
+        i += run
+    return bytes(out)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="rle",
+        emit=emit,
+        description="run-length encode the input stream",
+        needs_input=True,
+        scratch_bytes=1 << 16,
+    )
+)

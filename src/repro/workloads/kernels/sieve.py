@@ -1,0 +1,87 @@
+"""Sieve of Eratosthenes kernel — the ``plot`` analog's numeric phase.
+
+Byte sieve in the scratch buffer; returns the count of primes below n.
+The composite-mark branch density varies with the prime gaps, producing a
+branch whose bias drifts over the run.
+"""
+
+from __future__ import annotations
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+# sieve@: count primes < n with a byte sieve.
+#   a0 = sieve base (n bytes of scratch), a1 = n; returns a0 = prime count
+sieve@:
+    mv t0, a0            # sieve
+    mv t1, a1            # n
+    li t2, 0
+sieve_clear@:
+    bge t2, t1, sieve_mark@
+    add t3, t0, t2
+    sb zero, 0(t3)
+    addi t2, t2, 1
+    j sieve_clear@
+sieve_mark@:
+    li t2, 2             # p
+sieve_ploop@:
+    mul t3, t2, t2
+    bge t3, t1, sieve_count@
+    add t4, t0, t2
+    lb t5, 0(t4)
+    bnez t5, sieve_pnext@
+sieve_mloop@:
+    bge t3, t1, sieve_pnext@
+    add t4, t0, t3
+    li t5, 1
+    sb t5, 0(t4)
+    add t3, t3, t2
+    j sieve_mloop@
+sieve_pnext@:
+    addi t2, t2, 1
+    j sieve_ploop@
+sieve_count@:
+    li t2, 2
+    li t6, 0
+sieve_cloop@:
+    bge t2, t1, sieve_done@
+    add t3, t0, t2
+    lb t4, 0(t3)
+    bnez t4, sieve_cnext@
+    addi t6, t6, 1
+sieve_cnext@:
+    addi t2, t2, 1
+    j sieve_cloop@
+sieve_done@:
+    mv a0, t6
+    ret
+"""
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the sieve kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(n: int) -> int:
+    """Count of primes below n (Python reference)."""
+    if n < 3:
+        return 0
+    sieve = bytearray(n)
+    count = 0
+    for p in range(2, n):
+        if not sieve[p]:
+            count += 1
+            for multiple in range(p * p, n, p):
+                sieve[multiple] = 1
+    return count
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="sieve",
+        emit=emit,
+        description="prime sieve; returns pi(n)",
+        scratch_bytes=1 << 14,
+    )
+)

@@ -1,0 +1,94 @@
+"""Naive substring-search kernel — the ``tex``/text-processing analog.
+
+Reads the whole input stream into the scratch buffer and counts the
+occurrences of a fixed needle with the quadratic naive scan.  The
+first-character mismatch branch is strongly not-taken-to-match biased; the
+inner comparison branches carry data-dependent behaviour.
+"""
+
+from __future__ import annotations
+
+from .common import KernelSpec, instantiate, register_kernel
+
+TEMPLATE = """
+.data
+strsearch_pat@: .asciiz "the"
+.text
+# strsearch@: count needle occurrences in a prefix of the input stream.
+#   a0 = scratch base (input is buffered there), a1 = max bytes (0 = all)
+#   returns a0 = match count
+strsearch@:
+    mv t0, a0            # buffer base
+    mv a2, a1            # input budget
+    bnez a2, strsearch_seek@
+    li a2, 0x7FFFFFFF    # 0 means unlimited
+strsearch_seek@:
+    li a0, 5             # SYS_SEEK_INPUT to 0
+    li a1, 0
+    ecall
+    mv t1, t0            # write cursor
+strsearch_read@:
+    blez a2, strsearch_term@
+    addi a2, a2, -1
+    li a0, 3
+    ecall
+    bltz a0, strsearch_term@
+    sb a0, 0(t1)
+    addi t1, t1, 1
+    j strsearch_read@
+strsearch_term@:
+    sb zero, 0(t1)
+    li t6, 0             # match count
+    mv t2, t0            # scan cursor
+strsearch_outer@:
+    lb t3, 0(t2)
+    beqz t3, strsearch_done@
+    la t4, strsearch_pat@
+    mv t5, t2
+strsearch_inner@:
+    lb a1, 0(t4)
+    beqz a1, strsearch_hit@
+    lb a2, 0(t5)
+    beqz a2, strsearch_next@
+    bne a1, a2, strsearch_next@
+    addi t4, t4, 1
+    addi t5, t5, 1
+    j strsearch_inner@
+strsearch_hit@:
+    addi t6, t6, 1
+strsearch_next@:
+    addi t2, t2, 1
+    j strsearch_outer@
+strsearch_done@:
+    mv a0, t6
+    ret
+"""
+
+NEEDLE = b"the"
+
+
+def emit(suffix: str = "") -> str:
+    """Instantiate the substring-search kernel."""
+    return instantiate(TEMPLATE, suffix)
+
+
+def reference(haystack: bytes, needle: bytes = NEEDLE, limit: int = 0) -> int:
+    """Overlapping occurrence count (matches the kernel's naive scan)."""
+    if limit:
+        haystack = haystack[:limit]
+    count = 0
+    for i in range(len(haystack)):
+        if haystack[i : i + len(needle)] == needle:
+            count += 1
+    return count
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="strsearch",
+        emit=emit,
+        description="naive substring search over the input stream",
+        needs_input=True,
+        scratch_bytes=1 << 16,
+    )
+)

@@ -1,0 +1,107 @@
+"""Branch allocator and conflict-cost tests."""
+
+import pytest
+
+from repro.allocation.allocator import BranchAllocator
+from repro.allocation.conflict_cost import (
+    conflict_cost,
+    conflicting_pairs,
+    conventional_cost,
+)
+from repro.analysis.conflict_graph import ConflictGraph
+from repro.predictors.indexing import PCModuloIndex, StaticIndexMap
+from repro.profiling.profile import BranchStats, InterleaveProfile, pair_key
+
+
+def _profile():
+    # three branches interleaving heavily + one cold pair below threshold
+    return InterleaveProfile(
+        branches={
+            0x1000: BranchStats(500, 250),
+            0x2000: BranchStats(400, 200),
+            0x3000: BranchStats(300, 150),
+            0x4000: BranchStats(5, 2),
+        },
+        pairs={
+            pair_key(0x1000, 0x2000): 400,
+            pair_key(0x1000, 0x3000): 350,
+            pair_key(0x2000, 0x3000): 300,
+            pair_key(0x3000, 0x4000): 4,  # below threshold
+        },
+        name="alloc-test",
+    )
+
+
+def test_allocator_builds_pruned_graph():
+    allocator = BranchAllocator(_profile(), threshold=100)
+    assert allocator.graph.node_count == 4
+    assert allocator.graph.edge_count == 3
+
+
+def test_allocation_conflict_free_with_enough_entries():
+    allocator = BranchAllocator(_profile())
+    result = allocator.allocate(8)
+    assert result.cost == 0
+    indices = {result.assignment[pc] for pc in (0x1000, 0x2000, 0x3000)}
+    assert len(indices) == 3
+
+
+def test_allocation_shares_when_table_too_small():
+    allocator = BranchAllocator(_profile())
+    result = allocator.allocate(2)
+    # the triangle cannot be 2-coloured: cheapest edge (300) shares
+    assert result.cost == 300
+
+
+def test_index_map_covers_mapped_and_falls_back():
+    allocator = BranchAllocator(_profile())
+    result = allocator.allocate(16)
+    index_map = result.index_map()
+    assert isinstance(index_map, StaticIndexMap)
+    assert index_map.index(0x1000) == result.assignment[0x1000]
+    # unprofiled branch uses PC-modulo fallback
+    assert index_map.index(0x5554) == PCModuloIndex(16).index(0x5554)
+
+
+def test_restrict_to_drops_cold_branches():
+    allocator = BranchAllocator(
+        _profile(), restrict_to=[0x1000, 0x2000]
+    )
+    assert allocator.graph.node_count == 2
+    result = allocator.allocate(4)
+    assert 0x3000 not in result.assignment
+
+
+def test_conflict_cost_with_dict_and_index_fn():
+    graph = ConflictGraph()
+    graph.add_edge(1, 2, 100)
+    graph.add_edge(1, 3, 50)
+    assert conflict_cost(graph, {1: 0, 2: 0, 3: 1}) == 100
+    assert conflict_cost(graph, {1: 0, 2: 1, 3: 0}) == 50
+    assert conflict_cost(graph, {1: 0, 2: 1, 3: 2}) == 0
+
+
+def test_conflict_cost_with_callable():
+    graph = ConflictGraph()
+    graph.add_edge(4, 8, 70)
+    assert conflict_cost(graph, lambda pc: 0) == 70
+
+
+def test_conventional_cost_uses_pc_modulo():
+    graph = ConflictGraph()
+    # 0x1000 and 0x1000 + 4*16 alias in a 16-entry table
+    graph.add_edge(0x1000, 0x1000 + 64, 500)
+    graph.add_edge(0x1000, 0x1004, 200)
+    assert conventional_cost(graph, bht_size=16) == 500
+
+
+def test_conflicting_pairs_diagnostic():
+    graph = ConflictGraph()
+    graph.add_edge(1, 2, 10)
+    pairs = conflicting_pairs(graph, {1: 3, 2: 3})
+    assert pairs == {(1, 2): 10}
+
+
+def test_allocation_result_records_threshold():
+    allocator = BranchAllocator(_profile(), threshold=42)
+    assert allocator.allocate(4).threshold == 42

@@ -1,0 +1,120 @@
+"""Classified allocation and minimal-BHT-size search tests."""
+
+import pytest
+
+from repro.allocation.allocator import BranchAllocator
+from repro.allocation.classified import (
+    NOT_TAKEN_ENTRY,
+    TAKEN_ENTRY,
+    ClassifiedBranchAllocator,
+)
+from repro.allocation.conflict_cost import conventional_cost
+from repro.allocation.sizing import cost_sweep, required_bht_size
+from repro.profiling.profile import BranchStats, InterleaveProfile, pair_key
+
+
+def _biased_profile():
+    """Four highly biased branches in one hot clique + two mixed."""
+    branches = {
+        0x10: BranchStats(1000, 1000),  # taken-biased
+        0x20: BranchStats(1000, 999),   # taken-biased (99.9%)
+        0x30: BranchStats(1000, 0),     # not-taken-biased
+        0x40: BranchStats(1000, 1),     # not-taken-biased
+        0x50: BranchStats(1000, 500),   # mixed
+        0x60: BranchStats(1000, 400),   # mixed
+    }
+    pcs = list(branches)
+    pairs = {}
+    for i, a in enumerate(pcs):
+        for b in pcs[i + 1:]:
+            pairs[pair_key(a, b)] = 500
+    return InterleaveProfile(branches=branches, pairs=pairs, name="biased")
+
+
+def test_biased_branches_map_to_reserved_entries():
+    allocator = ClassifiedBranchAllocator(_biased_profile())
+    result = allocator.allocate(8)
+    assert result.assignment[0x10] == TAKEN_ENTRY
+    assert result.assignment[0x20] == TAKEN_ENTRY
+    assert result.assignment[0x30] == NOT_TAKEN_ENTRY
+    assert result.assignment[0x40] == NOT_TAKEN_ENTRY
+
+
+def test_mixed_branches_avoid_reserved_entries():
+    allocator = ClassifiedBranchAllocator(_biased_profile())
+    result = allocator.allocate(8)
+    assert result.assignment[0x50] >= 2
+    assert result.assignment[0x60] >= 2
+
+
+def test_same_class_conflicts_carry_no_cost():
+    allocator = ClassifiedBranchAllocator(_biased_profile())
+    result = allocator.allocate(8)
+    # the only potentially costly edges are cross-class/biased-vs-mixed;
+    # with 6 free entries the mixed pair separates, so cost is zero
+    assert result.cost == 0
+
+
+def test_classified_needs_fewer_entries_than_plain():
+    profile = _biased_profile()
+    plain = BranchAllocator(profile)
+    classified = ClassifiedBranchAllocator(profile)
+    # the full 6-clique needs 6 entries raw; classified collapses the four
+    # biased branches onto 2 reserved entries + 2 mixed = 4
+    assert plain.allocate(4).cost > 0
+    assert classified.allocate(4).cost == 0
+
+
+def test_classified_requires_room_for_reserved_entries():
+    allocator = ClassifiedBranchAllocator(_biased_profile())
+    with pytest.raises(ValueError):
+        allocator.allocate(2)
+
+
+def test_biased_branch_count():
+    allocator = ClassifiedBranchAllocator(_biased_profile())
+    assert allocator.biased_branch_count == 4
+
+
+def test_required_bht_size_finds_minimum():
+    profile = _biased_profile()
+    allocator = BranchAllocator(profile)
+    # baseline: everything on one entry (pathological) -> any separation wins
+    baseline = allocator.allocate(1).cost
+    sizing = required_bht_size(allocator, baseline, min_size=1)
+    assert sizing.required_size == 2
+    assert sizing.achieved_cost < baseline
+    assert sizing.probes  # search recorded its probes
+
+
+def test_required_bht_size_zero_baseline_demands_zero_cost():
+    profile = _biased_profile()
+    allocator = BranchAllocator(profile)
+    sizing = required_bht_size(allocator, baseline_cost=0, min_size=1)
+    assert sizing.achieved_cost == 0
+    assert sizing.required_size == 6  # the clique needs all six entries
+
+
+def test_required_bht_size_raises_when_unreachable():
+    profile = _biased_profile()
+    allocator = BranchAllocator(profile)
+    with pytest.raises(RuntimeError):
+        # cost can never drop below zero, and baseline -1 is unbeatable
+        required_bht_size(allocator, baseline_cost=-1, max_size=64)
+
+
+def test_cost_sweep_returns_one_result_per_size():
+    allocator = BranchAllocator(_biased_profile())
+    results = cost_sweep(allocator, [2, 4, 8])
+    assert [r.bht_size for r in results] == [2, 4, 8]
+    costs = [r.cost for r in results]
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_sizing_consistent_with_conventional_baseline(phased_profile):
+    allocator = BranchAllocator(phased_profile, threshold=50)
+    baseline = conventional_cost(allocator.graph, 1024)
+    sizing = required_bht_size(allocator, baseline)
+    # allocated tables beat a 1024-entry conventional BHT with far fewer
+    # entries (the paper's headline claim)
+    assert sizing.required_size <= 64

@@ -1,0 +1,87 @@
+"""Branch classification tests (paper §5.2 machinery)."""
+
+import pytest
+
+from repro.analysis.classification import (
+    BiasClass,
+    ClassificationBounds,
+    classify_branch,
+    classify_profile,
+    drop_same_class_biased_edges,
+)
+from repro.analysis.conflict_graph import ConflictGraph
+from repro.profiling.profile import BranchStats, InterleaveProfile
+
+
+def test_default_bounds_match_paper():
+    bounds = ClassificationBounds()
+    assert bounds.taken_bound == 0.99
+    assert bounds.not_taken_bound == 0.01
+
+
+def test_bounds_validation():
+    with pytest.raises(ValueError):
+        ClassificationBounds(taken_bound=0.2, not_taken_bound=0.5)
+    with pytest.raises(ValueError):
+        ClassificationBounds(taken_bound=1.2)
+
+
+def test_classify_branch_regions():
+    assert classify_branch(0.999) is BiasClass.TAKEN_BIASED
+    assert classify_branch(0.001) is BiasClass.NOT_TAKEN_BIASED
+    assert classify_branch(0.5) is BiasClass.MIXED
+    # boundary values are NOT biased (paper: strictly > 99% / < 1%)
+    assert classify_branch(0.99) is BiasClass.MIXED
+    assert classify_branch(0.01) is BiasClass.MIXED
+
+
+def test_classify_profile():
+    profile = InterleaveProfile(
+        branches={
+            1: BranchStats(1000, 1000),   # always taken
+            2: BranchStats(1000, 0),      # never taken
+            3: BranchStats(1000, 500),    # mixed
+        }
+    )
+    classes = classify_profile(profile)
+    assert classes[1] is BiasClass.TAKEN_BIASED
+    assert classes[2] is BiasClass.NOT_TAKEN_BIASED
+    assert classes[3] is BiasClass.MIXED
+
+
+def test_drop_same_class_biased_edges():
+    graph = ConflictGraph()
+    graph.add_edge(1, 2, 500)   # both taken-biased -> dropped
+    graph.add_edge(1, 3, 500)   # taken vs mixed -> kept
+    graph.add_edge(3, 4, 500)   # mixed vs mixed -> kept
+    graph.add_edge(5, 6, 500)   # both not-taken-biased -> dropped
+    graph.add_edge(1, 5, 500)   # taken vs not-taken -> kept
+    classes = {
+        1: BiasClass.TAKEN_BIASED,
+        2: BiasClass.TAKEN_BIASED,
+        3: BiasClass.MIXED,
+        4: BiasClass.MIXED,
+        5: BiasClass.NOT_TAKEN_BIASED,
+        6: BiasClass.NOT_TAKEN_BIASED,
+    }
+    filtered = drop_same_class_biased_edges(graph, classes)
+    assert not filtered.has_edge(1, 2)
+    assert not filtered.has_edge(5, 6)
+    assert filtered.has_edge(1, 3)
+    assert filtered.has_edge(3, 4)
+    assert filtered.has_edge(1, 5)
+    # nodes always survive
+    assert filtered.node_count == graph.node_count
+
+
+def test_unclassified_branches_default_to_mixed():
+    graph = ConflictGraph()
+    graph.add_edge(1, 2, 500)
+    filtered = drop_same_class_biased_edges(graph, {})
+    assert filtered.has_edge(1, 2)
+
+
+def test_custom_bounds_change_classification():
+    loose = ClassificationBounds(taken_bound=0.8, not_taken_bound=0.2)
+    assert classify_branch(0.9, loose) is BiasClass.TAKEN_BIASED
+    assert classify_branch(0.9) is BiasClass.MIXED

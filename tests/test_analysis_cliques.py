@@ -1,0 +1,112 @@
+"""Maximal-clique enumeration tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cliques import (
+    CliqueLimitExceeded,
+    maximal_clique_stats,
+    maximal_cliques,
+)
+from repro.analysis.conflict_graph import ConflictGraph
+
+
+def _graph(edges, nodes=()):
+    graph = ConflictGraph()
+    for pc in nodes:
+        graph.add_node(pc)
+    for a, b in edges:
+        graph.add_edge(a, b, 100)
+    return graph
+
+
+def _bruteforce_maximal_cliques(graph):
+    nodes = graph.nodes()
+    cliques = set()
+    for size in range(1, len(nodes) + 1):
+        for combo in itertools.combinations(nodes, size):
+            if all(
+                graph.has_edge(a, b)
+                for a, b in itertools.combinations(combo, 2)
+            ):
+                cliques.add(frozenset(combo))
+    return {
+        c for c in cliques
+        if not any(c < other for other in cliques)
+    }
+
+
+def test_triangle_is_one_clique():
+    graph = _graph([(1, 2), (2, 3), (1, 3)])
+    assert maximal_cliques(graph) == [frozenset({1, 2, 3})]
+
+
+def test_path_yields_edge_cliques():
+    graph = _graph([(1, 2), (2, 3)])
+    assert set(maximal_cliques(graph)) == {
+        frozenset({1, 2}), frozenset({2, 3})
+    }
+
+
+def test_isolated_node_is_a_maximal_clique():
+    graph = _graph([(1, 2)], nodes=[9])
+    assert frozenset({9}) in set(maximal_cliques(graph))
+
+
+def test_overlapping_cliques_both_reported():
+    # two triangles sharing an edge: {1,2,3} and {2,3,4}
+    graph = _graph([(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)])
+    assert set(maximal_cliques(graph)) == {
+        frozenset({1, 2, 3}), frozenset({2, 3, 4})
+    }
+
+
+def test_empty_graph():
+    assert maximal_cliques(ConflictGraph()) == []
+    stats = maximal_clique_stats(ConflictGraph())
+    assert stats.clique_count == 0
+
+
+def test_limit_enforced():
+    # a complete tripartite-ish construction with many maximal cliques:
+    # K(3,3,3) as complement-free... simpler: 3 disjoint edges -> 3 cliques
+    graph = _graph([(1, 2), (3, 4), (5, 6)])
+    with pytest.raises(CliqueLimitExceeded):
+        maximal_cliques(graph, limit=2)
+
+
+def test_stats_on_overlap():
+    graph = _graph([(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)])
+    stats = maximal_clique_stats(graph)
+    assert stats.clique_count == 2
+    assert stats.average_size == 3.0
+    assert stats.largest_size == 3
+    # 4 nodes, total memberships 6 -> 1.5 cliques per branch
+    assert stats.membership_per_branch == pytest.approx(1.5)
+
+
+def test_deterministic_order():
+    graph = _graph([(5, 1), (1, 9), (9, 5), (2, 9)])
+    assert maximal_cliques(graph) == maximal_cliques(graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+        ),
+        max_size=20,
+    )
+)
+def test_matches_bruteforce_on_small_graphs(edges):
+    graph = ConflictGraph()
+    for a, b in edges:
+        if a != b:
+            graph.add_edge(a, b, 10)
+    expected = _bruteforce_maximal_cliques(graph)
+    assert set(maximal_cliques(graph)) == expected

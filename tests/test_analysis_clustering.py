@@ -1,0 +1,91 @@
+"""Clustered-misprediction analysis tests (paper §6 open question)."""
+
+import pytest
+
+from repro.analysis.clustering import (
+    detect_transitions,
+    misprediction_clustering,
+)
+from repro.analysis.conflict_graph import build_conflict_graph
+from repro.analysis.working_sets import partition_working_sets
+from repro.predictors.twolevel import PAgPredictor
+from repro.profiling.interleave import profile_trace
+from repro.trace.synthetic import make_phased_workload
+
+
+@pytest.fixture(scope="module")
+def phased():
+    workload = make_phased_workload(
+        n_phases=6,
+        branches_per_phase=12,
+        iterations=300,
+        seed=31,
+        text_span=1 << 20,
+    )
+    trace = workload.generate(seed=32)
+    profile = profile_trace(trace)
+    graph = build_conflict_graph(profile, threshold=50)
+    partition = partition_working_sets(graph)
+    return workload, trace, partition
+
+
+def test_transitions_found_at_phase_boundaries(phased):
+    workload, trace, partition = phased
+    report = detect_transitions(trace, partition, window=128, stride=32)
+    # 6 phases -> 5 boundaries; probing granularity may add a couple of
+    # flickers but the count must be in that regime, not ~0 and not huge
+    assert 5 <= len(report.transitions) <= 15
+    # phase boundaries land every len(trace)/6 events
+    phase_length = len(trace) // 6
+    for boundary in range(phase_length, len(trace), phase_length):
+        assert any(
+            abs(t - boundary) <= 192 for t in report.transitions
+        ), boundary
+
+
+def test_single_phase_has_no_transitions():
+    workload = make_phased_workload(
+        n_phases=1, branches_per_phase=10, iterations=300, seed=5
+    )
+    trace = workload.generate(seed=6)
+    profile = profile_trace(trace)
+    partition = partition_working_sets(
+        build_conflict_graph(profile, threshold=50)
+    )
+    report = detect_transitions(trace, partition, window=128, stride=32)
+    assert report.transitions == []
+    assert max(report.active_sets_trace) == 1
+
+
+def test_detect_transitions_validation(phased):
+    _, trace, partition = phased
+    with pytest.raises(ValueError):
+        detect_transitions(trace, partition, window=0)
+    with pytest.raises(ValueError):
+        detect_transitions(trace, partition, stride=0)
+
+
+def test_mispredictions_cluster_at_transitions(phased):
+    """The paper's conjecture, affirmed on the synthetic workload: a fresh
+    working set means cold histories, so mispredictions spike there."""
+    workload, trace, partition = phased
+    report = misprediction_clustering(
+        PAgPredictor.conventional(256, 8),
+        trace,
+        partition,
+        radius=256,
+        warmup=512,
+    )
+    assert report.transition_events > 0
+    assert report.steady_events > 0
+    assert report.transition_rate > report.steady_rate
+    assert report.clustering_ratio > 1.2
+
+
+def test_clustering_report_ratio_edge_cases():
+    from repro.analysis.clustering import ClusteringReport
+
+    perfect = ClusteringReport(0.0, 0.0, 10, 10)
+    assert perfect.clustering_ratio == 1.0
+    spike = ClusteringReport(0.5, 0.0, 10, 10)
+    assert spike.clustering_ratio == float("inf")

@@ -1,0 +1,121 @@
+"""Conflict graph tests."""
+
+import pytest
+
+from repro.analysis.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.profiling.profile import BranchStats, InterleaveProfile, pair_key
+
+
+def _graph():
+    graph = ConflictGraph()
+    graph.add_edge(1, 2, 100)
+    graph.add_edge(2, 3, 50)
+    graph.add_node(4, weight=7)
+    return graph
+
+
+def test_counts():
+    graph = _graph()
+    assert graph.node_count == 4
+    assert graph.edge_count == 2
+
+
+def test_nodes_sorted():
+    assert _graph().nodes() == [1, 2, 3, 4]
+
+
+def test_edge_weight_symmetric():
+    graph = _graph()
+    assert graph.edge_weight(1, 2) == graph.edge_weight(2, 1) == 100
+    assert graph.edge_weight(1, 3) == 0
+
+
+def test_add_edge_accumulates():
+    graph = _graph()
+    graph.add_edge(1, 2, 25)
+    assert graph.edge_weight(1, 2) == 125
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError):
+        ConflictGraph().add_edge(1, 1, 10)
+
+
+def test_nonpositive_count_rejected():
+    with pytest.raises(ValueError):
+        ConflictGraph().add_edge(1, 2, 0)
+
+
+def test_degrees():
+    graph = _graph()
+    assert graph.degree(2) == 2
+    assert graph.weighted_degree(2) == 150
+    assert graph.degree(4) == 0
+
+
+def test_edges_iteration_deterministic():
+    assert list(_graph().edges()) == [(1, 2, 100), (2, 3, 50)]
+
+
+def test_remove_edge():
+    graph = _graph()
+    graph.remove_edge(1, 2)
+    assert not graph.has_edge(1, 2)
+    graph.remove_edge(1, 99)  # no-op, no raise
+
+
+def test_copy_is_independent():
+    graph = _graph()
+    clone = graph.copy()
+    clone.add_edge(3, 4, 10)
+    assert not graph.has_edge(3, 4)
+
+
+def test_pruned_drops_light_edges_keeps_nodes():
+    pruned = _graph().pruned(threshold=60)
+    assert pruned.has_edge(1, 2)
+    assert not pruned.has_edge(2, 3)
+    assert pruned.node_count == 4  # isolated nodes survive
+
+
+def test_pruned_rejects_negative_threshold():
+    with pytest.raises(ValueError):
+        _graph().pruned(-1)
+
+
+def test_filtered_edges():
+    filtered = _graph().filtered_edges(lambda a, b: (a, b) == (1, 2))
+    assert not filtered.has_edge(1, 2)
+    assert filtered.has_edge(2, 3)
+
+
+def test_subgraph():
+    sub = _graph().subgraph([1, 2, 4])
+    assert sub.nodes() == [1, 2, 4]
+    assert sub.has_edge(1, 2)
+    assert sub.node_weight(4) == 7
+
+
+def test_build_from_profile_applies_threshold():
+    profile = InterleaveProfile(
+        branches={1: BranchStats(10, 5), 2: BranchStats(8, 2),
+                  3: BranchStats(2, 0)},
+        pairs={pair_key(1, 2): 500, pair_key(1, 3): 5},
+    )
+    graph = build_conflict_graph(profile, threshold=100)
+    assert graph.has_edge(1, 2)
+    assert not graph.has_edge(1, 3)
+    assert graph.node_weight(1) == 10
+    assert graph.node_count == 3
+
+
+def test_build_from_profile_with_restriction():
+    profile = InterleaveProfile(
+        branches={1: BranchStats(10, 0), 2: BranchStats(8, 0),
+                  3: BranchStats(9, 0)},
+        pairs={pair_key(1, 2): 500, pair_key(2, 3): 500},
+    )
+    graph = build_conflict_graph(profile, threshold=100, restrict_to=[1, 2])
+    assert graph.node_count == 2
+    assert graph.has_edge(1, 2)
+    assert not graph.has_node(3)

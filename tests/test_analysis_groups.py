@@ -1,0 +1,148 @@
+"""Group-level working set analysis tests (paper §6 future work)."""
+
+import pytest
+
+from repro.analysis.conflict_graph import build_conflict_graph
+from repro.analysis.groups import (
+    Grouping,
+    expand_group_assignment,
+    fold_profile,
+    group_by_bias,
+    group_by_history_pattern,
+)
+from repro.profiling.profile import BranchStats, InterleaveProfile, pair_key
+from repro.trace.events import BranchEvent, BranchTrace
+
+
+def _profile():
+    return InterleaveProfile(
+        branches={
+            0x10: BranchStats(100, 100),  # taken-biased
+            0x20: BranchStats(100, 100),  # taken-biased
+            0x30: BranchStats(100, 0),    # not-taken-biased
+            0x40: BranchStats(100, 50),   # mixed
+            0x50: BranchStats(100, 60),   # mixed
+        },
+        pairs={
+            pair_key(0x10, 0x20): 300,  # internal to taken group
+            pair_key(0x10, 0x30): 200,  # cross-group
+            pair_key(0x10, 0x40): 150,
+            pair_key(0x40, 0x50): 120,
+        },
+        instructions=5000,
+        name="grp",
+    )
+
+
+def test_group_by_bias_assignment():
+    grouping = group_by_bias(_profile())
+    assert grouping.assignment[0x10] == grouping.assignment[0x20] == 0
+    assert grouping.assignment[0x30] == 1
+    # mixed branches stay in singleton groups
+    assert grouping.assignment[0x40] != grouping.assignment[0x50]
+    assert grouping.assignment[0x40] >= 2
+    assert grouping.labels[0] == "taken-biased"
+    assert grouping.group_count == 4
+
+
+def test_grouping_members():
+    grouping = group_by_bias(_profile())
+    assert grouping.members(0) == [0x10, 0x20]
+
+
+def test_fold_profile_sums_stats_and_drops_internal_pairs():
+    profile = _profile()
+    grouping = group_by_bias(profile)
+    folded = fold_profile(profile, grouping)
+    taken_group = grouping.assignment[0x10]
+    assert folded.branches[taken_group].executions == 200
+    assert folded.branches[taken_group].taken == 200
+    # internal pair (0x10, 0x20) vanished
+    total_pairs = sum(folded.pairs.values())
+    assert total_pairs == 200 + 150 + 120
+    assert folded.instructions == 5000
+
+
+def test_fold_profile_passes_unassigned_branches_through():
+    profile = _profile()
+    grouping = Grouping(assignment={0x10: 0, 0x20: 0}, labels={0: "g"})
+    folded = fold_profile(profile, grouping)
+    # 1 merged group + 3 passthrough singletons
+    assert len(folded.branches) == 4
+
+
+def test_group_level_conflict_graph_is_smaller():
+    profile = _profile()
+    branch_graph = build_conflict_graph(profile, threshold=100)
+    folded = fold_profile(profile, group_by_bias(profile))
+    group_graph = build_conflict_graph(folded, threshold=100)
+    assert group_graph.node_count < branch_graph.node_count
+    assert group_graph.edge_count <= branch_graph.edge_count
+
+
+def test_expand_group_assignment():
+    grouping = group_by_bias(_profile())
+    group_entries = {gid: gid % 4 for gid in set(
+        grouping.assignment.values()
+    )}
+    expanded = expand_group_assignment(group_entries, grouping)
+    assert expanded[0x10] == expanded[0x20]
+    assert set(expanded) == set(grouping.assignment)
+
+
+def _pattern_trace(spec):
+    """spec: list of (pc, outcome string like 'TTN' repeated)."""
+    events = []
+    clock = 0
+    for _ in range(40):
+        for pc, pattern in spec:
+            for ch in pattern:
+                clock += 3
+                events.append(BranchEvent(pc, pc + 8, ch == "T", clock))
+    return BranchTrace.from_events(events, name="patterns")
+
+
+def test_group_by_history_pattern_merges_matching_branches():
+    trace = _pattern_trace([(0x100, "TTN"), (0x200, "TTN"), (0x300, "TN")])
+    grouping = group_by_history_pattern(trace, pattern_bits=3)
+    assert grouping.assignment[0x100] == grouping.assignment[0x200]
+    assert grouping.assignment[0x300] != grouping.assignment[0x100]
+
+
+def test_group_by_history_pattern_labels_patterns():
+    trace = _pattern_trace([(0x100, "TTN"), (0x200, "TTN")])
+    grouping = group_by_history_pattern(trace, pattern_bits=3)
+    label = grouping.labels[grouping.assignment[0x100]]
+    assert label.startswith("pattern-")
+    assert set(label.split("-")[1]) <= {"T", "N"}
+
+
+def test_group_by_history_pattern_irregular_branch_is_singleton():
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    events = []
+    clock = 0
+    for _ in range(200):
+        clock += 3
+        events.append(
+            BranchEvent(0x400, 0x408, bool(rng.random() < 0.5), clock)
+        )
+    trace = BranchTrace.from_events(events)
+    grouping = group_by_history_pattern(trace, pattern_bits=4)
+    assert grouping.labels[grouping.assignment[0x400]].startswith("branch-")
+
+
+def test_group_by_history_pattern_validation():
+    trace = _pattern_trace([(0x100, "TN")])
+    with pytest.raises(ValueError):
+        group_by_history_pattern(trace, pattern_bits=0)
+    with pytest.raises(ValueError):
+        group_by_history_pattern(trace, tolerance=1.0)
+
+
+def test_short_streams_stay_singletons():
+    events = [BranchEvent(0x100, 0x108, True, 3)]
+    trace = BranchTrace.from_events(events)
+    grouping = group_by_history_pattern(trace, pattern_bits=4)
+    assert grouping.labels[grouping.assignment[0x100]].startswith("branch-")

@@ -1,0 +1,149 @@
+"""Working-set partitioning tests: clique property, ground-truth recovery,
+metrics, and property-based validity on random graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.analysis.metrics import working_set_metrics
+from repro.analysis.working_sets import (
+    WorkingSet,
+    WorkingSetPartition,
+    is_clique,
+    partition_working_sets,
+)
+
+
+def _clique_graph(*cliques, weight=200):
+    graph = ConflictGraph()
+    for members in cliques:
+        for i, a in enumerate(members):
+            graph.add_node(a, weight=10)
+            for b in members[i + 1:]:
+                graph.add_edge(a, b, weight)
+    return graph
+
+
+def test_disjoint_cliques_recovered_exactly():
+    graph = _clique_graph([1, 2, 3], [10, 11], [20])
+    partition = partition_working_sets(graph)
+    recovered = {frozenset(s) for s in partition.as_pc_sets()}
+    assert recovered == {
+        frozenset({1, 2, 3}), frozenset({10, 11}), frozenset({20})
+    }
+
+
+def test_every_set_is_a_clique_and_partition_is_complete():
+    graph = _clique_graph([1, 2, 3, 4], [5, 6], [7])
+    graph.add_edge(4, 5, 300)  # cross edge: sets must still be cliques
+    partition = partition_working_sets(graph)
+    seen = set()
+    for ws in partition.sets:
+        assert is_clique(graph, list(ws.members))
+        assert not (seen & ws.members)
+        seen |= ws.members
+    assert seen == set(graph.nodes())
+
+
+def test_isolated_nodes_become_singletons():
+    graph = ConflictGraph()
+    for pc in (1, 2, 3):
+        graph.add_node(pc)
+    partition = partition_working_sets(graph)
+    assert partition.count == 3
+    assert partition.average_static_size == 1.0
+
+
+def test_partition_deterministic():
+    graph = _clique_graph([3, 1, 2], [9, 8])
+    a = partition_working_sets(graph).as_pc_sets()
+    b = partition_working_sets(graph).as_pc_sets()
+    assert a == b
+
+
+def test_metrics_static_vs_dynamic_average():
+    # one hot pair and two cold singletons
+    graph = ConflictGraph()
+    graph.add_node(1, weight=90)
+    graph.add_node(2, weight=90)
+    graph.add_edge(1, 2, 500)
+    graph.add_node(3, weight=10)
+    graph.add_node(4, weight=10)
+    partition = partition_working_sets(graph)
+    assert partition.count == 3
+    assert partition.average_static_size == (2 + 1 + 1) / 3
+    # dynamic average weights by execution: (2*180 + 1*10 + 1*10) / 200
+    assert abs(partition.average_dynamic_size - 1.9) < 1e-12
+    assert partition.largest_size == 2
+
+
+def test_set_of_lookup():
+    graph = _clique_graph([1, 2], [3])
+    partition = partition_working_sets(graph)
+    assert partition.set_of(1) == partition.set_of(2)
+    assert partition.set_of(3) is not None
+    assert partition.set_of(99) is None
+
+
+def test_empty_partition_metrics():
+    partition = WorkingSetPartition()
+    assert partition.count == 0
+    assert partition.average_static_size == 0.0
+    assert partition.average_dynamic_size == 0.0
+    assert partition.largest_size == 0
+
+
+def test_execution_weight_recorded():
+    graph = _clique_graph([1, 2])
+    partition = partition_working_sets(graph)
+    assert partition.sets[0].execution_weight == 20
+
+
+def test_working_set_metrics_from_profile(phased_profile, phased_workload):
+    metrics = working_set_metrics(phased_profile, threshold=50)
+    truth = phased_workload.ground_truth_working_sets()
+    assert metrics.total_sets == len(truth)
+    assert metrics.average_static_size == len(truth[0])
+    assert metrics.largest_size == len(truth[0])
+
+
+def test_synthetic_phases_recovered_exactly(phased_profile, phased_workload):
+    graph = build_conflict_graph(phased_profile, threshold=50)
+    recovered = {
+        frozenset(s)
+        for s in partition_working_sets(graph).as_pc_sets()
+    }
+    truth = {
+        frozenset(s) for s in phased_workload.ground_truth_working_sets()
+    }
+    assert recovered == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=14),
+            st.integers(min_value=0, max_value=14),
+            st.integers(min_value=1, max_value=1000),
+        ),
+        max_size=60,
+    )
+)
+def test_partition_validity_on_random_graphs(edges):
+    graph = ConflictGraph()
+    for a, b, weight in edges:
+        if a != b:
+            graph.add_edge(0x100 + 4 * a, 0x100 + 4 * b, weight)
+    partition = partition_working_sets(graph)
+    covered = set()
+    for ws in partition.sets:
+        assert is_clique(graph, list(ws.members))
+        assert not (covered & ws.members), "sets must be disjoint"
+        covered |= ws.members
+    assert covered == set(graph.nodes())
+
+
+def test_working_set_size_property():
+    ws = WorkingSet(members=frozenset({1, 2, 3}), execution_weight=30)
+    assert ws.size == 3

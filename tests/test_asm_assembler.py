@@ -1,0 +1,198 @@
+"""Two-pass assembler tests: layout, symbols, pseudos, directives, errors."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.lexer import AsmSyntaxError
+from repro.isa.instructions import Opcode
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def test_forward_and_backward_branch_offsets():
+    program = assemble(
+        """
+        main:
+            beq t0, zero, end
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+        end:
+            halt
+        """
+    )
+    beq = program.instructions[0]
+    assert beq.imm == 12  # three instructions forward
+    bne = program.instructions[2]
+    assert bne.imm == -4
+
+
+def test_data_labels_resolve_to_data_base():
+    program = assemble(
+        """
+        .data
+        first: .word 7
+        second: .word 8, 9
+        .text
+        main: halt
+        """
+    )
+    assert program.symbols["first"] == DATA_BASE
+    assert program.symbols["second"] == DATA_BASE + 4
+    assert program.data[:4] == (7).to_bytes(4, "little")
+
+
+def test_word_with_symbol_fixup():
+    program = assemble(
+        """
+        .data
+        table: .word handler, 5
+        .text
+        main: halt
+        handler: halt
+        """
+    )
+    stored = int.from_bytes(program.data[0:4], "little")
+    assert stored == program.symbols["handler"]
+    assert int.from_bytes(program.data[4:8], "little") == 5
+
+
+def test_asciiz_and_align():
+    program = assemble(
+        """
+        .data
+        s: .asciiz "ab"
+        .align 2
+        w: .word 1
+        .text
+        main: halt
+        """
+    )
+    assert program.data[:3] == b"ab\x00"
+    assert program.symbols["w"] % 4 == 0
+
+
+def test_space_directive():
+    program = assemble(
+        ".data\nbuf: .space 10\nend: .word 1\n.text\nmain: halt\n"
+    )
+    assert program.symbols["end"] - program.symbols["buf"] == 10
+
+
+def test_byte_and_half_directives():
+    program = assemble(
+        ".data\nb: .byte 1, 2\nh: .half 0x1234\n.text\nmain: halt\n"
+    )
+    assert program.data[:2] == b"\x01\x02"
+    assert program.data[2:4] == (0x1234).to_bytes(2, "little")
+
+
+def test_li_small_expands_to_one_instruction():
+    program = assemble("main: li t0, 100\nhalt\n")
+    assert len(program) == 2
+    assert program.instructions[0].opcode is Opcode.ADDI
+
+
+def test_li_large_expands_to_lui_ori():
+    program = assemble("main: li t0, 1000000\nhalt\n")
+    assert [i.opcode for i in program.instructions[:2]] == [
+        Opcode.LUI, Opcode.ORI
+    ]
+
+
+def test_li_unsigned_32bit_spelling():
+    program = assemble("main: li t0, 0xEDB88320\nhalt\n")
+    upper = program.instructions[0].imm
+    lower = program.instructions[1].imm
+    value = ((upper << 13) | lower) & 0xFFFFFFFF
+    assert value == 0xEDB88320
+
+
+def test_la_always_two_instructions():
+    program = assemble(
+        ".data\nx: .word 0\n.text\nmain: la t0, x\nhalt\n"
+    )
+    assert len(program) == 3
+    upper, lower = program.instructions[0].imm, program.instructions[1].imm
+    assert ((upper << 13) | lower) == program.symbols["x"]
+
+
+def test_pseudo_expansions():
+    program = assemble(
+        """
+        main:
+            nop
+            mv t0, t1
+            not t2, t3
+            neg t4, t5
+            j main
+            ret
+        """
+    )
+    opcodes = [i.opcode for i in program.instructions]
+    assert opcodes == [
+        Opcode.ADDI, Opcode.ADDI, Opcode.XORI,
+        Opcode.SUB, Opcode.JAL, Opcode.JALR,
+    ]
+
+
+def test_swapped_branch_pseudos():
+    program = assemble("main: bgt t0, t1, main\nble t0, t1, main\n")
+    bgt, ble = program.instructions
+    assert bgt.opcode is Opcode.BLT and bgt.rs1 == 6 and bgt.rs2 == 5
+    assert ble.opcode is Opcode.BGE and ble.rs1 == 6 and ble.rs2 == 5
+
+
+def test_zero_branch_pseudos():
+    program = assemble(
+        "main: beqz t0, main\nbgtz t1, main\nblez t2, main\n"
+    )
+    beqz, bgtz, blez = program.instructions
+    assert beqz.opcode is Opcode.BEQ and beqz.rs2 == 0
+    assert bgtz.opcode is Opcode.BLT and bgtz.rs1 == 0 and bgtz.rs2 == 6
+    assert blez.opcode is Opcode.BGE and blez.rs1 == 0 and blez.rs2 == 7
+
+
+def test_call_uses_ra():
+    program = assemble("main: call main\n")
+    jal = program.instructions[0]
+    assert jal.opcode is Opcode.JAL and jal.rd == 1
+
+
+def test_skip_emits_filler():
+    program = assemble("main: halt\n.skip 5\nafter: halt\n")
+    assert len(program) == 7
+    assert program.symbols["after"] == TEXT_BASE + 6 * 4
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("x: nop\nx: nop\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("main: j nowhere\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("main: frobnicate t0\n")
+
+
+def test_instruction_in_data_segment_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble(".data\nadd t0, t1, t2\n")
+
+
+def test_immediate_out_of_range_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("main: addi t0, t0, 100000\n")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble(".data\n.quadword 1\n")
+
+
+def test_program_name_recorded():
+    assert assemble("main: halt\n", name="demo").name == "demo"

@@ -1,0 +1,82 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.asm.lexer import AsmSyntaxError, TokenKind, tokenize
+
+
+def _kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def _values(source):
+    return [t.value for t in tokenize(source)]
+
+
+def test_simple_instruction_line():
+    kinds = _kinds("addi t0, t1, 4")
+    assert kinds == [
+        TokenKind.IDENT, TokenKind.IDENT, TokenKind.COMMA,
+        TokenKind.IDENT, TokenKind.COMMA, TokenKind.NUMBER,
+        TokenKind.NEWLINE,
+    ]
+
+
+def test_comments_are_skipped():
+    assert _kinds("# only a comment") == [TokenKind.NEWLINE]
+    assert _kinds("nop ; trailing")[:1] == [TokenKind.IDENT]
+
+
+def test_hex_and_negative_numbers():
+    values = _values("li t0, 0xFF\nli t1, -12")
+    assert 0xFF in values
+    assert -12 in values
+
+
+def test_char_literal_becomes_number():
+    values = _values("li t0, 'A'")
+    assert 65 in values
+
+
+def test_char_escape():
+    values = _values(r"li t0, '\n'")
+    assert 10 in values
+
+
+def test_string_decoding():
+    tokens = list(tokenize(r'.asciiz "a\tb\0"'))
+    assert tokens[1].kind is TokenKind.STRING
+    assert tokens[1].value == "a\tb\0"
+
+
+def test_unterminated_escape_rejected():
+    with pytest.raises(AsmSyntaxError):
+        list(tokenize(r'.asciiz "bad\q"'))
+
+
+def test_directive_token():
+    tokens = list(tokenize(".word 1, 2"))
+    assert tokens[0].kind is TokenKind.DIRECTIVE
+    assert tokens[0].value == ".word"
+
+
+def test_memory_operand_tokens():
+    kinds = _kinds("lw t0, 8(sp)")
+    assert TokenKind.LPAREN in kinds and TokenKind.RPAREN in kinds
+
+
+def test_label_colon():
+    kinds = _kinds("loop:")
+    assert kinds == [TokenKind.IDENT, TokenKind.COLON, TokenKind.NEWLINE]
+
+
+def test_line_numbers_reported():
+    tokens = list(tokenize("nop\nnop\nnop"))
+    lines = {t.line for t in tokens}
+    assert lines == {1, 2, 3}
+
+
+def test_unexpected_character_raises_with_line():
+    with pytest.raises(AsmSyntaxError) as excinfo:
+        list(tokenize("nop\nadd t0, t1, `"))
+    assert excinfo.value.line == 2

@@ -1,0 +1,95 @@
+"""Statement parser tests."""
+
+import pytest
+
+from repro.asm.lexer import AsmSyntaxError
+from repro.asm.parser import (
+    DirectiveStmt,
+    ImmOperand,
+    InstrStmt,
+    LabelStmt,
+    MemOperand,
+    RegOperand,
+    SymOperand,
+    parse,
+)
+
+
+def test_label_statement():
+    (stmt,) = parse("loop:\n")
+    assert isinstance(stmt, LabelStmt)
+    assert stmt.name == "loop"
+
+
+def test_label_and_instruction_on_separate_lines():
+    stmts = parse("loop:\n  addi t0, t0, 1\n")
+    assert isinstance(stmts[0], LabelStmt)
+    assert isinstance(stmts[1], InstrStmt)
+
+
+def test_register_operands_resolved():
+    (stmt,) = parse("add a0, a1, a2")
+    assert stmt.operands == (
+        RegOperand(10), RegOperand(11), RegOperand(12)
+    )
+
+
+def test_immediate_operand():
+    (stmt,) = parse("addi t0, zero, -42")
+    assert stmt.operands[2] == ImmOperand(-42)
+
+
+def test_symbol_operand():
+    (stmt,) = parse("beq t0, zero, done")
+    assert stmt.operands[2] == SymOperand("done")
+
+
+def test_memory_operand_with_displacement():
+    (stmt,) = parse("lw t0, 12(sp)")
+    assert stmt.operands[1] == MemOperand(base=2, displacement=12)
+
+
+def test_memory_operand_without_displacement():
+    (stmt,) = parse("lw t0, (sp)")
+    assert stmt.operands[1] == MemOperand(base=2, displacement=0)
+
+
+def test_symbolic_displacement():
+    (stmt,) = parse("lw t0, table(t1)")
+    assert stmt.operands[1] == MemOperand(base=6, displacement="table")
+
+
+def test_mnemonic_lowercased():
+    (stmt,) = parse("ADDI t0, t0, 1")
+    assert stmt.mnemonic == "addi"
+
+
+def test_directive_with_mixed_args():
+    (stmt,) = parse('.word 1, label, 3')
+    assert isinstance(stmt, DirectiveStmt)
+    assert stmt.args == (1, SymOperand("label"), 3)
+
+
+def test_directive_with_string():
+    (stmt,) = parse('.asciiz "hi"')
+    assert stmt.args == ("hi",)
+
+
+def test_no_operand_instruction():
+    (stmt,) = parse("ecall")
+    assert stmt.operands == ()
+
+
+def test_missing_operand_after_comma_rejected():
+    with pytest.raises(AsmSyntaxError):
+        parse("add t0, t1,")
+
+
+def test_bad_base_register_rejected():
+    with pytest.raises(AsmSyntaxError):
+        parse("lw t0, 4(banana)")
+
+
+def test_statement_line_numbers():
+    stmts = parse("nop\nnop\nfoo:\n")
+    assert [s.line for s in stmts] == [1, 2, 3]

@@ -1,0 +1,62 @@
+"""CLI (`python -m repro`) tests."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out and "gcc" in out
+    assert "rle" in out and "queens" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "plot", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "static branches" in out
+    assert "conditional branches" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "plot", "--scale", "0.05",
+                 "--threshold", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "working sets" in out
+
+
+def test_allocate_command(capsys):
+    assert main(["allocate", "plot", "--scale", "0.05",
+                 "--threshold", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "required BHT size" in out
+    assert "with classification" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table2", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_experiment_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["experiment", "table9"])
+
+
+def test_disasm_command_with_head(capsys):
+    assert main(["disasm", "plot", "--scale", "0.05", "--head", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out
+    assert "more lines" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_benchmark_propagates():
+    with pytest.raises(KeyError):
+        main(["run", "doom", "--scale", "0.05"])

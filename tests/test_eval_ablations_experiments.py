@@ -1,0 +1,87 @@
+"""Ablation runners and the experiment registry, at test scale."""
+
+import pytest
+
+from conftest import TEST_THRESHOLD
+from repro.eval.ablations import (
+    format_hash_baseline,
+    format_input_sensitivity,
+    format_predictor_family,
+    format_threshold_ablation,
+    run_hash_baseline,
+    run_input_sensitivity,
+    run_predictor_family,
+    run_threshold_ablation,
+)
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+def test_threshold_ablation_monotone_sets(runner):
+    rows = run_threshold_ablation(
+        runner, ["compress"], thresholds=(5, 20, 80)
+    )
+    assert [r.threshold for r in rows] == [5, 20, 80]
+    # higher thresholds prune edges -> never fewer, larger sets
+    sets = [r.total_sets for r in rows]
+    assert sets == sorted(sets)
+    sizes = [r.average_static_size for r in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    assert "threshold" in format_threshold_ablation(rows)
+
+
+def test_input_sensitivity_rows(runner):
+    rows = run_input_sensitivity(runner, pairs=("ss",))
+    (row,) = rows
+    assert row.benchmark == "ss"
+    assert row.size_a >= 1 and row.size_b >= 1 and row.size_merged >= 1
+    # merged profile never needs less than the bigger single-input one
+    assert row.size_merged >= max(row.size_a, row.size_b) - 2
+    assert row.cross_cost_a_on_b >= 0
+    assert "input A" in format_input_sensitivity(rows)
+
+
+def test_predictor_family_results(runner):
+    results = run_predictor_family(runner, ["compress"], history_bits=10)
+    rates = results["compress"]
+    assert set(rates) == {
+        "PAg", "GAg", "gshare", "bimodal", "hybrid", "agree",
+        "bias-filtered"
+    }
+    assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+    text = format_predictor_family(results)
+    assert "gshare" in text
+    assert format_predictor_family({}) == "(no results)"
+
+
+def test_hash_baseline_rows(runner):
+    rows = run_hash_baseline(runner, ["compress"], bht_size=64)
+    (row,) = rows
+    # the profile-guided allocation never loses to blind hashing at the
+    # conflict-cost objective it optimises
+    assert row.allocated_cost <= row.conventional_cost
+    assert row.allocated_cost <= row.xorfold_cost
+    assert "xor-fold" in format_hash_baseline(rows)
+
+
+def test_experiment_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4",
+        "figure3", "figure4",
+        "ablation_threshold", "ablation_inputs",
+        "ablation_predictors", "ablation_hash", "ablation_groups",
+        "ablation_alignment", "ablation_cliques", "ablation_history",
+    }
+    for experiment in EXPERIMENTS.values():
+        assert experiment.description
+        assert experiment.paper_artifact
+
+
+def test_run_experiment_unknown_id(runner):
+    with pytest.raises(KeyError):
+        run_experiment("table9", runner)
+
+
+def test_run_experiment_renders_text(runner):
+    text = run_experiment("table2", runner)
+    assert "Table 2" in text
+    assert "compress" in text

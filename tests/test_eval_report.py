@@ -1,0 +1,45 @@
+"""Result-rendering tests."""
+
+import pytest
+
+from repro.eval.report import render_table, to_csv, write_csv
+
+
+def test_render_table_aligns_columns():
+    text = render_table(
+        ["name", "value"],
+        [("alpha", 1), ("b", 23456)],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # all rows have the same width
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_render_table_formats_floats():
+    text = render_table(["x"], [(0.123456,)])
+    assert "0.1235" in text
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [(1,)])
+
+
+def test_to_csv():
+    csv = to_csv(["a", "b"], [(1, "x"), (2, "y")])
+    assert csv == "a,b\n1,x\n2,y\n"
+
+
+def test_to_csv_rejects_embedded_commas():
+    with pytest.raises(ValueError):
+        to_csv(["a"], [("x,y",)])
+
+
+def test_write_csv(tmp_path):
+    path = tmp_path / "out.csv"
+    write_csv(path, ["n"], [(7,)])
+    assert path.read_text() == "n\n7\n"

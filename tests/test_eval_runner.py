@@ -1,0 +1,52 @@
+"""BenchmarkRunner caching tests."""
+
+import numpy as np
+
+from repro.eval.runner import BenchmarkRunner
+
+
+def test_artifacts_are_memoised(runner):
+    first = runner.artifacts("compress")
+    second = runner.artifacts("compress")
+    assert first is second
+
+
+def test_artifacts_contents(runner):
+    artifacts = runner.artifacts("compress")
+    assert artifacts.name == "compress"
+    assert len(artifacts.trace) > 1000
+    assert artifacts.profile.static_branch_count > 20
+    assert artifacts.instructions > 100_000
+    # the profile's branch population matches the trace's
+    assert set(artifacts.profile.branches) == set(
+        artifacts.trace.static_branches()
+    )
+
+
+def test_invalidate_drops_memo(runner):
+    first = runner.artifacts("compress")
+    runner.invalidate("compress")
+    second = runner.artifacts("compress")
+    assert first is not second
+    assert np.array_equal(first.trace.pcs, second.trace.pcs)
+    runner._artifacts["compress"] = first  # restore for other tests
+
+
+def test_disk_cache_round_trip(tmp_path):
+    fast = BenchmarkRunner(scale=0.05, cache_dir=tmp_path)
+    first = fast.artifacts("plot")
+    files = list(tmp_path.iterdir())
+    assert any(f.suffix == ".npz" for f in files)
+    assert any(f.suffix == ".json" for f in files)
+
+    # a fresh runner loads from disk instead of re-simulating
+    reloaded = BenchmarkRunner(scale=0.05, cache_dir=tmp_path)
+    second = reloaded.artifacts("plot")
+    assert np.array_equal(first.trace.pcs, second.trace.pcs)
+    assert second.profile.pairs == first.profile.pairs
+
+
+def test_trace_limit_caps_events(tmp_path):
+    limited = BenchmarkRunner(scale=0.05, trace_limit=500)
+    artifacts = limited.artifacts("plot")
+    assert len(artifacts.trace) == 500

@@ -1,0 +1,109 @@
+"""Binary encode/decode tests, including a property-based round trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    IMM14_MAX,
+    IMM14_MIN,
+    IMM19_MAX,
+    IMM19_MIN,
+    EncodingError,
+    decode,
+    encode,
+)
+from repro.isa.instructions import Format, Instruction, Opcode
+
+_REG = st.integers(min_value=0, max_value=31)
+_IMM14 = st.integers(min_value=IMM14_MIN, max_value=IMM14_MAX)
+_IMM19 = st.integers(min_value=IMM19_MIN, max_value=IMM19_MAX)
+_OFF14 = _IMM14.map(lambda v: v * 4)
+_OFF19 = _IMM19.map(lambda v: v * 4)
+
+_BY_FORMAT = {
+    Format.R: lambda op: st.builds(
+        Instruction, st.just(op), rd=_REG, rs1=_REG, rs2=_REG
+    ),
+    Format.I: lambda op: st.builds(
+        Instruction, st.just(op), rd=_REG, rs1=_REG, imm=_IMM14
+    ),
+    Format.LOAD: lambda op: st.builds(
+        Instruction, st.just(op), rd=_REG, rs1=_REG, imm=_IMM14
+    ),
+    Format.STORE: lambda op: st.builds(
+        Instruction, st.just(op), rs2=_REG, rs1=_REG, imm=_IMM14
+    ),
+    Format.B: lambda op: st.builds(
+        Instruction, st.just(op), rs1=_REG, rs2=_REG, imm=_OFF14
+    ),
+    Format.J: lambda op: st.builds(
+        Instruction, st.just(op), rd=_REG, imm=_OFF19
+    ),
+    Format.JR: lambda op: st.builds(
+        Instruction, st.just(op), rd=_REG, rs1=_REG, imm=_IMM14
+    ),
+    Format.U: lambda op: st.builds(
+        Instruction, st.just(op), rd=_REG, imm=_IMM19
+    ),
+    Format.SYS: lambda op: st.just(Instruction(op)),
+}
+
+
+def _any_instruction() -> st.SearchStrategy:
+    return st.sampled_from(list(Opcode)).flatmap(
+        lambda op: _BY_FORMAT[Instruction(op).format](op)
+    )
+
+
+@given(_any_instruction())
+def test_encode_decode_round_trip(instruction):
+    word = encode(instruction)
+    assert 0 <= word < (1 << 32)
+    decoded = decode(word)
+    # label is display-only metadata and not encoded
+    assert decoded == Instruction(
+        instruction.opcode,
+        rd=instruction.rd,
+        rs1=instruction.rs1,
+        rs2=instruction.rs2,
+        imm=instruction.imm,
+    )
+
+
+def test_opcode_occupies_top_byte():
+    word = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+    assert (word >> 24) == int(Opcode.ADD)
+
+
+def test_negative_immediate_encodes():
+    word = encode(Instruction(Opcode.ADDI, rd=1, rs1=0, imm=-1))
+    assert decode(word).imm == -1
+
+
+def test_branch_offsets_are_word_scaled():
+    word = encode(Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=-32))
+    assert decode(word).imm == -32
+
+
+def test_misaligned_branch_offset_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=6))
+
+
+def test_out_of_range_immediate_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=1, rs1=0, imm=IMM14_MAX + 1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.LUI, rd=1, imm=IMM19_MIN - 1))
+
+
+def test_invalid_opcode_byte_rejected():
+    with pytest.raises(EncodingError):
+        decode(0xFF << 24)
+
+
+def test_jump_offset_range_is_wider_than_branch():
+    far = (IMM19_MAX) * 4
+    word = encode(Instruction(Opcode.JAL, rd=1, imm=far))
+    assert decode(word).imm == far

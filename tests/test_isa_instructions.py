@@ -1,0 +1,75 @@
+"""Instruction metadata tests."""
+
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    OPCODE_FORMAT,
+    UNCONDITIONAL_JUMPS,
+    Format,
+    Instruction,
+    Opcode,
+)
+
+
+def test_every_opcode_has_a_format():
+    for opcode in Opcode:
+        assert opcode in OPCODE_FORMAT
+
+
+def test_opcode_values_are_unique():
+    values = [int(op) for op in Opcode]
+    assert len(values) == len(set(values))
+
+
+def test_conditional_branch_set():
+    assert CONDITIONAL_BRANCHES == {
+        Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+        Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
+    }
+    for opcode in CONDITIONAL_BRANCHES:
+        assert OPCODE_FORMAT[opcode] is Format.B
+
+
+def test_is_conditional_branch_property():
+    assert Instruction(Opcode.BEQ).is_conditional_branch
+    assert not Instruction(Opcode.JAL).is_conditional_branch
+    assert not Instruction(Opcode.ADD).is_conditional_branch
+
+
+def test_is_control_property():
+    for opcode in CONDITIONAL_BRANCHES | UNCONDITIONAL_JUMPS:
+        assert Instruction(opcode).is_control
+    assert not Instruction(Opcode.LW).is_control
+
+
+def test_instructions_are_immutable_and_hashable():
+    a = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+    b = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_disassemble_r_type():
+    ins = Instruction(Opcode.ADD, rd=10, rs1=11, rs2=12)
+    assert ins.disassemble() == "add a0, a1, a2"
+
+
+def test_disassemble_load_store():
+    assert Instruction(Opcode.LW, rd=5, rs1=2, imm=8).disassemble() == \
+        "lw t0, 8(sp)"
+    assert Instruction(Opcode.SW, rs2=5, rs1=2, imm=-4).disassemble() == \
+        "sw t0, -4(sp)"
+
+
+def test_disassemble_branch_with_label():
+    ins = Instruction(Opcode.BNE, rs1=5, rs2=0, imm=-8, label="loop")
+    assert ins.disassemble() == "bne t0, zero, loop"
+
+
+def test_disassemble_branch_without_label_shows_offset():
+    ins = Instruction(Opcode.BEQ, rs1=5, rs2=6, imm=16)
+    assert ".+16" in ins.disassemble()
+
+
+def test_disassemble_sys():
+    assert Instruction(Opcode.ECALL).disassemble() == "ecall"
+    assert Instruction(Opcode.HALT).disassemble() == "halt"

@@ -1,0 +1,81 @@
+"""Program container tests."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import INSTRUCTION_SIZE, TEXT_BASE, Program
+
+
+def _sample_program():
+    return Program(
+        instructions=[
+            Instruction(Opcode.ADDI, rd=5, imm=1),
+            Instruction(Opcode.BEQ, rs1=5, rs2=0, imm=8),
+            Instruction(Opcode.JAL, rd=0, imm=-4),
+            Instruction(Opcode.HALT),
+        ],
+        data=b"\x01\x02\x03",
+        symbols={"main": TEXT_BASE, "loop": TEXT_BASE + 4},
+        name="sample",
+    )
+
+
+def test_address_index_round_trip():
+    program = _sample_program()
+    for index in range(len(program)):
+        assert program.index_of(program.address_of(index)) == index
+
+
+def test_fetch_returns_instruction_at_address():
+    program = _sample_program()
+    assert program.fetch(TEXT_BASE + 4).opcode is Opcode.BEQ
+
+
+def test_misaligned_address_rejected():
+    program = _sample_program()
+    with pytest.raises(ValueError):
+        program.index_of(TEXT_BASE + 2)
+
+
+def test_out_of_range_address_rejected():
+    program = _sample_program()
+    with pytest.raises(ValueError):
+        program.index_of(TEXT_BASE + 4 * len(program))
+
+
+def test_entry_point_prefers_main_symbol():
+    program = _sample_program()
+    assert program.entry_point == TEXT_BASE
+    no_main = Program(instructions=[Instruction(Opcode.HALT)])
+    assert no_main.entry_point == no_main.text_base
+
+
+def test_static_conditional_branches():
+    program = _sample_program()
+    assert program.static_conditional_branches() == [TEXT_BASE + 4]
+
+
+def test_listing_contains_labels_and_addresses():
+    listing = _sample_program().listing()
+    assert "main:" in listing
+    assert "loop:" in listing
+    assert f"0x{TEXT_BASE:08x}" in listing
+
+
+def test_image_round_trip():
+    program = _sample_program()
+    text, data = program.to_image()
+    assert len(text) == len(program) * INSTRUCTION_SIZE
+    restored = Program.from_image(
+        text, data, symbols=program.symbols, name="sample"
+    )
+    assert restored.instructions == [
+        Instruction(i.opcode, rd=i.rd, rs1=i.rs1, rs2=i.rs2, imm=i.imm)
+        for i in program.instructions
+    ]
+    assert restored.data == program.data
+
+
+def test_from_image_rejects_ragged_text():
+    with pytest.raises(ValueError):
+        Program.from_image(b"\x00\x01\x02")

@@ -1,0 +1,68 @@
+"""Register file naming tests."""
+
+import pytest
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    is_register,
+    register_name,
+    register_number,
+)
+
+
+def test_register_count():
+    assert NUM_REGISTERS == 32
+    assert len(ABI_NAMES) == 32
+
+
+def test_abi_names_resolve_to_their_index():
+    for number, name in enumerate(ABI_NAMES):
+        assert register_number(name) == number
+
+
+def test_x_and_r_spellings():
+    for number in range(NUM_REGISTERS):
+        assert register_number(f"x{number}") == number
+        assert register_number(f"r{number}") == number
+
+
+def test_case_insensitive():
+    assert register_number("SP") == register_number("sp") == 2
+    assert register_number("T0") == 5
+
+
+def test_fp_aliases_s0():
+    assert register_number("fp") == register_number("s0") == 8
+
+
+def test_zero_is_register_zero():
+    assert register_number("zero") == 0
+
+
+def test_argument_registers_are_contiguous():
+    assert [register_number(f"a{i}") for i in range(8)] == list(range(10, 18))
+
+
+def test_unknown_register_raises():
+    with pytest.raises(KeyError):
+        register_number("q7")
+
+
+def test_register_name_round_trip():
+    for number in range(NUM_REGISTERS):
+        assert register_number(register_name(number)) == number
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(32)
+    with pytest.raises(ValueError):
+        register_name(-1)
+
+
+def test_is_register_predicate():
+    assert is_register("t3")
+    assert is_register(" x31 ")
+    assert not is_register("loop")
+    assert not is_register("x32")

@@ -1,0 +1,80 @@
+"""First-level history table tests."""
+
+import pytest
+
+from repro.predictors.bht import BranchHistoryTable, InfiniteBHT
+from repro.predictors.indexing import PCModuloIndex, StaticIndexMap
+
+
+def test_history_shifts_in_outcomes():
+    bht = BranchHistoryTable(PCModuloIndex(16), history_bits=4)
+    for taken in (True, False, True, True):
+        bht.update(0x100, taken)
+    assert bht.read(0x100) == 0b1011
+
+
+def test_history_masks_to_width():
+    bht = BranchHistoryTable(PCModuloIndex(16), history_bits=2)
+    for _ in range(5):
+        bht.update(0x100, True)
+    assert bht.read(0x100) == 0b11
+
+
+def test_read_and_update_returns_pre_update_pattern():
+    bht = BranchHistoryTable(PCModuloIndex(16), history_bits=4)
+    bht.update(0x100, True)
+    pattern = bht.read_and_update(0x100, False)
+    assert pattern == 0b1
+    assert bht.read(0x100) == 0b10
+
+
+def test_aliasing_branches_share_history():
+    bht = BranchHistoryTable(PCModuloIndex(4), history_bits=4)
+    pc_a, pc_b = 0x1000, 0x1000 + 4 * 4  # same entry mod 4
+    bht.update(pc_a, True)
+    assert bht.read(pc_b) == 0b1  # interference, by construction
+
+
+def test_allocated_indexing_separates_aliases():
+    assignment = {0x1000: 0, 0x1010: 1}
+    bht = BranchHistoryTable(
+        StaticIndexMap(4, assignment), history_bits=4
+    )
+    bht.update(0x1000, True)
+    assert bht.read(0x1010) == 0
+
+
+def test_bht_reset():
+    bht = BranchHistoryTable(PCModuloIndex(8), history_bits=4)
+    bht.update(0x100, True)
+    bht.reset()
+    assert bht.read(0x100) == 0
+
+
+def test_bht_validation():
+    with pytest.raises(ValueError):
+        BranchHistoryTable(PCModuloIndex(8), history_bits=0)
+
+
+def test_infinite_bht_never_aliases():
+    bht = InfiniteBHT(history_bits=4)
+    for pc in range(0x1000, 0x9000, 4):
+        bht.update(pc, True)
+    assert bht.size == 0x8000 // 4
+    assert bht.read(0x1000) == 0b1
+    assert bht.read(0x1004) == 0b1
+    assert bht.read(0xFFFF0) == 0  # unseen branch
+
+
+def test_infinite_bht_read_and_update():
+    bht = InfiniteBHT(history_bits=3)
+    assert bht.read_and_update(0x10, True) == 0
+    assert bht.read_and_update(0x10, True) == 1
+    assert bht.read(0x10) == 0b11
+
+
+def test_infinite_bht_reset():
+    bht = InfiniteBHT(history_bits=3)
+    bht.update(0x10, True)
+    bht.reset()
+    assert bht.size == 0

@@ -1,0 +1,111 @@
+"""Bias-filtering predictor tests (related work [15])."""
+
+import pytest
+
+from repro.analysis.classification import ClassificationBounds
+from repro.predictors.filtered import BiasFilteredPredictor
+from repro.predictors.simulator import simulate_predictor
+from repro.predictors.twolevel import PAgPredictor
+from repro.profiling.profile import BranchStats, InterleaveProfile
+from repro.trace.events import BranchEvent, BranchTrace
+
+
+def _profile():
+    return InterleaveProfile(
+        branches={
+            0x100: BranchStats(1000, 1000),  # always taken
+            0x200: BranchStats(1000, 2),     # almost never taken
+            0x300: BranchStats(1000, 500),   # mixed
+            0x400: BranchStats(4, 4),        # too few executions to trust
+        }
+    )
+
+
+def test_biased_branches_filtered_with_direction():
+    predictor = BiasFilteredPredictor(
+        PAgPredictor.conventional(64, 6), _profile()
+    )
+    assert predictor.filtered_count == 2
+    assert predictor.predict(0x100) is True
+    assert predictor.predict(0x200) is False
+
+
+def test_mixed_and_cold_branches_use_backing():
+    predictor = BiasFilteredPredictor(
+        PAgPredictor.conventional(64, 6), _profile()
+    )
+    assert 0x300 not in predictor.static_direction
+    assert 0x400 not in predictor.static_direction
+
+
+def test_filtered_branches_never_touch_backing_state():
+    backing = PAgPredictor.conventional(64, 6)
+    predictor = BiasFilteredPredictor(backing, _profile())
+    before_bht = list(backing.bht.table)
+    before_pht = list(backing.pht.table)
+    for _ in range(50):
+        predictor.access(0x100, True)
+        predictor.update(0x200, False)
+    assert backing.bht.table == before_bht
+    assert backing.pht.table == before_pht
+
+
+def test_min_executions_guard():
+    predictor = BiasFilteredPredictor(
+        PAgPredictor.conventional(64, 6), _profile(), min_executions=2
+    )
+    assert 0x400 in predictor.static_direction
+    with pytest.raises(ValueError):
+        BiasFilteredPredictor(
+            PAgPredictor.conventional(64, 6), _profile(),
+            min_executions=-1,
+        )
+
+
+def test_custom_bounds():
+    loose = ClassificationBounds(taken_bound=0.4, not_taken_bound=0.3)
+    predictor = BiasFilteredPredictor(
+        PAgPredictor.conventional(64, 6), _profile(), bounds=loose
+    )
+    # the 50%-taken branch now counts as taken-biased
+    assert predictor.static_direction[0x300] is True
+
+
+def test_filtering_protects_the_pattern_table():
+    """A periodic branch aliasing with a biased one in the PHT: filtering
+    removes the pollution, so the filtered configuration mispredicts no
+    more than the raw one."""
+    events = []
+    clock = 0
+    for i in range(600):
+        clock += 3
+        events.append(BranchEvent(0x100, 0x80, True, clock))  # biased
+        clock += 3
+        events.append(
+            BranchEvent(0x104, 0x90, i % 3 != 2, clock)  # TTN pattern
+        )
+    trace = BranchTrace.from_events(events, name="filter")
+    profile = InterleaveProfile(
+        branches={
+            0x100: BranchStats(600, 600),
+            0x104: BranchStats(600, 400),
+        }
+    )
+    raw = simulate_predictor(
+        PAgPredictor.conventional(1, 4), trace, track_per_branch=False
+    )
+    filtered = simulate_predictor(
+        BiasFilteredPredictor(PAgPredictor.conventional(1, 4), profile),
+        trace,
+        track_per_branch=False,
+    )
+    assert filtered.mispredictions <= raw.mispredictions
+    assert filtered.misprediction_rate < 0.05
+
+
+def test_reset_passes_through():
+    backing = PAgPredictor.conventional(16, 4)
+    predictor = BiasFilteredPredictor(backing, _profile())
+    predictor.access(0x300, True)
+    predictor.reset()
+    assert backing.bht.read(0x300) == 0

@@ -1,0 +1,149 @@
+"""Static, bimodal, hybrid and agree predictor tests."""
+
+import pytest
+
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.hybrid import HybridPredictor
+from repro.predictors.static_pred import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+    ProfileStaticPredictor,
+)
+from repro.profiling.profile import BranchStats, InterleaveProfile
+
+
+def test_always_taken_and_not_taken():
+    assert AlwaysTakenPredictor().predict(0x100)
+    assert not AlwaysNotTakenPredictor().predict(0x100)
+
+
+def test_btfnt_uses_target_direction():
+    predictor = BTFNTPredictor()
+    assert predictor.predict(0x100, target=0x80)       # backward: taken
+    assert not predictor.predict(0x100, target=0x200)  # forward: not taken
+
+
+def test_profile_static_majority_directions():
+    profile = InterleaveProfile(
+        branches={
+            0x100: BranchStats(100, 90),
+            0x200: BranchStats(100, 10),
+        }
+    )
+    predictor = ProfileStaticPredictor(profile)
+    assert predictor.predict(0x100)
+    assert not predictor.predict(0x200)
+    # unseen branches fall back to BTFNT
+    assert predictor.predict(0x300, target=0x80)
+
+
+def test_profile_static_requires_a_source():
+    with pytest.raises(ValueError):
+        ProfileStaticPredictor()
+
+
+def test_profile_static_explicit_directions_override():
+    predictor = ProfileStaticPredictor(directions={0x100: False})
+    assert not predictor.predict(0x100)
+
+
+def test_bimodal_learns_bias():
+    predictor = BimodalPredictor(size=64)
+    for _ in range(4):
+        predictor.update(0x100, False)
+    assert not predictor.predict(0x100)
+
+
+def test_bimodal_aliases_by_construction():
+    predictor = BimodalPredictor(size=4)
+    for _ in range(4):
+        predictor.update(0x1000, False)
+    # 0x1000 and 0x1040 share entry (mod 4 after word shift)
+    assert not predictor.predict(0x1000 + 4 * 4)
+
+
+def test_bimodal_size_mismatch_rejected():
+    from repro.predictors.indexing import PCModuloIndex
+
+    with pytest.raises(ValueError):
+        BimodalPredictor(size=64, index_fn=PCModuloIndex(32))
+
+
+def test_hybrid_selector_picks_the_better_component():
+    # component 1 (gshare) learns the pattern; component 2 (always wrong
+    # here) is bimodal fighting a strict alternation
+    hybrid = HybridPredictor(
+        GSharePredictor(history_bits=6),
+        BimodalPredictor(size=64),
+        selector_size=64,
+    )
+    wrong = 0
+    for i in range(600):
+        taken = i % 2 == 0
+        if hybrid.access(0x1000, taken) != taken and i > 100:
+            wrong += 1
+    assert wrong == 0
+
+
+def test_hybrid_reset():
+    hybrid = HybridPredictor(
+        GSharePredictor(history_bits=4), BimodalPredictor(size=16),
+        selector_size=16,
+    )
+    hybrid.access(0x10, True)
+    hybrid.reset()
+    assert hybrid.first.history == 0
+
+
+def test_hybrid_selector_size_mismatch_rejected():
+    from repro.predictors.indexing import PCModuloIndex
+
+    with pytest.raises(ValueError):
+        HybridPredictor(
+            GSharePredictor(4), BimodalPredictor(16),
+            selector_size=32, index_fn=PCModuloIndex(16),
+        )
+
+
+def test_agree_converts_destructive_interference():
+    """Two opposite-bias branches that alias in the PHT: a raw gshare
+    fights, the agree predictor's bias bits make the counters agree."""
+    profile = InterleaveProfile(
+        branches={
+            0x1000: BranchStats(100, 100),
+            0x2000: BranchStats(100, 0),
+        }
+    )
+    agree = AgreePredictor(history_bits=4, profile=profile)
+    wrong = 0
+    for i in range(400):
+        if agree.access(0x1000, True) is not True and i > 50:
+            wrong += 1
+        if agree.access(0x2000, False) is not False and i > 50:
+            wrong += 1
+    assert wrong == 0
+
+
+def test_agree_first_outcome_sets_bias_without_profile():
+    agree = AgreePredictor(history_bits=4)
+    agree.update(0x100, False)
+    assert agree.bias[0x100] is False
+
+
+def test_agree_validation():
+    with pytest.raises(ValueError):
+        AgreePredictor(history_bits=0)
+
+
+def test_agree_reset_keeps_profile_bias():
+    profile = InterleaveProfile(branches={0x100: BranchStats(10, 10)})
+    agree = AgreePredictor(history_bits=4, profile=profile)
+    agree.reset()
+    assert agree.bias[0x100] is True
+    no_profile = AgreePredictor(history_bits=4)
+    no_profile.update(0x100, True)
+    no_profile.reset()
+    assert no_profile.bias == {}

@@ -1,0 +1,163 @@
+"""Two-level predictor family tests.
+
+Behavioural checks: a PAg learns a periodic local pattern perfectly after
+warmup; a GAg learns cross-branch correlation; interference hurts aliased
+PAg and the infinite BHT does not alias; PAp isolates pattern tables.
+"""
+
+import pytest
+
+from repro.predictors.bht import BranchHistoryTable
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.indexing import PCModuloIndex, StaticIndexMap
+from repro.predictors.twolevel import (
+    GAgPredictor,
+    GAsPredictor,
+    InterferenceFreePAg,
+    PAgPredictor,
+    PApPredictor,
+)
+
+PATTERN = [True, True, False]  # TTN
+
+
+def _drive(predictor, pc, outcomes, warmup):
+    wrong = 0
+    for i, taken in enumerate(outcomes):
+        prediction = predictor.access(pc, taken)
+        if i >= warmup and prediction != taken:
+            wrong += 1
+    return wrong
+
+
+def test_pag_learns_short_local_pattern():
+    predictor = PAgPredictor.conventional(bht_size=64, history_bits=6)
+    outcomes = PATTERN * 80
+    wrong = _drive(predictor, 0x1000, outcomes, warmup=60)
+    assert wrong == 0
+
+
+def test_pag_geometry_matches_paper():
+    predictor = PAgPredictor.conventional(1024, 12)
+    assert predictor.bht.size == 1024
+    assert len(predictor.pht) == 4096
+
+
+def test_pag_predict_without_update_is_pure():
+    predictor = PAgPredictor.conventional(64, 6)
+    before = list(predictor.pht.table)
+    predictor.predict(0x1000)
+    assert predictor.pht.table == before
+
+
+def test_pag_reset():
+    predictor = PAgPredictor.conventional(64, 6)
+    _drive(predictor, 0x1000, PATTERN * 10, warmup=0)
+    predictor.reset()
+    assert predictor.bht.read(0x1000) == 0
+    assert all(v == 2 for v in predictor.pht.table)
+
+
+def test_aliasing_hurts_pag_and_allocation_fixes_it():
+    # two branches with opposite periodic behaviour forced onto one entry
+    pc_a, pc_b = 0x1000, 0x1000 + 64 * 4
+    seq_a = [True, False] * 200
+    seq_b = [False, True] * 200
+
+    def run(index_fn):
+        predictor = PAgPredictor(BranchHistoryTable(index_fn, 8))
+        wrong = 0
+        for i, (a, b) in enumerate(zip(seq_a, seq_b)):
+            if predictor.access(pc_a, a) != a and i > 50:
+                wrong += 1
+            if predictor.access(pc_b, b) != b and i > 50:
+                wrong += 1
+        return wrong
+
+    aliased = run(PCModuloIndex(64))
+    separated = run(StaticIndexMap(64, {pc_a: 0, pc_b: 1}))
+    assert separated <= aliased
+    assert separated == 0
+
+
+def test_interference_free_pag_equals_allocated_on_separated_branches():
+    pcs = [0x1000 + 8 * i for i in range(8)]
+    outcomes = PATTERN * 40
+    infinite = InterferenceFreePAg(history_bits=6)
+    wrong_infinite = sum(
+        _drive(infinite, pc, outcomes, warmup=30) for pc in pcs
+    )
+    assert wrong_infinite == 0
+    assert infinite.bht.size == 8
+
+
+def test_gag_learns_global_correlation():
+    # branch B copies branch A's outcome; GAg sees it in global history
+    gag = GAgPredictor(history_bits=4)
+    import itertools
+
+    wrong = 0
+    flip = itertools.cycle([True, False])
+    for i in range(400):
+        a = next(flip)
+        gag.access(0x100, a)
+        prediction = gag.access(0x200, a)
+        if i > 50 and prediction != a:
+            wrong += 1
+    assert wrong == 0
+
+
+def test_gag_validation():
+    with pytest.raises(ValueError):
+        GAgPredictor(history_bits=0)
+
+
+def test_pap_isolates_pattern_tables():
+    predictor = PApPredictor(
+        BranchHistoryTable(PCModuloIndex(16), history_bits=4)
+    )
+    # two branches, same local pattern, opposite outcomes:
+    # a shared PHT would fight; per-address PHTs do not
+    wrong = 0
+    for i in range(300):
+        taken_a = i % 2 == 0
+        if predictor.access(0x100, taken_a) != taken_a and i > 60:
+            wrong += 1
+        taken_b = i % 2 == 1
+        if predictor.access(0x204, taken_b) != taken_b and i > 60:
+            wrong += 1
+    assert wrong == 0
+
+
+def test_pap_reset_clears_lazy_tables():
+    predictor = PApPredictor(
+        BranchHistoryTable(PCModuloIndex(8), history_bits=3)
+    )
+    predictor.access(0x100, True)
+    assert predictor.phts
+    predictor.reset()
+    assert not predictor.phts
+
+
+def test_gas_geometry():
+    predictor = GAsPredictor(history_bits=6, set_bits=3)
+    assert len(predictor.pht) == 1 << 9
+    with pytest.raises(ValueError):
+        GAsPredictor(history_bits=0)
+
+
+def test_gas_learns_per_set_correlation():
+    predictor = GAsPredictor(history_bits=4, set_bits=2)
+    wrong = _drive(predictor, 0x1000, [True, False] * 150, warmup=50)
+    assert wrong == 0
+
+
+def test_gshare_learns_pattern():
+    predictor = GSharePredictor(history_bits=8)
+    wrong = _drive(predictor, 0x1000, PATTERN * 100, warmup=60)
+    assert wrong == 0
+
+
+def test_gshare_validation():
+    with pytest.raises(ValueError):
+        GSharePredictor(history_bits=0)

@@ -1,0 +1,106 @@
+"""Profile artifact and cumulative-merge tests."""
+
+import pytest
+
+from repro.profiling.merge import coverage_against, merge_profiles
+from repro.profiling.profile import BranchStats, InterleaveProfile, pair_key
+
+
+def _profile(name, branches, pairs):
+    return InterleaveProfile(
+        branches={
+            pc: BranchStats(executions=ex, taken=tk)
+            for pc, (ex, tk) in branches.items()
+        },
+        pairs={pair_key(a, b): c for (a, b), c in pairs.items()},
+        instructions=1000,
+        name=name,
+    )
+
+
+def test_pair_key_canonical():
+    assert pair_key(5, 3) == (3, 5)
+    assert pair_key(3, 5) == (3, 5)
+
+
+def test_branch_stats_taken_rate():
+    assert BranchStats(executions=4, taken=1).taken_rate == 0.25
+    assert BranchStats().taken_rate == 0.0
+
+
+def test_counts_properties():
+    profile = _profile("p", {1: (10, 5), 2: (20, 0)}, {(1, 2): 7})
+    assert profile.static_branch_count == 2
+    assert profile.dynamic_branch_count == 30
+    assert profile.execution_count(1) == 10
+    assert profile.execution_count(99) == 0
+    assert profile.interleave_count(2, 1) == 7
+    assert profile.interleave_count(1, 99) == 0
+
+
+def test_hot_branches_ranked_by_executions():
+    profile = _profile("p", {1: (5, 0), 2: (50, 0), 3: (10, 0)}, {})
+    assert profile.hot_branches(2) == [2, 3]
+
+
+def test_json_round_trip():
+    profile = _profile("rt", {4: (3, 2), 8: (1, 1)}, {(4, 8): 9})
+    restored = InterleaveProfile.from_json(profile.to_json())
+    assert restored.name == "rt"
+    assert restored.instructions == 1000
+    assert restored.branches[4].taken == 2
+    assert restored.pairs == profile.pairs
+
+
+def test_save_load(tmp_path):
+    profile = _profile("disk", {4: (3, 2)}, {})
+    path = tmp_path / "p.json"
+    profile.save(path)
+    assert InterleaveProfile.load(path).branches[4].executions == 3
+
+
+def test_from_json_rejects_foreign_documents():
+    with pytest.raises(ValueError):
+        InterleaveProfile.from_json('{"format": "nope", "version": 1}')
+
+
+def test_restricted_to_drops_branches_and_pairs():
+    profile = _profile(
+        "r", {1: (5, 0), 2: (5, 0), 3: (5, 0)},
+        {(1, 2): 10, (2, 3): 20},
+    )
+    restricted = profile.restricted_to([1, 2])
+    assert set(restricted.branches) == {1, 2}
+    assert restricted.pairs == {pair_key(1, 2): 10}
+
+
+def test_merge_sums_stats_and_pairs():
+    a = _profile("a", {1: (10, 4), 2: (5, 5)}, {(1, 2): 100})
+    b = _profile("b", {1: (20, 6), 3: (7, 0)}, {(1, 2): 50, (1, 3): 30})
+    merged = merge_profiles([a, b], name="m")
+    assert merged.name == "m"
+    assert merged.instructions == 2000
+    assert merged.branches[1].executions == 30
+    assert merged.branches[1].taken == 10
+    assert merged.branches[3].executions == 7
+    assert merged.pairs[pair_key(1, 2)] == 150
+    assert merged.pairs[pair_key(1, 3)] == 30
+
+
+def test_merge_does_not_mutate_inputs():
+    a = _profile("a", {1: (10, 4)}, {})
+    merge_profiles([a, a])
+    assert a.branches[1].executions == 10
+
+
+def test_merge_requires_profiles():
+    with pytest.raises(ValueError):
+        merge_profiles([])
+
+
+def test_coverage_against():
+    a = _profile("a", {1: (10, 0)}, {})
+    ref = _profile("ref", {1: (60, 0), 2: (40, 0)}, {})
+    assert coverage_against(a, ref) == pytest.approx(0.6)
+    empty_ref = _profile("e", {}, {})
+    assert coverage_against(a, empty_ref) == 1.0

@@ -1,0 +1,89 @@
+"""Single-stepper tests."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.sim.debug import SingleStepper, trace_listing
+
+SOURCE = """
+main:
+    li t0, 3
+loop:
+    addi t0, t0, -1
+    bgtz t0, loop
+    li a0, 0
+    li a1, 7
+    ecall
+"""
+
+
+def test_step_reports_register_writes():
+    stepper = SingleStepper(assemble(SOURCE))
+    record = stepper.step()
+    assert record is not None
+    assert record.pc == stepper.program.text_base
+    assert record.register_writes == {"t0": 3}
+    assert record.disassembly.startswith("addi t0")
+
+
+def test_branch_steps_report_direction():
+    stepper = SingleStepper(assemble(SOURCE))
+    records = stepper.run(limit=100)
+    branch_records = [r for r in records if r.taken_branch is not None]
+    assert [r.taken_branch for r in branch_records] == [True, True, False]
+
+
+def test_run_stops_on_halt_and_reports_exit():
+    stepper = SingleStepper(assemble(SOURCE))
+    records = stepper.run(limit=1000)
+    assert stepper.halted
+    assert stepper.simulator.state.exit_code == 7
+    # step after halt returns None
+    assert stepper.step() is None
+    # indices are consecutive from zero
+    assert [r.index for r in records] == list(range(len(records)))
+
+
+def test_run_limit_validation():
+    stepper = SingleStepper(assemble(SOURCE))
+    with pytest.raises(ValueError):
+        stepper.run(limit=0)
+
+
+def test_run_until_breakpoint():
+    program = assemble(SOURCE)
+    stepper = SingleStepper(program)
+    breakpoint_addr = program.symbols["loop"]
+    records = stepper.run_until(breakpoint_addr)
+    assert stepper.simulator.state.pc == breakpoint_addr
+    assert len(records) == 1  # just the li before the loop label
+
+
+def test_stepping_matches_batch_execution():
+    from repro.sim.machine import Simulator
+
+    program = assemble(SOURCE)
+    stepper = SingleStepper(program)
+    stepper.run(limit=1000)
+    batch = Simulator(program)
+    batch.run(allow_truncation=False)
+    assert (
+        stepper.simulator.executor.instruction_count
+        == batch.executor.instruction_count
+    )
+    assert stepper.simulator.state.regs == batch.state.regs
+
+
+def test_trace_listing_renders_lines():
+    text = trace_listing(assemble(SOURCE), limit=5)
+    lines = text.splitlines()
+    assert len(lines) == 5
+    assert "addi t0" in lines[0]
+    assert "0x" in lines[0]
+
+
+def test_step_record_render_contains_direction():
+    stepper = SingleStepper(assemble(SOURCE))
+    records = stepper.run(limit=3)
+    rendered = records[2].render()
+    assert "taken" in rendered

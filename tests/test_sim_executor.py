@@ -1,0 +1,277 @@
+"""Per-opcode semantics tests for the interpreter.
+
+Each test assembles a tiny program, runs it, and checks architectural
+state — covering ALU wrap/shift/division semantics, memory, control flow,
+the branch hook contract, and fuel exhaustion.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.sim.executor import FuelExhausted, SimulationError
+from repro.sim.machine import Simulator
+from repro.sim.state import wrap32
+
+
+def run_asm(body, input_data=b"", fuel=100_000, hook=None):
+    program = assemble(f"main:\n{body}\n    halt\n")
+    simulator = Simulator(program, input_data=input_data, branch_hook=hook)
+    simulator.run(max_instructions=fuel, allow_truncation=False)
+    return simulator
+
+
+def reg(simulator, name):
+    from repro.isa.registers import register_number
+
+    return simulator.state.read(register_number(name))
+
+
+# -- ALU ---------------------------------------------------------------------
+
+
+def test_add_sub():
+    sim = run_asm("li t0, 7\nli t1, 5\nadd t2, t0, t1\nsub t3, t0, t1")
+    assert reg(sim, "t2") == 12
+    assert reg(sim, "t3") == 2
+
+
+def test_add_wraps_to_32_bits():
+    sim = run_asm("li t0, 0x7FFFFFFF\nli t1, 1\nadd t2, t0, t1")
+    assert reg(sim, "t2") == -(1 << 31)
+
+
+def test_mul_wraps():
+    sim = run_asm("li t0, 0x10000\nli t1, 0x10001\nmul t2, t0, t1")
+    assert reg(sim, "t2") == wrap32(0x10000 * 0x10001)
+
+
+def test_div_truncates_toward_zero():
+    sim = run_asm("li t0, -7\nli t1, 2\ndiv t2, t0, t1\nrem t3, t0, t1")
+    assert reg(sim, "t2") == -3
+    assert reg(sim, "t3") == -1
+
+
+def test_div_by_zero_convention():
+    sim = run_asm("li t0, 9\nli t1, 0\ndiv t2, t0, t1\nrem t3, t0, t1")
+    assert reg(sim, "t2") == -1
+    assert reg(sim, "t3") == 9
+
+
+def test_logic_ops():
+    sim = run_asm(
+        "li t0, 0xF0\nli t1, 0x3C\n"
+        "and t2, t0, t1\nor t3, t0, t1\nxor t4, t0, t1"
+    )
+    assert reg(sim, "t2") == 0x30
+    assert reg(sim, "t3") == 0xFC
+    assert reg(sim, "t4") == 0xCC
+
+
+def test_shifts():
+    sim = run_asm(
+        "li t0, -8\nli t1, 1\n"
+        "sll t2, t0, t1\nsrl t3, t0, t1\nsra t4, t0, t1"
+    )
+    assert reg(sim, "t2") == -16
+    assert reg(sim, "t3") == 0x7FFFFFFC
+    assert reg(sim, "t4") == -4
+
+
+def test_shift_amount_uses_low_five_bits():
+    sim = run_asm("li t0, 1\nli t1, 33\nsll t2, t0, t1")
+    assert reg(sim, "t2") == 2
+
+
+def test_slt_signed_vs_unsigned():
+    sim = run_asm(
+        "li t0, -1\nli t1, 1\nslt t2, t0, t1\nsltu t3, t0, t1"
+    )
+    assert reg(sim, "t2") == 1   # -1 < 1 signed
+    assert reg(sim, "t3") == 0   # 0xFFFFFFFF > 1 unsigned
+
+
+def test_immediate_alu_ops():
+    sim = run_asm(
+        "li t0, 10\naddi t1, t0, -3\nandi t2, t0, 8\n"
+        "ori t3, t0, 5\nxori t4, t0, 6\nslti t5, t0, 11"
+    )
+    assert reg(sim, "t1") == 7
+    assert reg(sim, "t2") == 8
+    assert reg(sim, "t3") == 15
+    assert reg(sim, "t4") == 12
+    assert reg(sim, "t5") == 1
+
+
+def test_immediate_shifts():
+    sim = run_asm("li t0, -4\nslli t1, t0, 2\nsrli t2, t0, 28\nsrai t3, t0, 1")
+    assert reg(sim, "t1") == -16
+    assert reg(sim, "t2") == 0xF
+    assert reg(sim, "t3") == -2
+
+
+def test_lui_shift_matches_li_expansion():
+    sim = run_asm("lui t0, 1\nori t0, t0, 5")
+    assert reg(sim, "t0") == (1 << 13) | 5
+
+
+def test_writes_to_x0_are_discarded():
+    sim = run_asm("li zero, 55\nmv t0, zero")
+    assert reg(sim, "t0") == 0
+
+
+# -- memory --------------------------------------------------------------------
+
+
+def test_word_store_load():
+    sim = run_asm(
+        "li t0, 0x400000\nli t1, -99\nsw t1, 4(t0)\nlw t2, 4(t0)"
+    )
+    assert reg(sim, "t2") == -99
+
+
+def test_byte_store_load_unsigned():
+    sim = run_asm(
+        "li t0, 0x400000\nli t1, 0x1FF\nsb t1, 0(t0)\nlb t2, 0(t0)"
+    )
+    assert reg(sim, "t2") == 0xFF
+
+
+def test_data_segment_loaded():
+    program = assemble(
+        ".data\nvalue: .word 4242\n.text\nmain:\n"
+        "la t0, value\nlw t1, 0(t0)\nhalt\n"
+    )
+    sim = Simulator(program)
+    sim.run(allow_truncation=False)
+    assert reg(sim, "t1") == 4242
+
+
+# -- control flow -----------------------------------------------------------------
+
+
+def test_conditional_branch_taken_and_not():
+    sim = run_asm(
+        """
+    li t0, 3
+    li t1, 3
+    beq t0, t1, taken
+    li t2, 111
+taken:
+    bne t0, t1, missed
+    li t3, 222
+missed:
+    """
+    )
+    assert reg(sim, "t2") == 0      # skipped by the taken beq
+    assert reg(sim, "t3") == 222    # bne fell through
+
+
+def test_unsigned_branches():
+    sim = run_asm(
+        """
+    li t0, -1
+    li t1, 1
+    bltu t1, t0, u_taken
+    li t2, 1
+u_taken:
+    bgeu t0, t1, g_taken
+    li t3, 1
+g_taken:
+    """
+    )
+    assert reg(sim, "t2") == 0  # 1 < 0xFFFFFFFF unsigned: branch taken
+    assert reg(sim, "t3") == 0
+
+
+def test_jal_links_return_address():
+    sim = run_asm(
+        """
+    call func
+    j end
+func:
+    li t0, 77
+    ret
+end:
+    """
+    )
+    assert reg(sim, "t0") == 77
+
+
+def test_jalr_computed_target():
+    sim = run_asm(
+        """
+    la t0, dest
+    jalr t1, t0, 0
+dest:
+    li t2, 5
+    """
+    )
+    assert reg(sim, "t2") == 5
+    assert reg(sim, "t1") != 0  # link register written
+
+
+def test_loop_branch_counts():
+    sim = run_asm(
+        """
+    li t0, 0
+    li t1, 6
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    """
+    )
+    assert sim.executor.conditional_branch_count == 6
+    assert sim.executor.taken_branch_count == 5
+
+
+# -- hooks, fuel, faults ---------------------------------------------------------
+
+
+class _RecordingHook:
+    def __init__(self):
+        self.events = []
+
+    def on_branch(self, pc, target, taken, instruction_count):
+        self.events.append((pc, target, taken, instruction_count))
+
+
+def test_branch_hook_sees_timestamp_and_target():
+    hook = _RecordingHook()
+    run_asm(
+        """
+    li t0, 0
+    li t1, 2
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    """,
+        hook=hook,
+    )
+    assert len(hook.events) == 2
+    first, second = hook.events
+    assert first[2] is True and second[2] is False
+    assert first[0] == second[0]          # same static branch
+    assert first[1] < first[0]            # backward target
+    # time stamps are the retired-instruction counts before each branch
+    assert second[3] > first[3]
+
+
+def test_fuel_exhaustion_raises():
+    program = assemble("main: j main\n")
+    simulator = Simulator(program)
+    with pytest.raises(FuelExhausted):
+        simulator.run(max_instructions=100, allow_truncation=False)
+
+
+def test_fuel_exhaustion_truncates_when_allowed():
+    program = assemble("main: j main\n")
+    result = Simulator(program).run(max_instructions=100)
+    assert not result.halted
+    assert result.instructions == 100
+
+
+def test_pc_escape_raises():
+    program = assemble("main: nop\n")  # no halt: falls off the end
+    simulator = Simulator(program)
+    with pytest.raises(SimulationError):
+        simulator.run(allow_truncation=False)

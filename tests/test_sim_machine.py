@@ -1,0 +1,114 @@
+"""Simulator facade and machine-state tests."""
+
+from repro.asm.assembler import assemble
+from repro.isa.program import STACK_TOP
+from repro.sim.hooks import CompositeBranchHook, NullBranchHook
+from repro.sim.machine import Simulator
+from repro.sim.state import MachineState, unsigned32, wrap32
+
+
+def test_wrap32_boundaries():
+    assert wrap32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert wrap32(0x80000000) == -(1 << 31)
+    assert wrap32(0xFFFFFFFF) == -1
+    assert wrap32(1 << 32) == 0
+    assert wrap32(-(1 << 32)) == 0
+
+
+def test_unsigned32():
+    assert unsigned32(-1) == 0xFFFFFFFF
+    assert unsigned32(5) == 5
+
+
+def test_machine_state_x0_is_hardwired():
+    state = MachineState()
+    state.write(0, 42)
+    assert state.read(0) == 0
+
+
+def test_register_dump_contains_all_registers():
+    dump = MachineState().dump_registers()
+    assert "zero" in dump and "t6" in dump and "pc=" in dump
+
+
+def test_stack_pointer_initialised():
+    program = assemble("main: mv t0, sp\nhalt\n")
+    sim = Simulator(program)
+    sim.run(allow_truncation=False)
+    from repro.isa.registers import register_number
+
+    assert sim.state.read(register_number("t0")) == STACK_TOP
+
+
+def test_run_result_fields():
+    program = assemble(
+        """
+main:
+    li t0, 0
+    li t1, 4
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a1, 0
+    ecall
+"""
+    )
+    result = Simulator(program).run(allow_truncation=False)
+    assert result.halted
+    assert result.conditional_branches == 4
+    assert result.taken_branches == 3
+    assert abs(result.taken_rate - 0.75) < 1e-12
+
+
+def test_taken_rate_zero_when_no_branches():
+    program = assemble("main: halt\n")
+    result = Simulator(program).run(allow_truncation=False)
+    assert result.taken_rate == 0.0
+
+
+def test_null_hook_accepts_events():
+    NullBranchHook().on_branch(0, 0, True, 0)  # must not raise
+
+
+def test_composite_hook_fans_out_in_order():
+    calls = []
+
+    class Probe:
+        def __init__(self, tag):
+            self.tag = tag
+
+        def on_branch(self, pc, target, taken, instruction_count):
+            calls.append((self.tag, pc))
+
+    hook = CompositeBranchHook([Probe("a"), Probe("b")])
+    hook.on_branch(4, 8, True, 0)
+    assert calls == [("a", 4), ("b", 4)]
+
+
+def test_simulation_is_deterministic():
+    source = """
+main:
+    li t0, 0
+    li t1, 50
+loop:
+    li a0, 6
+    ecall
+    andi a0, a0, 1
+    beqz a0, skip
+    addi t0, t0, 1
+skip:
+    addi t1, t1, -1
+    bgtz t1, loop
+    mv a1, t0
+    li a0, 1
+    ecall
+    li a0, 0
+    li a1, 0
+    ecall
+"""
+    program = assemble(source)
+    out_a = Simulator(program, random_seed=5).run(allow_truncation=False)
+    out_b = Simulator(program, random_seed=5).run(allow_truncation=False)
+    assert out_a.output == out_b.output
+    assert out_a.instructions == out_b.instructions

@@ -1,0 +1,74 @@
+"""BranchTrace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import BranchEvent, BranchTrace
+
+
+def _trace():
+    return BranchTrace.from_events(
+        [
+            BranchEvent(pc=0x100, target=0x80, taken=True, timestamp=5),
+            BranchEvent(pc=0x200, target=0x240, taken=False, timestamp=10),
+            BranchEvent(pc=0x100, target=0x80, taken=True, timestamp=15),
+            BranchEvent(pc=0x300, target=0x80, taken=True, timestamp=20),
+        ],
+        name="unit",
+    )
+
+
+def test_len_and_indexing():
+    trace = _trace()
+    assert len(trace) == 4
+    event = trace[2]
+    assert event.pc == 0x100 and event.taken and event.timestamp == 15
+
+
+def test_iteration_yields_events_in_order():
+    timestamps = [e.timestamp for e in _trace()]
+    assert timestamps == [5, 10, 15, 20]
+
+
+def test_static_branches_sorted_unique():
+    assert _trace().static_branches() == [0x100, 0x200, 0x300]
+
+
+def test_execution_counts():
+    assert _trace().execution_counts() == {0x100: 2, 0x200: 1, 0x300: 1}
+
+
+def test_taken_counts():
+    counts = _trace().taken_counts()
+    assert counts[0x100] == (2, 2)
+    assert counts[0x200] == (1, 0)
+
+
+def test_slice_preserves_columns():
+    sliced = _trace().slice(1, 3)
+    assert len(sliced) == 2
+    assert sliced[0].pc == 0x200
+    assert sliced[1].timestamp == 15
+
+
+def test_filter_pcs():
+    filtered = _trace().filter_pcs([0x100])
+    assert len(filtered) == 2
+    assert set(filtered.static_branches()) == {0x100}
+    # timestamps survive filtering (important for interleave analysis)
+    assert [e.timestamp for e in filtered] == [5, 15]
+
+
+def test_column_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        BranchTrace(
+            np.array([1], dtype=np.uint64),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([True]),
+            np.array([1], dtype=np.uint64),
+        )
+
+
+def test_repr_mentions_name_and_sizes():
+    text = repr(_trace())
+    assert "unit" in text and "events=4" in text

@@ -1,0 +1,93 @@
+"""Trace statistics (Table 1 machinery) and downsampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import BranchTrace
+from repro.trace.sampling import systematic_sample, truncate
+from repro.trace.stats import frequency_cutoff, summarize_trace
+
+
+def _skewed_trace():
+    # branch 0x100 executes 90 times, 0x200 9 times, 0x300 once
+    pcs = [0x100] * 90 + [0x200] * 9 + [0x300]
+    return BranchTrace(
+        np.array(pcs, dtype=np.uint64),
+        np.array([0x80] * 100, dtype=np.uint64),
+        np.array([True] * 100),
+        np.arange(100, dtype=np.uint64),
+        name="skewed",
+    )
+
+
+def test_frequency_cutoff_keeps_hot_branches_first():
+    kept, covered = frequency_cutoff(_skewed_trace(), coverage=0.9)
+    assert kept == [0x100]
+    assert covered == 90
+
+
+def test_frequency_cutoff_full_coverage_keeps_everything():
+    kept, covered = frequency_cutoff(_skewed_trace(), coverage=1.0)
+    assert kept == [0x100, 0x200, 0x300]
+    assert covered == 100
+
+
+def test_frequency_cutoff_max_static_cap():
+    kept, covered = frequency_cutoff(
+        _skewed_trace(), coverage=1.0, max_static=2
+    )
+    assert kept == [0x100, 0x200]
+    assert covered == 99
+
+
+def test_frequency_cutoff_rejects_bad_coverage():
+    with pytest.raises(ValueError):
+        frequency_cutoff(_skewed_trace(), coverage=0.0)
+
+
+def test_summarize_trace_matches_paper_columns():
+    summary = summarize_trace(_skewed_trace(), coverage=0.99)
+    assert summary.total_dynamic == 100
+    assert summary.analyzed_dynamic == 99
+    assert summary.total_static == 3
+    assert summary.analyzed_static == 2
+    assert summary.percent_analyzed == pytest.approx(99.0)
+    assert summary.taken_fraction == 1.0
+
+
+def test_summarize_empty_trace():
+    empty = BranchTrace.from_events([], name="empty")
+    summary = summarize_trace(empty)
+    assert summary.total_dynamic == 0
+    assert summary.percent_analyzed == 0.0
+
+
+def test_truncate():
+    trace = _skewed_trace()
+    assert len(truncate(trace, 10)) == 10
+    assert truncate(trace, 1000) is trace
+    with pytest.raises(ValueError):
+        truncate(trace, -1)
+
+
+def test_systematic_sample_keeps_whole_windows():
+    trace = _skewed_trace()
+    sampled = systematic_sample(trace, window=10, keep_every=2)
+    assert len(sampled) == 50
+    # first window intact, second dropped
+    assert list(sampled.timestamps[:10]) == list(range(10))
+    assert sampled.timestamps[10] == 20
+
+
+def test_systematic_sample_identity_cases():
+    trace = _skewed_trace()
+    assert systematic_sample(trace, window=10, keep_every=1) is trace
+    assert systematic_sample(trace, window=1000, keep_every=5) is trace
+
+
+def test_systematic_sample_validates_arguments():
+    trace = _skewed_trace()
+    with pytest.raises(ValueError):
+        systematic_sample(trace, window=0, keep_every=2)
+    with pytest.raises(ValueError):
+        systematic_sample(trace, window=10, keep_every=0)

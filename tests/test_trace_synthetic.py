@@ -1,0 +1,124 @@
+"""Synthetic trace generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace.synthetic import (
+    Behavior,
+    Phase,
+    SyntheticBranch,
+    SyntheticWorkload,
+    make_phased_workload,
+)
+
+
+def test_branch_validation():
+    with pytest.raises(ValueError):
+        SyntheticBranch(0x10, Behavior.BIASED, bias=1.5)
+    with pytest.raises(ValueError):
+        SyntheticBranch(0x10, Behavior.PATTERN, pattern="TX")
+    with pytest.raises(ValueError):
+        SyntheticBranch(0x10, Behavior.LOOP, trip_count=0)
+
+
+def test_phase_validation():
+    branch = SyntheticBranch(0x10)
+    with pytest.raises(ValueError):
+        Phase((), iterations=5)
+    with pytest.raises(ValueError):
+        Phase((branch,), iterations=0)
+    with pytest.raises(ValueError):
+        Phase((branch,), mean_gap=0)
+
+
+def test_generation_is_deterministic():
+    workload = make_phased_workload(3, 4, iterations=50, seed=1)
+    a = workload.generate(seed=9)
+    b = workload.generate(seed=9)
+    assert np.array_equal(a.pcs, b.pcs)
+    assert np.array_equal(a.taken, b.taken)
+    assert np.array_equal(a.timestamps, b.timestamps)
+
+
+def test_different_seeds_differ():
+    workload = make_phased_workload(3, 4, iterations=50, seed=1)
+    a = workload.generate(seed=9)
+    b = workload.generate(seed=10)
+    assert not np.array_equal(a.taken, b.taken)
+
+
+def test_timestamps_strictly_increasing():
+    trace = make_phased_workload(4, 5, iterations=40, seed=2).generate(3)
+    diffs = np.diff(trace.timestamps.astype(np.int64))
+    assert (diffs > 0).all()
+
+
+def test_event_count_matches_schedule():
+    workload = make_phased_workload(3, 4, iterations=25, seed=0)
+    trace = workload.generate(0)
+    assert len(trace) == 3 * 4 * 25
+
+
+def test_pattern_branch_is_periodic():
+    branch = SyntheticBranch(0x40, Behavior.PATTERN, pattern="TTN")
+    workload = SyntheticWorkload(phases=[Phase((branch,), iterations=9)])
+    trace = workload.generate(0)
+    assert list(trace.taken) == [True, True, False] * 3
+
+
+def test_loop_branch_exits_every_trip_count():
+    branch = SyntheticBranch(0x40, Behavior.LOOP, trip_count=4)
+    workload = SyntheticWorkload(phases=[Phase((branch,), iterations=8)])
+    trace = workload.generate(0)
+    assert list(trace.taken) == [True, True, True, False] * 2
+
+
+def test_correlated_branch_copies_previous_outcome():
+    leader = SyntheticBranch(0x40, Behavior.PATTERN, pattern="TN")
+    follower = SyntheticBranch(0x44, Behavior.CORRELATED)
+    workload = SyntheticWorkload(
+        phases=[Phase((leader, follower), iterations=6)]
+    )
+    trace = workload.generate(0)
+    outcomes = list(trace.taken)
+    assert outcomes[0::2] == outcomes[1::2]
+
+
+def test_biased_branch_respects_bias():
+    branch = SyntheticBranch(0x40, Behavior.BIASED, bias=0.99)
+    workload = SyntheticWorkload(phases=[Phase((branch,), iterations=500)])
+    trace = workload.generate(1)
+    assert trace.taken.mean() > 0.95
+
+
+def test_ground_truth_working_sets_partition_pcs():
+    workload = make_phased_workload(5, 6, seed=3)
+    sets = workload.ground_truth_working_sets()
+    flat = [pc for s in sets for pc in s]
+    assert len(flat) == len(set(flat)) == 30
+
+
+def test_scattered_pcs_are_unique_and_word_aligned():
+    workload = make_phased_workload(4, 8, seed=5, text_span=1 << 16)
+    pcs = [b.pc for phase in workload.phases for b in phase.branches]
+    assert len(set(pcs)) == len(pcs)
+    assert all(pc % 4 == 0 for pc in pcs)
+
+
+def test_text_span_too_small_rejected():
+    with pytest.raises(ValueError):
+        make_phased_workload(10, 10, text_span=64)
+
+
+def test_schedule_controls_phase_revisits():
+    workload = make_phased_workload(2, 3, iterations=10, seed=0)
+    workload.schedule = [0, 1, 0]
+    trace = workload.generate(0)
+    assert len(trace) == 3 * 10 * 3
+
+
+def test_invalid_factory_arguments():
+    with pytest.raises(ValueError):
+        make_phased_workload(0, 5)
+    with pytest.raises(ValueError):
+        make_phased_workload(5, 0)

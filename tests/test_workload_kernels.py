@@ -1,0 +1,302 @@
+"""Every assembly kernel is verified against its Python reference."""
+
+import binascii
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.sim.machine import Simulator
+from repro.workloads.kernels import (
+    arrays,
+    bintree,
+    crc,
+    fsm,
+    hashtab,
+    interp,
+    kernel_registry,
+    life,
+    matmul,
+    queens,
+    rle,
+    sieve,
+    strsearch,
+)
+from repro.workloads.kernels.common import get_kernel, instantiate
+
+SCRATCH = 0x0040_0000
+SEED = 0x2545F491
+
+
+def run_kernel(body_asm, main_asm, input_data=b"", seed=SEED):
+    """Assemble main + kernel, run to completion, return (sim, ints)."""
+    program = assemble(".text\nmain:\n" + main_asm + body_asm)
+    simulator = Simulator(program, input_data=input_data, random_seed=seed)
+    result = simulator.run(max_instructions=80_000_000,
+                           allow_truncation=False)
+    values = [int(x) for x in result.output.split()]
+    return simulator, values
+
+
+def _print_and_exit():
+    return (
+        "    mv a1, a0\n"
+        "    li a0, 1\n"
+        "    ecall\n"
+        "    li a0, 0\n"
+        "    li a1, 0\n"
+        "    ecall\n"
+    )
+
+
+def xorshift_stream(seed=SEED):
+    x = seed & 0xFFFFFFFF or 1
+    while True:
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        yield x
+
+
+def test_registry_contains_all_kernels():
+    names = set(kernel_registry())
+    assert names == {
+        "rle", "fillrand", "checksum", "qsort", "crc", "matmul", "sieve",
+        "queens", "strsearch", "hashtab", "bintree", "interp", "fsm", "life",
+    }
+
+
+def test_get_kernel_unknown_raises():
+    with pytest.raises(KeyError):
+        get_kernel("nope")
+
+
+def test_instantiate_suffixes_all_labels():
+    body = rle.emit("_7")
+    assert "rle_7:" in body
+    assert "rle_loop_7:" in body
+    assert "@" not in body
+
+
+def test_instantiate_rejects_bad_suffix():
+    with pytest.raises(ValueError):
+        instantiate("x@: nop", "_bad!")
+
+
+def test_rle_matches_reference():
+    data = b"aaabccccdd" * 30 + bytes(range(64))
+    main = f"    li a0, {SCRATCH}\n    li a1, 0\n    call rle\n"
+    sim, (length,) = run_kernel(
+        rle.emit(""), main + _print_and_exit(), input_data=data
+    )
+    encoded = bytes(sim.state.memory.load_bytes(SCRATCH, length))
+    assert encoded == rle.reference(data)
+
+
+def test_rle_respects_byte_limit():
+    data = b"abcabcabc" * 20
+    main = f"    li a0, {SCRATCH}\n    li a1, 25\n    call rle\n"
+    sim, (length,) = run_kernel(
+        rle.emit(""), main + _print_and_exit(), input_data=data
+    )
+    encoded = bytes(sim.state.memory.load_bytes(SCRATCH, length))
+    assert encoded == rle.reference(data, limit=25)
+
+
+def test_rle_empty_input():
+    main = f"    li a0, {SCRATCH}\n    li a1, 0\n    call rle\n"
+    _, (length,) = run_kernel(rle.emit(""), main + _print_and_exit())
+    assert length == 0
+
+
+def test_rle_long_runs_capped_at_255():
+    data = b"z" * 600
+    main = f"    li a0, {SCRATCH}\n    li a1, 0\n    call rle\n"
+    sim, (length,) = run_kernel(
+        rle.emit(""), main + _print_and_exit(), input_data=data
+    )
+    encoded = bytes(sim.state.memory.load_bytes(SCRATCH, length))
+    assert encoded == rle.reference(data)
+    assert max(encoded[0::2]) == 255
+
+
+def test_crc_matches_binascii():
+    payload = b"The quick brown fox jumps over the lazy dog" * 4
+    main = "    li a0, 0\n    call crc\n"
+    _, (value,) = run_kernel(
+        crc.emit(""), main + _print_and_exit(), input_data=payload
+    )
+    assert value & 0xFFFFFFFF == binascii.crc32(payload)
+
+
+def test_crc_respects_byte_limit():
+    payload = b"0123456789" * 10
+    main = "    li a0, 17\n    call crc\n"
+    _, (value,) = run_kernel(
+        crc.emit(""), main + _print_and_exit(), input_data=payload
+    )
+    assert value & 0xFFFFFFFF == binascii.crc32(payload[:17])
+
+
+def test_qsort_sorts_and_checksum_is_preserved():
+    n = 150
+    main = (
+        f"    li a0, {SCRATCH}\n    li a1, {n}\n    call fillrand\n"
+        f"    li a0, {SCRATCH}\n    li a1, {n}\n    call checksum\n"
+        "    mv s3, a0\n"
+        f"    li a0, {SCRATCH}\n    li a1, {n}\n    call qsort\n"
+        f"    li a0, {SCRATCH}\n    li a1, {n}\n    call checksum\n"
+        "    sub a0, a0, s3\n"
+    )
+    sim, (diff,) = run_kernel(
+        arrays.emit_fillrand("") + arrays.emit_checksum("")
+        + arrays.emit_qsort(""),
+        main + _print_and_exit(),
+    )
+    assert diff == 0  # sorting permutes, sum unchanged
+    values = [sim.state.memory.load_word(SCRATCH + 4 * i) for i in range(n)]
+    assert values == sorted(values)
+
+
+def test_checksum_reference_wraps():
+    assert arrays.checksum_reference([0x7FFFFFFF, 1]) == -(1 << 31)
+
+
+def test_matmul_matches_reference():
+    n = 5
+    fill = (
+        f"    li t0, {SCRATCH}\n    li t1, 0\n    li t2, {2 * n * n}\n"
+        "mfill:\n"
+        "    slli t3, t1, 2\n    add t3, t3, t0\n"
+        "    addi t4, t1, 3\n    mul t4, t4, t4\n    sw t4, 0(t3)\n"
+        "    addi t1, t1, 1\n    blt t1, t2, mfill\n"
+    )
+    main = fill + (
+        f"    li a0, {SCRATCH}\n    li a1, {n}\n    call matmul\n"
+        f"    li t0, {SCRATCH + 8 * n * n}\n"
+        "    lw a1, 0(t0)\n    li a0, 1\n    ecall\n"
+        f"    lw a1, {4 * (n * n - 1)}(t0)\n    li a0, 1\n    ecall\n"
+        "    li a0, 0\n    li a1, 0\n    ecall\n"
+    )
+    _, outs = run_kernel(matmul.emit(""), main)
+    a = [[(n * i + j + 3) ** 2 for j in range(n)] for i in range(n)]
+    b = [[(n * n + n * i + j + 3) ** 2 for j in range(n)] for i in range(n)]
+    expected = matmul.reference(a, b)
+    assert outs == [expected[0][0], expected[n - 1][n - 1]]
+
+
+@pytest.mark.parametrize("n,expected", [(100, 25), (1000, 168)])
+def test_sieve_prime_counts(n, expected):
+    main = f"    li a0, {SCRATCH}\n    li a1, {n}\n    call sieve\n"
+    _, (count,) = run_kernel(sieve.emit(""), main + _print_and_exit())
+    assert count == expected == sieve.reference(n)
+
+
+@pytest.mark.parametrize("n", [4, 5, 6, 7])
+def test_queens_known_solution_counts(n):
+    main = f"    li a0, {n}\n    call queens\n"
+    _, (count,) = run_kernel(queens.emit(""), main + _print_and_exit())
+    assert count == queens.SOLUTIONS[n]
+
+
+def test_strsearch_counts_occurrences():
+    text = b"the theme of the anthem: breathe " * 15
+    main = f"    li a0, {SCRATCH}\n    li a1, 0\n    call strsearch\n"
+    _, (count,) = run_kernel(
+        strsearch.emit(""), main + _print_and_exit(), input_data=text
+    )
+    assert count == strsearch.reference(text)
+
+
+def test_strsearch_respects_byte_limit():
+    text = b"the the the"
+    main = f"    li a0, {SCRATCH}\n    li a1, 5\n    call strsearch\n"
+    _, (count,) = run_kernel(
+        strsearch.emit(""), main + _print_and_exit(), input_data=text
+    )
+    assert count == strsearch.reference(text, limit=5) == 1
+
+
+def test_hashtab_distinct_key_count():
+    ops = 300
+    main = f"    li a0, {SCRATCH}\n    li a1, {ops}\n    call hashtab\n"
+    _, (distinct,) = run_kernel(
+        hashtab.emit(""), main + _print_and_exit()
+    )
+    rng = xorshift_stream()
+    keys = [(next(rng) & 0x3FFF) | 1 for _ in range(ops)]
+    assert distinct == len(hashtab.reference(keys))
+
+
+def test_bintree_distinct_key_count():
+    inserts = 500
+    main = f"    li a0, {SCRATCH}\n    li a1, {inserts}\n    call bintree\n"
+    _, (distinct,) = run_kernel(
+        bintree.emit(""), main + _print_and_exit()
+    )
+    rng = xorshift_stream()
+    assert distinct == len({next(rng) & 0xFFFF for _ in range(inserts)})
+
+
+def test_bintree_arena_sizing_helper():
+    assert bintree.arena_bytes(10) == 8 + 120
+
+
+def test_interp_matches_reference_vm():
+    n, steps = 48, 2000
+    main = (
+        f"    li a0, {SCRATCH}\n    li a1, {n}\n    li a2, {steps}\n"
+        "    call interp\n"
+    )
+    _, (acc,) = run_kernel(interp.emit(""), main + _print_and_exit())
+    rng = xorshift_stream()
+    program = []
+    for _ in range(n):
+        r = next(rng)
+        program.append((r & 7, (r >> 3) & 255))
+    assert acc == interp.reference(program, steps)
+
+
+def test_fsm_token_count_matches_reference():
+    text = b"hello 123 world!! 42 foo_bar baz 7\n" * 12
+    main = "    li a0, 0\n    call fsm\n"
+    _, (tokens,) = run_kernel(
+        fsm.emit(""), main + _print_and_exit(), input_data=text
+    )
+    assert tokens == fsm.reference(text)
+
+
+def test_fsm_respects_byte_limit():
+    text = b"abc 123 def 456"
+    main = "    li a0, 7\n    call fsm\n"
+    _, (tokens,) = run_kernel(
+        fsm.emit(""), main + _print_and_exit(), input_data=text
+    )
+    assert tokens == fsm.reference(text, limit=7)
+
+
+def test_life_matches_reference():
+    gens = 6
+    main = f"    li a0, {SCRATCH}\n    li a1, {gens}\n    call life\n"
+    _, (alive,) = run_kernel(life.emit(""), main + _print_and_exit())
+    rng = xorshift_stream()
+    initial = [next(rng) & 1 for _ in range(life.CELLS)]
+    assert alive == life.reference(initial, gens)
+
+
+def test_life_reference_validates_grid():
+    with pytest.raises(ValueError):
+        life.reference([0, 1], 1)
+
+
+def test_two_instances_are_independent():
+    """The same kernel instantiated twice keeps separate state/labels."""
+    data = b"xy" * 50
+    body = rle.emit("") + rle.emit("_1")
+    main = (
+        f"    li a0, {SCRATCH}\n    li a1, 0\n    call rle\n"
+        "    mv s3, a0\n"
+        f"    li a0, {SCRATCH + 0x10000}\n    li a1, 0\n    call rle_1\n"
+        "    sub a0, a0, s3\n"
+    )
+    _, (diff,) = run_kernel(body, main + _print_and_exit(), input_data=data)
+    assert diff == 0  # identical work, identical result

@@ -1,0 +1,192 @@
+"""Workload builder and input-generator tests."""
+
+import pytest
+
+from repro.workloads.build import (
+    BuiltWorkload,
+    InputSpec,
+    KernelCall,
+    PhaseSpec,
+    WorkloadSpec,
+    build_workload,
+    replicated_calls,
+    run_workload,
+)
+from repro.workloads.inputs import (
+    binary_runs,
+    make_input,
+    mixed_input,
+    text_input,
+)
+
+
+def _tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny",
+        phases=(
+            PhaseSpec(
+                (
+                    KernelCall("rle", 0, (40,)),
+                    KernelCall("crc", 0, (20,)),
+                ),
+                iterations=3,
+            ),
+        ),
+        rounds=2,
+        input=InputSpec(kind="binary", size=512, seed=1),
+        fuel=2_000_000,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+# -- inputs -------------------------------------------------------------------
+
+
+def test_text_input_deterministic_and_sized():
+    a = text_input(1000, seed=3)
+    b = text_input(1000, seed=3)
+    assert a == b and len(a) == 1000
+    assert a != text_input(1000, seed=4)
+
+
+def test_text_input_looks_like_text():
+    data = text_input(2000, seed=1)
+    letters = sum(1 for b in data if 97 <= b <= 122)
+    assert letters > len(data) * 0.5
+
+
+def test_binary_runs_have_runs():
+    data = binary_runs(2000, seed=2, mean_run=8)
+    repeats = sum(1 for i in range(1, len(data)) if data[i] == data[i - 1])
+    assert repeats > len(data) * 0.5
+
+
+def test_mixed_input_sized():
+    assert len(mixed_input(3000, seed=5)) == 3000
+
+
+def test_make_input_dispatch_and_validation():
+    assert make_input("text", 100, 1) == text_input(100, 1)
+    with pytest.raises(KeyError):
+        make_input("audio", 100, 1)
+    with pytest.raises(ValueError):
+        text_input(-1)
+    with pytest.raises(ValueError):
+        binary_runs(10, mean_run=0)
+
+
+# -- spec validation -------------------------------------------------------------
+
+
+def test_kernel_call_validation():
+    with pytest.raises(ValueError):
+        KernelCall("rle", instance=-1)
+    with pytest.raises(ValueError):
+        KernelCall("rle", args=(1, 2, 3, 4))
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        PhaseSpec((), iterations=1)
+    with pytest.raises(ValueError):
+        PhaseSpec((KernelCall("rle"),), iterations=0)
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="x", phases=())
+    with pytest.raises(ValueError):
+        _tiny_spec(rounds=0)
+
+
+def test_unknown_kernel_rejected_at_build():
+    spec = _tiny_spec(
+        phases=(PhaseSpec((KernelCall("nonexistent"),), iterations=1),)
+    )
+    with pytest.raises(KeyError):
+        build_workload(spec)
+
+
+# -- building --------------------------------------------------------------------
+
+
+def test_build_assigns_disjoint_scratch():
+    spec = _tiny_spec(
+        phases=(
+            PhaseSpec(
+                (
+                    KernelCall("rle", 0, (10,)),
+                    KernelCall("rle", 1, (10,)),
+                    KernelCall("hashtab", 0, (5,)),
+                ),
+                iterations=2,
+            ),
+        )
+    )
+    built = build_workload(spec)
+    regions = sorted(built.scratch_map.values())
+    assert len(regions) == 3
+    assert len(set(regions)) == 3
+    # 4 KiB aligned
+    assert all(r % 0x1000 == 0 for r in regions)
+
+
+def test_scratch_free_kernels_get_no_region():
+    built = build_workload(_tiny_spec())
+    assert ("crc", 0) not in built.scratch_map
+    assert ("rle", 0) in built.scratch_map
+
+
+def test_build_is_deterministic():
+    a = build_workload(_tiny_spec())
+    b = build_workload(_tiny_spec())
+    assert a.program.instructions == b.program.instructions
+    assert a.input_data == b.input_data
+
+
+def test_text_scatter_spreads_kernels():
+    packed = build_workload(_tiny_spec(text_scatter=None))
+    scattered = build_workload(_tiny_spec())
+    assert len(scattered.program) > len(packed.program) + 256
+
+
+def test_static_branch_count_property():
+    built = build_workload(_tiny_spec())
+    assert built.static_conditional_branches > 5
+
+
+def test_run_workload_halts_and_prints_checksum():
+    result = run_workload(build_workload(_tiny_spec()))
+    assert result.halted
+    assert result.exit_code == 0
+    assert result.output.endswith(b"\n")
+    int(result.output.split()[-1])  # parses as the driver's checksum
+
+
+def test_run_workload_respects_fuel_override():
+    result = run_workload(build_workload(_tiny_spec()), max_instructions=500)
+    assert not result.halted
+    assert result.instructions == 500
+
+
+def test_runs_are_reproducible():
+    built = build_workload(_tiny_spec())
+    out_a = run_workload(built).output
+    out_b = run_workload(build_workload(_tiny_spec())).output
+    assert out_a == out_b
+
+
+def test_replicated_calls_helper():
+    calls = replicated_calls("fsm", 3, (10,))
+    assert [c.instance for c in calls] == [0, 1, 2]
+    assert all(c.args == (10,) for c in calls)
+    with pytest.raises(ValueError):
+        replicated_calls("fsm", 0)
+
+
+def test_built_workload_is_frozen_dataclass():
+    built = build_workload(_tiny_spec())
+    assert isinstance(built, BuiltWorkload)
+    with pytest.raises(AttributeError):
+        built.program = None
