@@ -10,6 +10,8 @@ The package is organised bottom-up:
   analysis), :mod:`repro.analysis` (conflict graph + working sets),
   :mod:`repro.allocation` (graph-colouring branch allocation);
 * :mod:`repro.predictors` — the 2-level predictor family (PAg et al.);
+* :mod:`repro.static_analysis` — CFG, dominators, natural loops, a
+  profile-free conflict-graph estimator, and an assembly linter;
 * :mod:`repro.eval` — regenerates every table and figure in the paper.
 
 Quick start::
@@ -55,6 +57,14 @@ from .profiling import (
     merge_profiles,
     profile_trace,
 )
+from .static_analysis import (
+    StaticConflictEstimator,
+    build_cfg,
+    estimate_conflict_graph,
+    find_loops,
+    lint_program,
+    lint_source,
+)
 from .trace import BranchTrace, TraceCapture, make_phased_workload
 from .workloads import benchmark_suite, build_workload, run_workload
 
@@ -74,16 +84,22 @@ __all__ = [
     "InterleaveProfile",
     "PAgPredictor",
     "PCModuloIndex",
+    "StaticConflictEstimator",
     "StaticIndexMap",
     "TraceCapture",
     "WorkingSetPartition",
     "__version__",
     "benchmark_suite",
+    "build_cfg",
     "build_conflict_graph",
     "build_workload",
     "classify_profile",
     "conflict_cost",
     "conventional_cost",
+    "estimate_conflict_graph",
+    "find_loops",
+    "lint_program",
+    "lint_source",
     "make_phased_workload",
     "merge_profiles",
     "partition_working_sets",

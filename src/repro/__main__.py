@@ -5,9 +5,16 @@ Commands
 ``list``        — the benchmark analogs and registered kernels.
 ``run``         — simulate one benchmark analog, print run statistics.
 ``profile``     — profile a benchmark and print its Table 2 row.
-``allocate``    — branch allocation sizing for one benchmark (Table 3/4).
+``allocate``    — branch allocation sizing for one benchmark (Table 3/4);
+                  ``--static`` allocates from the static conflict-graph
+                  estimate instead, with no profiling or simulation step.
+``cfg``         — static control-flow summary (blocks, loops, functions).
+``lint``        — static verifier diagnostics for one benchmark or --all.
 ``experiment``  — run a registered experiment (table1..figure4, ablations).
 ``disasm``      — assemble a workload and print its program listing.
+
+Unknown benchmark names exit with status 2 and a message on stderr.
+``lint`` exits 1 when any program has errors.
 """
 
 from __future__ import annotations
@@ -24,6 +31,12 @@ from .allocation import (
 from .analysis import working_set_metrics
 from .eval import BenchmarkRunner
 from .eval.experiments import EXPERIMENTS, run_experiment
+from .static_analysis import (
+    StaticConflictEstimator,
+    build_cfg,
+    find_loops,
+    lint_program,
+)
 from .workloads import (
     benchmark_suite,
     build_workload,
@@ -77,9 +90,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_allocate(args: argparse.Namespace) -> int:
+    threshold = args.threshold or _threshold_for(args.scale)
+    if args.static:
+        return _allocate_static(args, threshold)
     runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
     profile = runner.profile(args.benchmark)
-    threshold = args.threshold or _threshold_for(args.scale)
     plain = BranchAllocator(profile, threshold=threshold)
     baseline = conventional_cost(plain.graph, 1024)
     sizing3 = required_bht_size(plain, baseline)
@@ -89,6 +104,86 @@ def cmd_allocate(args: argparse.Namespace) -> int:
     print(f"  required BHT size (Table 3 style): {sizing3.required_size}")
     print(f"  with classification (Table 4):     {sizing4.required_size}")
     return 0
+
+
+def _allocate_static(args: argparse.Namespace, threshold: int) -> int:
+    """Profile-free allocation: build, estimate, colour.  No simulation."""
+    if args.bht < 1:
+        print(f"error: --bht must be positive, got {args.bht}",
+              file=sys.stderr)
+        return 2
+    built = build_workload(get_benchmark(args.benchmark, scale=args.scale))
+    estimate = StaticConflictEstimator(threshold=threshold).estimate(
+        built.program
+    )
+    graph = estimate.graph
+    allocator = BranchAllocator.from_graph(graph, threshold=threshold)
+    allocation = allocator.allocate(args.bht)
+    baseline = conventional_cost(graph, 1024)
+    print(f"{args.benchmark}: static estimate (no profiling run)")
+    print(f"  {len(built.program)} instructions, "
+          f"{built.static_conditional_branches} static branches, "
+          f"{len(estimate.loops.loops)} natural loops")
+    print(f"  predicted conflict graph: {graph.node_count} nodes, "
+          f"{graph.edge_count} edges (threshold {threshold})")
+    print(f"  allocation @{args.bht} entries: predicted cost "
+          f"{allocation.cost}, {len(allocation.shared_branches)} shared "
+          f"branches")
+    if baseline:
+        sizing = required_bht_size(allocator, baseline)
+        print(f"  predicted required BHT size: {sizing.required_size} "
+              f"(vs conventional cost {baseline} @1024)")
+    return 0
+
+
+def cmd_cfg(args: argparse.Namespace) -> int:
+    built = build_workload(get_benchmark(args.benchmark, scale=args.scale))
+    cfg = build_cfg(built.program)
+    forest = find_loops(cfg)
+    branches = cfg.conditional_branches()
+    in_loops = sum(1 for _, block in branches if forest.by_block.get(block))
+    reachable = cfg.reachable_blocks()
+    max_depth = max((l.depth for l in forest.loops), default=0)
+    print(f"{args.benchmark}: {len(built.program)} instructions")
+    print(f"  blocks:     {cfg.block_count} "
+          f"({len(reachable)} reachable), {cfg.edge_count} edges")
+    print(f"  functions:  {len(cfg.function_entries)} entries, "
+          f"{len(cfg.call_sites)} call sites, "
+          f"{len(cfg.indirect_targets)} address-taken labels")
+    print(f"  loops:      {len(forest.loops)} natural loops, "
+          f"max nesting depth {max_depth}")
+    print(f"  branches:   {len(branches)} conditional, "
+          f"{in_loops} inside a local loop body")
+    if args.loops:
+        for loop in sorted(
+            forest.loops, key=lambda l: (l.depth, cfg.address_of(
+                cfg.blocks[l.header]))
+        ):
+            print(f"    depth {loop.depth}: header "
+                  f"0x{cfg.address_of(cfg.blocks[loop.header]):08x}, "
+                  f"{len(loop.body)} blocks, "
+                  f"{len(loop.back_edges)} back edge(s)")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.all:
+        names = sorted(benchmark_suite())
+    elif args.benchmark:
+        names = [args.benchmark]
+    else:
+        print("error: give a benchmark name or --all", file=sys.stderr)
+        return 2
+    failed = False
+    for name in names:
+        built = build_workload(get_benchmark(name, scale=args.scale))
+        report = lint_program(built.program)
+        if report.clean and args.all:
+            print(f"{name}: clean")
+        else:
+            print(report.render())
+        failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -131,7 +226,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", type=float, default=1.0)
 
     add_common(sub.add_parser("profile", help="Table 2 row"))
-    add_common(sub.add_parser("allocate", help="Table 3/4 sizing"))
+
+    p_alloc = sub.add_parser("allocate", help="Table 3/4 sizing")
+    add_common(p_alloc)
+    p_alloc.add_argument("--static", action="store_true",
+                         help="allocate from the static conflict-graph "
+                         "estimate (no profiling or simulation)")
+    p_alloc.add_argument("--bht", type=int, default=128,
+                         help="BHT entries for the static allocation")
+
+    p_cfg = sub.add_parser("cfg", help="static control-flow summary")
+    p_cfg.add_argument("benchmark")
+    p_cfg.add_argument("--scale", type=float, default=1.0)
+    p_cfg.add_argument("--loops", action="store_true",
+                       help="also list every natural loop")
+
+    p_lint = sub.add_parser("lint", help="static verifier diagnostics")
+    p_lint.add_argument("benchmark", nargs="?", default="")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registered benchmark analog")
+    p_lint.add_argument("--scale", type=float, default=1.0)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -151,6 +265,8 @@ _HANDLERS = {
     "run": cmd_run,
     "profile": cmd_profile,
     "allocate": cmd_allocate,
+    "cfg": cmd_cfg,
+    "lint": cmd_lint,
     "experiment": cmd_experiment,
     "disasm": cmd_disasm,
 }
@@ -158,7 +274,13 @@ _HANDLERS = {
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except KeyError as exc:
+        # unknown benchmark/kernel names surface as KeyError from the
+        # registries; report them cleanly instead of a traceback
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -48,11 +48,14 @@ class AllocationResult:
 
 
 class BranchAllocator:
-    """Computes branch-to-BHT-entry assignments from a profile.
+    """Computes branch-to-BHT-entry assignments from a conflict graph.
 
     The three paper steps: interleave profile (done upstream), conflict
     graph construction with threshold pruning, then graph colouring with
-    entry sharing instead of spilling.
+    entry sharing instead of spilling.  The graph normally comes from a
+    profile, but any :class:`ConflictGraph` works — in particular the
+    profile-free static estimate from
+    :mod:`repro.static_analysis.estimator` (see :meth:`from_graph`).
 
     Example::
 
@@ -63,15 +66,47 @@ class BranchAllocator:
 
     def __init__(
         self,
-        profile: InterleaveProfile,
+        profile: Optional[InterleaveProfile] = None,
         threshold: int = DEFAULT_THRESHOLD,
         restrict_to: Optional[Iterable[int]] = None,
+        graph: Optional[ConflictGraph] = None,
     ) -> None:
+        """
+        Args:
+            profile: interleave profile to build the conflict graph from.
+            threshold: edge-pruning threshold (applied to *profile*; a
+                supplied *graph* is taken as already pruned).
+            restrict_to: optional static-branch subset (profile path only).
+            graph: a pre-built conflict graph, instead of a profile.
+
+        Raises:
+            ValueError: unless exactly one of *profile*/*graph* is given.
+        """
+        if (profile is None) == (graph is None):
+            raise ValueError(
+                "provide exactly one of profile= or graph="
+            )
         self.profile = profile
         self.threshold = threshold
-        self.graph: ConflictGraph = build_conflict_graph(
-            profile, threshold=threshold, restrict_to=restrict_to
-        )
+        if graph is not None:
+            self.graph: ConflictGraph = graph
+        else:
+            assert profile is not None
+            self.graph = build_conflict_graph(
+                profile, threshold=threshold, restrict_to=restrict_to
+            )
+
+    @classmethod
+    def from_graph(
+        cls, graph: ConflictGraph, threshold: int = DEFAULT_THRESHOLD
+    ) -> "BranchAllocator":
+        """An allocator over a pre-built (already pruned) conflict graph.
+
+        This is the profile-free entry point: pair it with
+        :func:`repro.static_analysis.estimator.estimate_conflict_graph`
+        to allocate branches without any simulation.
+        """
+        return cls(graph=graph, threshold=threshold)
 
     def allocate(self, bht_size: int) -> AllocationResult:
         """Assign every profiled branch to one of *bht_size* entries.

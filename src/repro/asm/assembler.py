@@ -119,8 +119,12 @@ class Assembler:
             slot.emit(self._text_base + i * INSTRUCTION_SIZE, symbols)
             for i, slot in enumerate(pending)
         ]
+        text_end = self._text_base + len(instructions) * INSTRUCTION_SIZE
+        address_taken = set()
         for offset, symbol, line in fixups:
             value = self._resolve(symbol, symbols, line)
+            if self._text_base <= value < text_end:
+                address_taken.add(value)
             data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(
                 4, "little"
             )
@@ -131,6 +135,7 @@ class Assembler:
             name=name,
             text_base=self._text_base,
             data_base=self._data_base,
+            address_taken=frozenset(address_taken),
         )
 
     # -- pass 1 -----------------------------------------------------------

@@ -102,6 +102,12 @@ def _ablation_history(runner: BenchmarkRunner) -> str:
     return ablations.format_history_sweep(rows)
 
 
+def _static_compare(runner: BenchmarkRunner) -> str:
+    from .static_compare import format_static_compare, run_static_compare
+
+    return format_static_compare(run_static_compare(runner))
+
+
 def _ablation_cliques(runner: BenchmarkRunner) -> str:
     rows = ablations.run_clique_definition_ablation(
         runner, ["compress", "pgp", "plot", "chess"]
@@ -148,6 +154,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("ablation_history", "context",
                    "PAg history-length sweep with/without allocation",
                    _ablation_history),
+        Experiment("static_compare", "§5 extension",
+                   "static-estimated vs profiled allocation quality",
+                   _static_compare),
     ]
 }
 

@@ -1,0 +1,175 @@
+"""Static-estimated vs. profiled allocation quality.
+
+The paper's §5 allocation consumes a *profiled* conflict graph.  The
+:mod:`repro.static_analysis` subsystem predicts that graph from program
+structure alone, so the natural question is how much allocation quality
+the profile is actually buying.  This experiment answers it per
+benchmark: allocate once from the profiled graph and once from the
+static estimate (which never runs the program), then score **both**
+assignments against the profiled graph — the ground truth for what
+actually interleaved — at the same BHT size.
+
+Reported columns:
+
+* ``conventional`` — conflict cost of PC-modulo indexing (no allocation);
+* ``profiled`` — cost of the allocation computed from the profile;
+* ``static`` — cost of the profile-free allocation, scored on the same
+  profiled graph;
+* ``static/prof`` — the quality ratio (1.0 means the static estimate
+  allocated as well as the profile; guarded when the profiled cost is 0);
+* ``vs conv`` — fraction of the conventional cost the static allocation
+  removes, the headline "how far does zero profiling get you" number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..allocation.allocator import BranchAllocator
+from ..allocation.conflict_cost import conflict_cost
+from ..analysis.conflict_graph import DEFAULT_THRESHOLD, build_conflict_graph
+from ..predictors.indexing import PCModuloIndex
+from ..static_analysis.estimator import estimate_conflict_graph
+from ..workloads.build import build_workload
+from ..workloads.suite import get_benchmark
+from .report import render_table
+from .runner import BenchmarkRunner
+
+#: Benchmarks covered by default (the acceptance floor is six).
+DEFAULT_BENCHMARKS = (
+    "compress", "gcc", "ijpeg", "li", "chess", "python", "tex",
+)
+
+DEFAULT_BHT_SIZE = 128
+
+
+@dataclass(frozen=True)
+class StaticCompareRow:
+    """One benchmark's static-vs-profiled allocation comparison.
+
+    All costs are conflict costs on the *profiled* graph at ``bht_size``.
+    """
+
+    benchmark: str
+    bht_size: int
+    static_branches: int
+    predicted_edges: int
+    profiled_edges: int
+    conventional: int
+    profiled_cost: int
+    static_cost: int
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """static/profiled cost ratio.
+
+        Defined as 1.0 when both costs are zero (the static allocation
+        matched the profiled one exactly); None only when the profiled
+        allocation reached zero and the static one did not.
+        """
+        if self.profiled_cost == 0:
+            return 1.0 if self.static_cost == 0 else None
+        return self.static_cost / self.profiled_cost
+
+    @property
+    def vs_conventional(self) -> Optional[float]:
+        """Fraction of conventional cost removed by the static allocation."""
+        if self.conventional == 0:
+            return None
+        return 1.0 - self.static_cost / self.conventional
+
+
+def run_static_compare(
+    runner: BenchmarkRunner,
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    bht_size: int = DEFAULT_BHT_SIZE,
+    threshold: Optional[int] = None,
+) -> List[StaticCompareRow]:
+    """Score static vs. profiled allocation on the profiled graph.
+
+    Args:
+        runner: benchmark runner (supplies the profiled ground truth).
+        benchmarks: analogs to cover (defaults to seven).
+        bht_size: BHT entries both allocations must fit into.
+        threshold: edge-pruning threshold for both graphs.  Defaults to
+            the pipeline's DEFAULT_THRESHOLD at full scale, dropping to
+            10 for downscaled runs (matching the CLI's auto rule) so
+            the comparison stays meaningful on short traces.
+    """
+    if threshold is None:
+        edge_threshold = DEFAULT_THRESHOLD if runner.scale >= 0.9 else 10
+    else:
+        edge_threshold = threshold
+    rows: List[StaticCompareRow] = []
+    for name in benchmarks:
+        # the static path: build only, never simulate
+        built = build_workload(get_benchmark(name, scale=runner.scale))
+        static_graph = estimate_conflict_graph(
+            built.program, threshold=edge_threshold
+        )
+        static_allocation = BranchAllocator.from_graph(
+            static_graph, threshold=edge_threshold
+        ).allocate(bht_size)
+
+        # the profiled path: the existing pipeline, same threshold
+        profile = runner.profile(name)
+        profiled_graph = build_conflict_graph(
+            profile, threshold=edge_threshold
+        )
+        profiled_allocation = BranchAllocator(
+            profile, threshold=edge_threshold
+        ).allocate(bht_size)
+
+        # score every assignment on the profiled graph (the ground truth);
+        # index_map() falls back to PC-modulo for branches an allocation
+        # never saw, exactly as the predictor would
+        rows.append(
+            StaticCompareRow(
+                benchmark=name,
+                bht_size=bht_size,
+                static_branches=built.static_conditional_branches,
+                predicted_edges=static_graph.edge_count,
+                profiled_edges=profiled_graph.edge_count,
+                conventional=conflict_cost(
+                    profiled_graph, PCModuloIndex(bht_size)
+                ),
+                profiled_cost=conflict_cost(
+                    profiled_graph, profiled_allocation.index_map()
+                ),
+                static_cost=conflict_cost(
+                    profiled_graph, static_allocation.index_map()
+                ),
+            )
+        )
+    return rows
+
+
+def format_static_compare(rows: Sequence[StaticCompareRow]) -> str:
+    def fmt_ratio(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.2f}"
+
+    return render_table(
+        [
+            "benchmark", "branches", "conventional", "profiled",
+            "static", "static/prof", "vs conv",
+        ],
+        [
+            (
+                r.benchmark,
+                r.static_branches,
+                r.conventional,
+                r.profiled_cost,
+                r.static_cost,
+                fmt_ratio(r.ratio),
+                fmt_ratio(r.vs_conventional),
+            )
+            for r in rows
+        ],
+        title=(
+            "Static-estimated vs profiled allocation "
+            f"(conflict cost on the profiled graph, {rows[0].bht_size} "
+            "BHT entries)" if rows else "Static-estimated vs profiled "
+            "allocation"
+        ),
+    )

@@ -181,6 +181,50 @@ class Instruction:
             or self.opcode in UNCONDITIONAL_JUMPS
         )
 
+    @property
+    def is_direct_jump(self) -> bool:
+        """True for ``jal`` — an unconditional jump with a static target."""
+        return self.opcode is Opcode.JAL
+
+    @property
+    def is_indirect_jump(self) -> bool:
+        """True for ``jalr`` — the target is computed at run time."""
+        return self.opcode is Opcode.JALR
+
+    @property
+    def is_call(self) -> bool:
+        """True for jumps that link a return address (``rd != zero``)."""
+        return self.opcode in UNCONDITIONAL_JUMPS and self.rd != 0
+
+    @property
+    def is_return(self) -> bool:
+        """True for ``jalr zero, ra, 0`` — the canonical ``ret``."""
+        return (
+            self.opcode is Opcode.JALR
+            and self.rd == 0
+            and self.rs1 == 1
+            and self.imm == 0
+        )
+
+    @property
+    def is_halt(self) -> bool:
+        """True for the machine-stop instruction."""
+        return self.opcode is Opcode.HALT
+
+    @property
+    def falls_through(self) -> bool:
+        """True if execution can continue at the next instruction.
+
+        Conditional branches fall through on the not-taken path; calls fall
+        through once the callee returns.  Unconditional non-linking jumps,
+        returns, other indirect jumps and ``halt`` do not.
+        """
+        if self.opcode in CONDITIONAL_BRANCHES:
+            return True
+        if self.opcode in UNCONDITIONAL_JUMPS:
+            return self.is_call
+        return self.opcode is not Opcode.HALT
+
     def disassemble(self) -> str:
         """Render the instruction in assembler syntax."""
         from .registers import register_name as rn

@@ -8,7 +8,7 @@ symbol table.  Addresses are byte addresses; instructions occupy 4 bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .encoding import decode, encode
 from .instructions import Instruction
@@ -30,6 +30,10 @@ class Program:
         name: optional human-readable program name.
         text_base: load address of the first instruction.
         data_base: load address of the data segment.
+        address_taken: text addresses whose value is stored in the data
+            segment (``.word label`` jump tables).  These are the only
+            statically-known targets of indirect jumps; the CFG builder
+            treats them as potential successors of every ``jalr``.
     """
 
     instructions: List[Instruction] = field(default_factory=list)
@@ -38,6 +42,7 @@ class Program:
     name: str = "<anonymous>"
     text_base: int = TEXT_BASE
     data_base: int = DATA_BASE
+    address_taken: FrozenSet[int] = frozenset()
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -69,6 +74,31 @@ class Program:
     def entry_point(self) -> int:
         """Start address: the ``main`` symbol if present, else text base."""
         return self.symbols.get("main", self.text_base)
+
+    def in_text(self, address: int) -> bool:
+        """True if *address* is a word-aligned text-segment address."""
+        offset = address - self.text_base
+        return (
+            offset % INSTRUCTION_SIZE == 0
+            and 0 <= offset < len(self.instructions) * INSTRUCTION_SIZE
+        )
+
+    def jump_table_targets(self) -> FrozenSet[int]:
+        """Statically-known indirect-jump targets.
+
+        Prefers the assembler-recorded :attr:`address_taken` metadata; for
+        programs reconstructed without it (e.g. :meth:`from_image`), falls
+        back to scanning the data segment for word-aligned values that land
+        in the text segment — conservative, but sound for jump tables.
+        """
+        if self.address_taken:
+            return self.address_taken
+        found = set()
+        for offset in range(0, len(self.data) - 3, 4):
+            value = int.from_bytes(self.data[offset : offset + 4], "little")
+            if self.in_text(value):
+                found.add(value)
+        return frozenset(found)
 
     def static_conditional_branches(self) -> List[int]:
         """Addresses of every static conditional branch in the program."""

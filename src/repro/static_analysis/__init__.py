@@ -1,0 +1,49 @@
+"""Static CFG analysis: profile-free conflict estimation + assembly lint.
+
+The paper's §5 branch allocation is *compiler-controlled* — it presumes the
+compiler can decide, before the program ever runs, which static branches
+will interleave.  This package supplies that static view over assembled
+:class:`~repro.isa.program.Program` objects:
+
+* :mod:`.cfg` — basic blocks and control-flow edges (with computed-jump
+  conservatism via assembler-recorded jump tables);
+* :mod:`.dominators` — immediate dominators (Cooper–Harvey–Kennedy);
+* :mod:`.loops` — natural loops and the loop nesting forest;
+* :mod:`.estimator` — a predicted
+  :class:`~repro.analysis.conflict_graph.ConflictGraph` from shared-loop
+  structure, letting :class:`~repro.allocation.allocator.BranchAllocator`
+  run with **no profiling or simulation step**;
+* :mod:`.lint` — structured diagnostics (unreachable code, branch-to-data,
+  fallthrough off text, use-before-def).
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dominators import VIRTUAL_ROOT, DominatorTree, compute_dominators
+from .estimator import (
+    DEFAULT_LOOP_ITERS,
+    StaticConflictEstimate,
+    StaticConflictEstimator,
+    estimate_conflict_graph,
+)
+from .lint import Diagnostic, LintReport, lint_program, lint_source
+from .loops import LoopForest, NaturalLoop, find_loops
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "DEFAULT_LOOP_ITERS",
+    "Diagnostic",
+    "DominatorTree",
+    "LintReport",
+    "LoopForest",
+    "NaturalLoop",
+    "StaticConflictEstimate",
+    "StaticConflictEstimator",
+    "VIRTUAL_ROOT",
+    "build_cfg",
+    "compute_dominators",
+    "estimate_conflict_graph",
+    "find_loops",
+    "lint_program",
+    "lint_source",
+]

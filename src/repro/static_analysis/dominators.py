@@ -1,0 +1,129 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Works on the block graph of a :class:`~repro.static_analysis.cfg.ControlFlowGraph`.
+Because an assembled program is a whole image — an entry point plus many
+functions only reachable through calls — the tree is rooted at a *virtual*
+root with edges to the entry and every function entry, so every reachable
+block has a well-defined immediate dominator without stitching the call
+graph into the CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from .cfg import ControlFlowGraph
+
+#: Sentinel block id for the virtual root.
+VIRTUAL_ROOT = -1
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator relation over reachable blocks.
+
+    Attributes:
+        idom: block id -> immediate dominator block id (``VIRTUAL_ROOT``
+            for roots).  Unreachable blocks are absent.
+        rpo: reverse postorder of the reachable blocks (roots first).
+    """
+
+    idom: Dict[int, int]
+    rpo: List[int]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if *a* dominates *b* (reflexively)."""
+        node: Optional[int] = b
+        while node is not None and node != VIRTUAL_ROOT:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return a == VIRTUAL_ROOT
+
+    def dominators_of(self, block_id: int) -> List[int]:
+        """The dominator chain of *block_id*, nearest first."""
+        chain: List[int] = []
+        node = self.idom.get(block_id)
+        while node is not None and node != VIRTUAL_ROOT:
+            chain.append(node)
+            node = self.idom.get(node)
+        return chain
+
+
+def compute_dominators(
+    cfg: ControlFlowGraph, roots: Optional[Iterable[int]] = None
+) -> DominatorTree:
+    """Compute immediate dominators for every reachable block.
+
+    Args:
+        cfg: the control-flow graph.
+        roots: root block ids; defaults to the entry plus all function
+            entries (every place control can materialise from outside
+            the intra-procedural edges).
+    """
+    root_set = (
+        set(roots) if roots is not None
+        else {cfg.entry, *cfg.function_entries}
+    )
+
+    # reverse postorder from the virtual root
+    order: List[int] = []
+    seen: Set[int] = set()
+    # iterative DFS with explicit finish events, deterministic order
+    stack = [(r, False) for r in sorted(root_set, reverse=True)]
+    while stack:
+        node, finished = stack.pop()
+        if finished:
+            order.append(node)
+            continue
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for succ in reversed(cfg.blocks[node].successors):
+            if succ not in seen:
+                stack.append((succ, False))
+    rpo = list(reversed(order))
+    rpo_index = {block_id: i for i, block_id in enumerate(rpo)}
+
+    preds: Dict[int, List[int]] = {
+        block_id: [
+            p for p in cfg.predecessors.get(block_id, ()) if p in rpo_index
+        ]
+        for block_id in rpo
+    }
+
+    idom: Dict[int, int] = {r: VIRTUAL_ROOT for r in root_set}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            if a == VIRTUAL_ROOT or b == VIRTUAL_ROOT:
+                return VIRTUAL_ROOT
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+                if a == VIRTUAL_ROOT:
+                    return VIRTUAL_ROOT
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+                if b == VIRTUAL_ROOT:
+                    return VIRTUAL_ROOT
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id in rpo:
+            if block_id in root_set:
+                continue
+            candidates = [p for p in preds[block_id] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+
+    return DominatorTree(idom=idom, rpo=rpo)

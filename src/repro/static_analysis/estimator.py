@@ -1,0 +1,266 @@
+"""Profile-free conflict-graph estimation (the compiler's view of §5).
+
+The paper's branch allocation assumes the compiler knows which static
+branches will interleave.  Our reproduction previously obtained that
+knowledge only from a full dynamic profile; this module predicts it from
+program structure alone:
+
+* two branches interleave when they execute repeatedly in alternation,
+  which statically means they share an enclosing loop;
+* the deeper the shared loop, the more alternations — so the predicted
+  interleave weight is ``loop_iters ** depth`` of the deepest *common*
+  loop, decaying geometrically across nesting levels;
+* loop membership is **interprocedural**: a branch inside a kernel called
+  from a phase loop executes under that loop, so callee branches inherit
+  the loop context of their call sites (propagated transitively through
+  the call graph).
+
+The result is emitted as the same :class:`~repro.analysis.conflict_graph.
+ConflictGraph` the profiled pipeline produces, so
+:class:`~repro.allocation.allocator.BranchAllocator` and every downstream
+consumer run unchanged — without any simulation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis.conflict_graph import DEFAULT_THRESHOLD, ConflictGraph
+from ..isa.program import Program
+from .cfg import ControlFlowGraph, build_cfg
+from .dominators import DominatorTree, compute_dominators
+from .loops import LoopForest, find_loops
+
+#: Assumed iteration count per loop level (the geometric decay base).
+DEFAULT_LOOP_ITERS = 10
+
+#: Effective-depth cap: keeps weights bounded even for pathological
+#: nesting or recursive call chains.
+MAX_EFFECTIVE_DEPTH = 12
+
+
+@dataclass
+class StaticConflictEstimate:
+    """The estimator's full output.
+
+    Attributes:
+        graph: predicted conflict graph (same type the profiler emits).
+        cfg: the control-flow graph.
+        dominators: the dominator tree.
+        loops: the loop nesting forest.
+        branch_loops: branch PC -> loop ids in its (interprocedural)
+            context.
+        effective_depth: loop id -> nesting depth including inherited
+            call-site context.
+        loop_iters: the decay base used.
+        threshold: minimum predicted weight for an edge to survive.
+    """
+
+    graph: ConflictGraph
+    cfg: ControlFlowGraph
+    dominators: DominatorTree
+    loops: LoopForest
+    branch_loops: Dict[int, FrozenSet[int]]
+    effective_depth: Dict[int, int]
+    loop_iters: int
+    threshold: int
+
+    def predicted_executions(self, pc: int) -> int:
+        """The estimator's execution-count prediction for a branch."""
+        return self.graph.node_weight(pc)
+
+
+class StaticConflictEstimator:
+    """Builds conflict-graph estimates for assembled programs.
+
+    Example::
+
+        estimate = StaticConflictEstimator().estimate(built.program)
+        allocator = BranchAllocator.from_graph(estimate.graph)
+        allocation = allocator.allocate(bht_size=128)   # no profiling
+    """
+
+    def __init__(
+        self,
+        loop_iters: int = DEFAULT_LOOP_ITERS,
+        threshold: int = DEFAULT_THRESHOLD,
+    ) -> None:
+        """
+        Args:
+            loop_iters: assumed iterations per loop nesting level.
+            threshold: prune predicted edges below this weight (matches
+                the profiled pipeline's edge threshold).
+
+        Raises:
+            ValueError: if loop_iters < 2 or threshold < 0.
+        """
+        if loop_iters < 2:
+            raise ValueError(f"loop_iters must be >= 2, got {loop_iters}")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.loop_iters = loop_iters
+        self.threshold = threshold
+
+    # -- pipeline ----------------------------------------------------------
+
+    def estimate(self, program: Program) -> StaticConflictEstimate:
+        """Run the full estimation pipeline on *program*."""
+        cfg = build_cfg(program)
+        dom = compute_dominators(cfg)
+        forest = find_loops(cfg, dom)
+
+        function_of = _function_attribution(cfg)
+        ctx_depth, inherited = _call_contexts(cfg, forest, function_of)
+
+        effective_depth: Dict[int, int] = {}
+        for loop in forest.loops:
+            base = ctx_depth.get(function_of[loop.header], 0)
+            effective_depth[loop.index] = min(
+                loop.depth + base, MAX_EFFECTIVE_DEPTH
+            )
+
+        # per-branch interprocedural loop context
+        branch_loops: Dict[int, FrozenSet[int]] = {}
+        for pc, block_id in cfg.conditional_branches():
+            local = set(forest.by_block.get(block_id, ()))
+            local |= inherited.get(function_of[block_id], frozenset())
+            branch_loops[pc] = frozenset(local)
+
+        graph = self._build_graph(branch_loops, effective_depth)
+        return StaticConflictEstimate(
+            graph=graph,
+            cfg=cfg,
+            dominators=dom,
+            loops=forest,
+            branch_loops=branch_loops,
+            effective_depth=effective_depth,
+            loop_iters=self.loop_iters,
+            threshold=self.threshold,
+        )
+
+    def _build_graph(
+        self,
+        branch_loops: Dict[int, FrozenSet[int]],
+        effective_depth: Dict[int, int],
+    ) -> ConflictGraph:
+        graph = ConflictGraph()
+        for pc, loops in branch_loops.items():
+            depth = max(
+                (effective_depth[l] for l in loops), default=0
+            )
+            graph.add_node(pc, self.loop_iters ** depth)
+
+        # minimum depth whose predicted weight survives the prune: loops
+        # shallower than this cannot contribute a kept edge, which keeps
+        # the all-pairs work off the huge outermost loops
+        min_depth = 0
+        while (
+            self.threshold > 0
+            and self.loop_iters ** min_depth < self.threshold
+        ):
+            min_depth += 1
+
+        members: Dict[int, List[int]] = {}
+        for pc, loops in branch_loops.items():
+            for loop_id in loops:
+                if effective_depth[loop_id] >= min_depth:
+                    members.setdefault(loop_id, []).append(pc)
+
+        # deepest loops first: the first loop that covers a pair is its
+        # deepest common loop, which fixes the pair's weight
+        assigned: Set[Tuple[int, int]] = set()
+        for loop_id in sorted(
+            members, key=lambda l: (-effective_depth[l], l)
+        ):
+            weight = self.loop_iters ** effective_depth[loop_id]
+            pcs = sorted(members[loop_id])
+            for i, a in enumerate(pcs):
+                for b in pcs[i + 1 :]:
+                    if (a, b) in assigned:
+                        continue
+                    assigned.add((a, b))
+                    graph.add_edge(a, b, weight)
+        return graph
+
+
+def estimate_conflict_graph(
+    program: Program,
+    loop_iters: int = DEFAULT_LOOP_ITERS,
+    threshold: int = DEFAULT_THRESHOLD,
+) -> ConflictGraph:
+    """Convenience wrapper: program -> predicted ConflictGraph."""
+    return (
+        StaticConflictEstimator(loop_iters=loop_iters, threshold=threshold)
+        .estimate(program)
+        .graph
+    )
+
+
+# -- internals -------------------------------------------------------------
+
+
+def _function_attribution(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Block id -> owning function entry, by address-extent attribution."""
+    entries = sorted(cfg.function_entries | {cfg.entry})
+    function_of: Dict[int, int] = {}
+    for block in cfg.blocks:
+        pos = bisect_right(entries, block.index)
+        function_of[block.index] = entries[pos - 1] if pos else cfg.entry
+    return function_of
+
+
+def _call_contexts(
+    cfg: ControlFlowGraph,
+    forest: LoopForest,
+    function_of: Dict[int, int],
+) -> Tuple[Dict[int, int], Dict[int, FrozenSet[int]]]:
+    """Propagate loop context through the call graph.
+
+    Returns:
+        (ctx_depth, inherited): per function entry, the maximum loop depth
+        its call sites sit under, and the set of loop ids a call to it
+        executes beneath — both transitive through callers, fixpointed,
+        with depth capped so recursion terminates.
+    """
+    # call sites grouped by callee function
+    sites: Dict[int, List[int]] = {}
+    for caller_block, callee_entry in cfg.call_sites:
+        sites.setdefault(callee_entry, []).append(caller_block)
+
+    ctx_depth: Dict[int, int] = {}
+    inherited: Dict[int, Set[int]] = {}
+    changed = True
+    rounds = 0
+    while changed and rounds <= MAX_EFFECTIVE_DEPTH:
+        changed = False
+        rounds += 1
+        for callee, callers in sites.items():
+            depth = ctx_depth.get(callee, 0)
+            loops: Set[int] = set(inherited.get(callee, ()))
+            for caller_block in callers:
+                caller_fn = function_of[caller_block]
+                local = forest.by_block.get(caller_block, [])
+                local_depth = (
+                    forest.loops[local[0]].depth if local else 0
+                )
+                depth = max(
+                    depth,
+                    min(
+                        local_depth + ctx_depth.get(caller_fn, 0),
+                        MAX_EFFECTIVE_DEPTH,
+                    ),
+                )
+                loops.update(local)
+                loops.update(inherited.get(caller_fn, ()))
+            if depth != ctx_depth.get(callee, 0) or loops != inherited.get(
+                callee, set()
+            ):
+                ctx_depth[callee] = depth
+                inherited[callee] = loops
+                changed = True
+
+    return ctx_depth, {
+        fn: frozenset(loops) for fn, loops in inherited.items()
+    }

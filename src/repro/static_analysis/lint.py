@@ -1,0 +1,335 @@
+"""Static lint/verifier pass over assembled programs.
+
+Structured diagnostics for the defects the assembler cannot (or does not)
+reject:
+
+====================  ========  =============================================
+code                  severity  meaning
+====================  ========  =============================================
+``asm-error``         error     source failed to assemble (undefined or
+                                duplicate label, syntax error) — only
+                                produced by :func:`lint_source`
+``branch-to-data``    error     branch/jump target outside the text segment
+``fallthrough-end``   error     a reachable path runs off the end of text
+``unreachable``       warning   basic block no control path reaches (the
+                                assembler's ``.skip`` scatter padding is
+                                recognised and suppressed)
+``use-before-def``    warning   a caller-saved temporary read before any
+                                write on some path from the function entry
+                                (including clobbers across calls)
+``empty-program``     warning   the text segment holds no instructions
+====================  ========  =============================================
+
+Register discipline: at a function entry ``zero``/``ra``/``sp``/``gp``/
+``tp``, the arguments ``a0``–``a7`` and the callee-saved ``s0``–``s11``
+are considered defined; the temporaries ``t0``–``t6`` are not.  A call
+clobbers every caller-saved register except the ``a0`` return value; an
+``ecall`` reads and redefines ``a0``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..asm.lexer import AsmSyntaxError
+from ..isa.instructions import Format, Instruction, Opcode
+from ..isa.program import Program
+from ..isa.registers import register_name
+from .cfg import ControlFlowGraph, build_cfg
+
+#: Register numbers (see repro.isa.registers.ABI_NAMES).
+_RA, _A0 = 1, 10
+_TEMPORARIES = (5, 6, 7, 28, 29, 30, 31)            # t0-t6
+_ARGUMENTS = tuple(range(10, 18))                   # a0-a7
+_CALLER_SAVED = _TEMPORARIES + _ARGUMENTS
+
+_ALL_MASK = (1 << 32) - 1
+_TEMP_MASK = 0
+for _r in _TEMPORARIES:
+    _TEMP_MASK |= 1 << _r
+_CALLER_MASK = 0
+for _r in _CALLER_SAVED:
+    _CALLER_MASK |= 1 << _r
+#: Defined at function entry: everything except the temporaries.
+_ENTRY_MASK = _ALL_MASK & ~_TEMP_MASK
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        severity: ``"error"`` or ``"warning"``.
+        code: stable machine-readable code (see module docstring).
+        message: human-readable description.
+        address: text address the finding anchors to (None for
+            program-level findings).
+    """
+
+    severity: str
+    code: str
+    message: str
+    address: Optional[int] = None
+
+    def render(self) -> str:
+        where = f"0x{self.address:08x}: " if self.address is not None else ""
+        return f"{self.severity}: {where}{self.message} [{self.code}]"
+
+
+@dataclass
+class LintReport:
+    """All diagnostics for one program."""
+
+    name: str
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no errors (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no diagnostics at all."""
+        return not self.diagnostics
+
+    def render(self) -> str:
+        if self.clean:
+            return f"{self.name}: clean"
+        lines = [f"{self.name}: {len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        lines.extend(f"  {d.render()}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+def lint_program(
+    program: Program, check_registers: bool = True
+) -> LintReport:
+    """Run every program-level check on *program*.
+
+    Args:
+        program: an assembled program.
+        check_registers: include the use-before-def dataflow (the one
+            check whose cost grows with program size).
+    """
+    diagnostics: List[Diagnostic] = []
+    if not program.instructions:
+        diagnostics.append(
+            Diagnostic("warning", "empty-program",
+                       "program has no instructions")
+        )
+        return LintReport(program.name, tuple(diagnostics))
+
+    cfg = build_cfg(program)
+    diagnostics.extend(_check_branch_targets(program))
+    diagnostics.extend(_check_fallthrough(cfg))
+    diagnostics.extend(_check_unreachable(cfg))
+    if check_registers:
+        diagnostics.extend(_check_use_before_def(cfg))
+    diagnostics.sort(
+        key=lambda d: (d.address if d.address is not None else -1, d.code)
+    )
+    return LintReport(program.name, tuple(diagnostics))
+
+
+def lint_source(source: str, name: str = "<asm>") -> LintReport:
+    """Assemble *source* and lint the result.
+
+    Assembly failures (undefined/duplicate labels, syntax errors) become
+    ``asm-error`` diagnostics instead of exceptions, so callers get one
+    uniform report type.
+    """
+    from ..asm.assembler import assemble
+
+    try:
+        program = assemble(source, name=name)
+    except AsmSyntaxError as exc:
+        return LintReport(
+            name,
+            (Diagnostic("error", "asm-error", str(exc)),),
+        )
+    return lint_program(program)
+
+
+# -- individual checks ------------------------------------------------------
+
+
+def _check_branch_targets(program: Program) -> List[Diagnostic]:
+    found: List[Diagnostic] = []
+    for i, instr in enumerate(program.instructions):
+        if not (instr.is_conditional_branch or instr.is_direct_jump):
+            continue
+        source = program.address_of(i)
+        target = source + instr.imm
+        if not program.in_text(target):
+            kind = "branch" if instr.is_conditional_branch else "jump"
+            found.append(
+                Diagnostic(
+                    "error", "branch-to-data",
+                    f"{kind} target 0x{target:08x} is outside the text "
+                    "segment",
+                    address=source,
+                )
+            )
+    return found
+
+
+def _check_fallthrough(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    last = cfg.blocks[-1]
+    if last.is_padding and len(cfg.blocks) > 1:
+        # trailing scatter padding is never executed
+        return []
+    terminator = cfg.terminator(last)
+    if terminator.falls_through:
+        return [
+            Diagnostic(
+                "error", "fallthrough-end",
+                "execution can fall through the final instruction of the "
+                "text segment",
+                address=cfg.program.address_of(last.end - 1),
+            )
+        ]
+    return []
+
+
+def _check_unreachable(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    reachable = cfg.reachable_blocks()
+    found: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.index in reachable or block.is_padding or len(block) == 0:
+            continue
+        found.append(
+            Diagnostic(
+                "warning", "unreachable",
+                f"unreachable block of {len(block)} instruction(s)",
+                address=cfg.address_of(block),
+            )
+        )
+    return found
+
+
+def _instruction_reads(instr: Instruction) -> Tuple[int, ...]:
+    fmt = instr.format
+    if fmt is Format.R or fmt is Format.B:
+        return (instr.rs1, instr.rs2)
+    if fmt is Format.STORE:
+        return (instr.rs1, instr.rs2)
+    if fmt in (Format.I, Format.LOAD, Format.JR):
+        return (instr.rs1,)
+    if instr.opcode is Opcode.ECALL:
+        return (_A0,)
+    return ()
+
+
+def _instruction_defs(instr: Instruction) -> Tuple[int, ...]:
+    fmt = instr.format
+    if fmt in (Format.R, Format.I, Format.LOAD, Format.J, Format.JR,
+               Format.U):
+        return (instr.rd,) if instr.rd != 0 else ()
+    if instr.opcode is Opcode.ECALL:
+        return (_A0,)
+    return ()
+
+
+def _check_use_before_def(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """Must-defined dataflow per function; warn on temporary reads that
+    can see an undefined (or call-clobbered) register."""
+    program = cfg.program
+    entries = sorted(cfg.function_entries)
+
+    def function_of(block_id: int) -> int:
+        pos = bisect_right(entries, block_id)
+        return entries[pos - 1] if pos else cfg.entry
+
+    # out-state per block, initialised to TOP (all defined); the transfer
+    # function is monotone decreasing, so the worklist terminates
+    out_state: Dict[int, int] = {b.index: _ALL_MASK for b in cfg.blocks}
+    in_state: Dict[int, int] = {}
+    reachable = cfg.reachable_blocks()
+    worklist = deque(sorted(reachable))
+    queued = set(worklist)
+    while worklist:
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        if block_id in cfg.function_entries or block_id == cfg.entry:
+            state = _ENTRY_MASK
+        else:
+            fn = function_of(block_id)
+            preds = [
+                p for p in cfg.predecessors.get(block_id, ())
+                if function_of(p) == fn
+            ]
+            if preds:
+                state = _ALL_MASK
+                for p in preds:
+                    state &= out_state[p]
+            else:
+                state = _ALL_MASK  # no in-function path: stay silent
+        in_state[block_id] = state
+        new_out = _transfer(program, block, state, None)
+        if new_out != out_state[block_id]:
+            out_state[block_id] = new_out
+            for succ in block.successors:
+                if succ in reachable and succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+
+    # reporting pass over the fixpoint states
+    seen: Set[Tuple[int, int]] = set()
+    found: List[Diagnostic] = []
+
+    def report(pc: int, reg: int) -> None:
+        if (pc, reg) in seen:
+            return
+        seen.add((pc, reg))
+        found.append(
+            Diagnostic(
+                "warning", "use-before-def",
+                f"register {register_name(reg)} may be read before it is "
+                "written in this function",
+                address=pc,
+            )
+        )
+
+    for block_id in sorted(reachable):
+        block = cfg.blocks[block_id]
+        _transfer(
+            program, block, in_state.get(block_id, _ALL_MASK), report
+        )
+    return found
+
+
+def _transfer(
+    program: Program,
+    block,
+    state: int,
+    report,
+) -> int:
+    """Walk a block, updating the defined-register mask; optionally report
+    undefined temporary reads via *report(pc, reg)*."""
+    for i in range(block.start, block.end):
+        instr = program.instructions[i]
+        if report is not None:
+            for reg in _instruction_reads(instr):
+                if reg in _TEMPORARIES and not (state >> reg) & 1:
+                    report(program.address_of(i), reg)
+        for reg in _instruction_defs(instr):
+            state |= 1 << reg
+        if instr.is_call:
+            # the callee clobbers caller-saved registers; a0 returns a
+            # value and ra holds the link
+            state &= ~_CALLER_MASK
+            state |= (1 << _A0) | (1 << _RA)
+    return state

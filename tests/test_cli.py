@@ -52,11 +52,63 @@ def test_disasm_command_with_head(capsys):
     assert "more lines" in out
 
 
+def test_cfg_command(capsys):
+    assert main(["cfg", "plot", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "blocks:" in out and "natural loops" in out
+
+
+def test_cfg_command_lists_loops(capsys):
+    assert main(["cfg", "plot", "--scale", "0.05", "--loops"]) == 0
+    out = capsys.readouterr().out
+    assert "back edge" in out
+
+
+def test_lint_command_single_benchmark(capsys):
+    assert main(["lint", "plot", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "plot: clean" in out
+
+
+def test_lint_all_is_clean(capsys):
+    """The CI entry point: every registered analog lints clean."""
+    assert main(["lint", "--all", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("clean") == 15
+
+
+def test_lint_command_requires_target(capsys):
+    assert main(["lint"]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_allocate_static_runs_without_simulation(capsys):
+    assert main(["allocate", "plot", "--static", "--scale", "0.05",
+                 "--threshold", "5", "--bht", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "no profiling run" in out
+    assert "predicted conflict graph" in out
+    assert "allocation @64 entries" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
 
 
-def test_unknown_benchmark_propagates():
-    with pytest.raises(KeyError):
-        main(["run", "doom", "--scale", "0.05"])
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["run", "doom", "--scale", "0.05"],
+        ["profile", "doom", "--scale", "0.05"],
+        ["allocate", "doom", "--scale", "0.05"],
+        ["allocate", "doom", "--static", "--scale", "0.05"],
+        ["cfg", "doom", "--scale", "0.05"],
+        ["lint", "doom", "--scale", "0.05"],
+        ["disasm", "doom", "--scale", "0.05"],
+    ],
+)
+def test_unknown_benchmark_exits_with_error(argv, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark 'doom'" in err

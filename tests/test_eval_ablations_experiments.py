@@ -14,6 +14,10 @@ from repro.eval.ablations import (
     run_threshold_ablation,
 )
 from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.static_compare import (
+    format_static_compare,
+    run_static_compare,
+)
 
 
 def test_threshold_ablation_monotone_sets(runner):
@@ -70,6 +74,7 @@ def test_experiment_registry_complete():
         "ablation_threshold", "ablation_inputs",
         "ablation_predictors", "ablation_hash", "ablation_groups",
         "ablation_alignment", "ablation_cliques", "ablation_history",
+        "static_compare",
     }
     for experiment in EXPERIMENTS.values():
         assert experiment.description
@@ -85,3 +90,26 @@ def test_run_experiment_renders_text(runner):
     text = run_experiment("table2", runner)
     assert "Table 2" in text
     assert "compress" in text
+
+
+def test_static_compare_rows(runner):
+    rows = run_static_compare(
+        runner, benchmarks=["compress", "chess"], bht_size=32,
+        threshold=TEST_THRESHOLD,
+    )
+    assert [r.benchmark for r in rows] == ["compress", "chess"]
+    for row in rows:
+        # the profiled allocation optimises the graph it is scored on,
+        # so the conventional baseline bounds it; the static allocation
+        # holds no such guarantee (it never saw the profile)
+        assert 0 <= row.profiled_cost <= row.conventional
+        assert row.static_cost >= 0
+        assert row.static_branches > 0 and row.predicted_edges > 0
+        if row.profiled_cost:
+            assert row.ratio == row.static_cost / row.profiled_cost
+        elif row.static_cost == 0:
+            assert row.ratio == 1.0  # both allocations reached zero
+        else:
+            assert row.ratio is None
+    text = format_static_compare(rows)
+    assert "static/prof" in text and "compress" in text

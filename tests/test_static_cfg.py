@@ -1,0 +1,358 @@
+"""Static analysis tests: CFG construction, dominators, natural loops and
+the profile-free conflict estimator."""
+
+import pytest
+
+from repro.allocation.allocator import BranchAllocator
+from repro.asm.assembler import assemble
+from repro.static_analysis import (
+    VIRTUAL_ROOT,
+    StaticConflictEstimator,
+    build_cfg,
+    compute_dominators,
+    estimate_conflict_graph,
+    find_loops,
+)
+
+
+def cfg_of(source: str):
+    return build_cfg(assemble(source))
+
+
+# --------------------------------------------------------------------------- #
+# CFG construction
+# --------------------------------------------------------------------------- #
+
+
+def test_straight_line_program_is_one_block():
+    cfg = cfg_of(
+        """
+        main:
+            addi t0, zero, 1
+            addi t0, t0, 1
+            halt
+        """
+    )
+    assert cfg.block_count == 1
+    assert cfg.blocks[0].successors == ()
+    assert cfg.terminator(cfg.blocks[0]).is_halt
+    assert cfg.entry == 0
+
+
+def test_empty_program_has_single_empty_block():
+    cfg = build_cfg(assemble(""))
+    assert cfg.block_count == 1
+    assert len(cfg.blocks[0]) == 0
+    assert cfg.blocks[0].successors == ()
+
+
+def test_conditional_branch_splits_blocks_and_edges():
+    cfg = cfg_of(
+        """
+        main:
+            beq a0, zero, done
+            addi t0, zero, 1
+        done:
+            halt
+        """
+    )
+    # blocks: [beq], [addi], [halt]
+    assert cfg.block_count == 3
+    branch_block = cfg.blocks[0]
+    assert set(branch_block.successors) == {1, 2}
+    assert cfg.predecessors[2] == (0, 1)
+
+
+def test_program_ending_in_conditional_branch_has_no_fallthrough_edge():
+    cfg = cfg_of(
+        """
+        main:
+            addi t0, zero, 3
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+        """
+    )
+    last = cfg.blocks[-1]
+    assert cfg.terminator(last).is_conditional_branch
+    # the taken edge exists; there is no instruction to fall through to
+    assert last.successors == (last.index,) or set(last.successors) == {
+        cfg.block_at(1).index
+    }
+
+
+def test_simple_loop_back_edge_and_membership():
+    cfg = cfg_of(
+        """
+        main:
+            addi t0, zero, 4
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+            halt
+        """
+    )
+    forest = find_loops(cfg)
+    assert len(forest.loops) == 1
+    loop = forest.loops[0]
+    assert loop.depth == 1
+    header = cfg.blocks[loop.header]
+    assert cfg.address_of(header) == cfg.program.symbols["loop"]
+    assert loop.back_edges and all(
+        tail in loop.body for tail, _ in loop.back_edges
+    )
+
+
+def test_nested_loops_have_containment_and_depth():
+    cfg = cfg_of(
+        """
+        main:
+            addi s0, zero, 3
+        outer:
+            addi s1, zero, 5
+        inner:
+            addi s1, s1, -1
+            bne s1, zero, inner
+            addi s0, s0, -1
+            bne s0, zero, outer
+            halt
+        """
+    )
+    forest = find_loops(cfg)
+    assert len(forest.loops) == 2
+    by_depth = {loop.depth: loop for loop in forest.loops}
+    assert set(by_depth) == {1, 2}
+    inner, outer = by_depth[2], by_depth[1]
+    assert inner.body < outer.body
+    assert inner.parent == outer.index
+    assert forest.chain(inner.header)[0] is inner
+
+
+def test_call_creates_function_entry_not_loop_edge():
+    cfg = cfg_of(
+        """
+        main:
+            addi s0, zero, 3
+        loop:
+            call helper
+            addi s0, s0, -1
+            bne s0, zero, loop
+            halt
+        helper:
+            addi a0, zero, 7
+            ret
+        """
+    )
+    helper_block = cfg.block_at_address(cfg.program.symbols["helper"])
+    assert helper_block.index in cfg.function_entries
+    # the call block falls through to the next block; the callee is a
+    # call site, not a successor
+    call_block = cfg.block_at_address(cfg.program.symbols["loop"])
+    assert helper_block.index not in call_block.successors
+    assert (call_block.index, helper_block.index) in cfg.call_sites
+    # the return has no intra-procedural successors
+    assert cfg.blocks[-1].successors == ()
+    # only the driver loop is a natural loop; the call does not create one
+    forest = find_loops(cfg)
+    assert len(forest.loops) == 1
+
+
+def test_computed_jump_targets_all_address_taken_labels():
+    cfg = cfg_of(
+        """
+        .data
+        table: .word op_a, op_b
+        .text
+        main:
+            la t0, table
+            lw t1, 0(t0)
+            jr t1
+        op_a:
+            halt
+        op_b:
+            halt
+        """
+    )
+    op_a = cfg.block_at_address(cfg.program.symbols["op_a"])
+    op_b = cfg.block_at_address(cfg.program.symbols["op_b"])
+    assert cfg.indirect_targets == {op_a.index, op_b.index}
+    jump_block = cfg.block_at_address(cfg.program.symbols["main"])
+    assert set(jump_block.successors) == {op_a.index, op_b.index}
+    # address-taken labels are reachability roots but not function entries
+    assert op_a.index not in cfg.function_entries
+    assert op_a.index in cfg.reachable_blocks()
+
+
+def test_branch_outside_text_does_not_crash_cfg():
+    # `beq` to a data-segment label leaves the text segment; the CFG
+    # simply drops the edge (lint reports it separately)
+    cfg = cfg_of(
+        """
+        .data
+        blob: .word 1
+        .text
+        main:
+            beq a0, zero, blob
+            halt
+        """
+    )
+    assert cfg.blocks[0].successors == (1,)  # only the fallthrough
+
+
+def test_conditional_branches_enumerates_every_branch():
+    cfg = cfg_of(
+        """
+        main:
+            beq a0, zero, a
+        a:
+            bne a1, zero, b
+        b:
+            halt
+        """
+    )
+    pcs = [pc for pc, _ in cfg.conditional_branches()]
+    assert pcs == [cfg.program.address_of(0), cfg.program.address_of(1)]
+
+
+# --------------------------------------------------------------------------- #
+# Dominators
+# --------------------------------------------------------------------------- #
+
+
+def test_diamond_dominators():
+    cfg = cfg_of(
+        """
+        main:
+            beq a0, zero, right
+        left:
+            addi t0, zero, 1
+            jal zero, join
+        right:
+            addi t0, zero, 2
+        join:
+            halt
+        """
+    )
+    dom = compute_dominators(cfg)
+    entry = cfg.entry
+    join = cfg.block_at_address(cfg.program.symbols["join"]).index
+    left = cfg.block_at_address(cfg.program.symbols["left"]).index
+    right = cfg.block_at_address(cfg.program.symbols["right"]).index
+    assert dom.idom[entry] == VIRTUAL_ROOT
+    assert dom.idom[join] == entry  # neither arm dominates the join
+    assert dom.dominates(entry, join)
+    assert not dom.dominates(left, join)
+    assert not dom.dominates(right, join)
+    assert dom.dominators_of(join) == [entry]
+
+
+# --------------------------------------------------------------------------- #
+# Static conflict estimator
+# --------------------------------------------------------------------------- #
+
+NESTED = """
+main:
+    addi s0, zero, 3
+outer:
+    addi s1, zero, 5
+inner:
+    beq a0, zero, skip
+    addi t0, zero, 1
+skip:
+    addi s1, s1, -1
+    bne s1, zero, inner
+    addi s0, s0, -1
+    bne s0, zero, outer
+    halt
+"""
+
+
+def test_estimator_weights_scale_with_loop_depth():
+    estimate = StaticConflictEstimator(
+        loop_iters=10, threshold=0
+    ).estimate(assemble(NESTED))
+    graph = estimate.graph
+    program = estimate.cfg.program
+    # the inner-loop branches predict 10**2 executions, the outer 10**1
+    inner_pc = program.symbols["inner"]
+    assert estimate.predicted_executions(inner_pc) == 100
+    outer_branch = next(
+        pc for pc in graph.nodes()
+        if estimate.branch_loops[pc]
+        and max(
+            estimate.effective_depth[l] for l in estimate.branch_loops[pc]
+        ) == 1
+    )
+    assert estimate.predicted_executions(outer_branch) == 10
+    # branches sharing the inner loop get the inner-loop weight
+    bne_inner = program.symbols["skip"] + 4
+    assert graph.edge_weight(inner_pc, bne_inner) == 100
+
+
+def test_estimator_threshold_prunes_shallow_edges():
+    shallow = StaticConflictEstimator(
+        loop_iters=10, threshold=101
+    ).estimate(assemble(NESTED))
+    # 10**2 = 100 < 101: every predicted edge is pruned
+    assert shallow.graph.edge_count == 0
+    kept = StaticConflictEstimator(
+        loop_iters=10, threshold=100
+    ).estimate(assemble(NESTED))
+    assert kept.graph.edge_count > 0
+    # nodes survive pruning either way (they are the static branches)
+    assert set(shallow.graph.nodes()) == set(kept.graph.nodes())
+
+
+def test_callee_branches_inherit_call_site_loop_context():
+    source = """
+    main:
+        addi s0, zero, 5
+    loop:
+        call helper
+        addi s0, s0, -1
+        bne s0, zero, loop
+        halt
+    helper:
+        beq a0, zero, out
+        addi t0, zero, 1
+    out:
+        ret
+    """
+    estimate = StaticConflictEstimator(
+        loop_iters=10, threshold=0
+    ).estimate(assemble(source))
+    program = estimate.cfg.program
+    helper_branch = program.symbols["helper"]
+    loop_branch = program.symbols["loop"] + 8
+    # the callee's branch runs under the caller's loop: positive predicted
+    # weight and a conflict edge against the loop's own branch
+    assert estimate.predicted_executions(helper_branch) == 10
+    assert estimate.graph.edge_weight(helper_branch, loop_branch) == 10
+
+
+def test_estimator_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        StaticConflictEstimator(loop_iters=1)
+    with pytest.raises(ValueError):
+        StaticConflictEstimator(threshold=-1)
+
+
+def test_allocator_from_static_graph_without_profile():
+    graph = estimate_conflict_graph(assemble(NESTED), threshold=0)
+    allocator = BranchAllocator.from_graph(graph)
+    assert allocator.profile is None
+    allocation = allocator.allocate(2)
+    assert set(allocation.assignment) == set(graph.nodes())
+    assert all(0 <= e < 2 for e in allocation.assignment.values())
+    # index_map() is usable by the predictors directly
+    index = allocation.index_map()
+    for pc in graph.nodes():
+        assert index(pc) == allocation.assignment[pc]
+
+
+def test_allocator_requires_exactly_one_source():
+    graph = estimate_conflict_graph(assemble(NESTED), threshold=0)
+    with pytest.raises(ValueError):
+        BranchAllocator()
+    with pytest.raises(ValueError):
+        BranchAllocator(profile=object(), graph=graph)  # type: ignore

@@ -1,0 +1,249 @@
+"""Static lint/verifier tests: every diagnostic code, and the clean path."""
+
+from repro.asm.assembler import assemble
+from repro.static_analysis import lint_program, lint_source
+
+CLEAN = """
+main:
+    addi t0, zero, 4
+loop:
+    addi t0, t0, -1
+    bne t0, zero, loop
+    halt
+"""
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def test_clean_program_has_no_diagnostics():
+    report = lint_program(assemble(CLEAN))
+    assert report.clean and report.ok
+    assert report.render().endswith("clean")
+
+
+def test_empty_program_warns():
+    report = lint_program(assemble(""))
+    assert codes(report) == ["empty-program"]
+    assert report.ok  # warning, not error
+    assert not report.clean
+
+
+def test_unreachable_block_is_reported():
+    program = assemble(
+        """
+        main:
+            halt
+        orphan:
+            addi t0, zero, 1
+            halt
+        """
+    )
+    report = lint_program(program)
+    assert codes(report) == ["unreachable"]
+    [diag] = report.diagnostics
+    assert diag.severity == "warning"
+    assert diag.address == program.symbols["orphan"]
+
+
+def test_called_code_is_not_unreachable():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                call helper
+                halt
+            helper:
+                ret
+            """
+        )
+    )
+    assert "unreachable" not in codes(report)
+
+
+def test_branch_to_data_is_an_error():
+    report = lint_program(
+        assemble(
+            """
+            .data
+            blob: .word 1
+            .text
+            main:
+                beq a0, zero, blob
+                halt
+            """
+        )
+    )
+    assert "branch-to-data" in codes(report)
+    assert not report.ok
+
+
+def test_fallthrough_off_end_is_an_error():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                addi t0, zero, 1
+            """
+        )
+    )
+    assert "fallthrough-end" in codes(report)
+
+
+def test_program_ending_in_conditional_branch_falls_through():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                addi t0, zero, 3
+            loop:
+                addi t0, t0, -1
+                bne t0, zero, loop
+            """
+        )
+    )
+    # the not-taken path exits the text segment
+    assert "fallthrough-end" in codes(report)
+
+
+def test_trailing_skip_padding_is_not_flagged():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                halt
+            .skip 8
+            """
+        )
+    )
+    assert report.clean
+
+
+def test_use_before_def_of_temporary():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                add a0, t0, t1
+                halt
+            """
+        )
+    )
+    assert codes(report).count("use-before-def") == 2
+    messages = " ".join(d.message for d in report.diagnostics)
+    assert "t0" in messages and "t1" in messages
+
+
+def test_defined_temporary_is_silent():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                addi t0, zero, 5
+                add a0, t0, t0
+                halt
+            """
+        )
+    )
+    assert report.clean
+
+
+def test_call_clobbers_temporaries():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                addi t0, zero, 5
+                call helper
+                add a0, a0, t0
+                halt
+            helper:
+                ret
+            """
+        )
+    )
+    assert codes(report) == ["use-before-def"]
+    [diag] = report.diagnostics
+    assert "t0" in diag.message
+
+
+def test_must_defined_joins_over_paths():
+    # t0 is written on only one arm of the diamond: the join may read it
+    # undefined
+    report = lint_program(
+        assemble(
+            """
+            main:
+                beq a0, zero, join
+                addi t0, zero, 1
+            join:
+                add a0, t0, zero
+                halt
+            """
+        )
+    )
+    assert "use-before-def" in codes(report)
+
+
+def test_check_registers_can_be_disabled():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                add a0, t0, t1
+                halt
+            """
+        ),
+        check_registers=False,
+    )
+    assert report.clean
+
+
+def test_lint_source_reports_assembly_errors():
+    report = lint_source("main:\n    beq t0, zero, nowhere\n")
+    assert codes(report) == ["asm-error"]
+    assert not report.ok
+
+
+def test_lint_source_assembles_and_lints():
+    report = lint_source(CLEAN, name="clean")
+    assert report.name == "clean"
+    assert report.clean
+
+
+def test_diagnostics_sorted_by_address():
+    report = lint_program(
+        assemble(
+            """
+            main:
+                add a0, t1, zero
+                add a0, t0, zero
+                halt
+            orphan:
+                halt
+            """
+        )
+    )
+    addresses = [
+        d.address for d in report.diagnostics if d.address is not None
+    ]
+    assert addresses == sorted(addresses)
+
+
+def test_render_includes_severity_and_code():
+    report = lint_program(
+        assemble(
+            """
+            .data
+            blob: .word 1
+            .text
+            main:
+                beq a0, zero, blob
+                halt
+            """
+        )
+    )
+    rendered = report.render()
+    assert "error" in rendered and "[branch-to-data]" in rendered
+    assert "1 error(s)" in rendered

@@ -14,6 +14,9 @@ from repro.allocation.conflict_cost import conflict_cost, conventional_cost
 from repro.analysis.classification import BiasClass, classify_profile
 from repro.analysis.conflict_graph import build_conflict_graph
 from repro.analysis.working_sets import partition_working_sets
+from repro.static_analysis import estimate_conflict_graph, lint_program
+from repro.workloads.build import build_workload
+from repro.workloads.suite import get_benchmark
 
 # a representative cross-section: big/small, text/binary, search/numeric
 BENCHMARKS = ["compress", "gcc", "chess", "pgp", "ss_a"]
@@ -22,6 +25,11 @@ BENCHMARKS = ["compress", "gcc", "chess", "pgp", "ss_a"]
 @pytest.fixture(scope="module", params=BENCHMARKS)
 def artifacts(request, runner):
     return runner.artifacts(request.param)
+
+
+@pytest.fixture(scope="module")
+def built(artifacts, runner):
+    return build_workload(get_benchmark(artifacts.name, scale=runner.scale))
 
 
 def test_profile_accounts_for_every_trace_event(artifacts):
@@ -99,6 +107,28 @@ def test_classified_allocation_reserves_entries(artifacts):
             assert entry == NOT_TAKEN_ENTRY
         else:
             assert entry >= 2
+
+
+def test_every_benchmark_lints_clean(built):
+    """Static verifier invariant: no analog ships with unreachable code,
+    branches into data, fallthrough off text, or undefined-register reads."""
+    report = lint_program(built.program)
+    assert report.clean, report.render()
+
+
+def test_static_graph_covers_every_profiled_branch(artifacts, built):
+    """Every branch the simulator actually executed is a node of the
+    static estimate (the static CFG misses nothing the trace visits)."""
+    static_graph = estimate_conflict_graph(
+        built.program, threshold=TEST_THRESHOLD
+    )
+    static_nodes = set(static_graph.nodes())
+    profiled = set(artifacts.profile.branches)
+    assert profiled <= static_nodes
+    # and the estimate stays within the program's static branches
+    assert static_nodes == set(
+        built.program.static_conditional_branches()
+    )
 
 
 def test_rerun_is_bit_identical(runner, artifacts):
