@@ -1,0 +1,29 @@
+# Convenience targets; everything runs with the in-tree sources.
+PY ?= python
+export PYTHONPATH := src
+
+SMOKE_CACHE := .smoke-cache
+SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
+
+.PHONY: test smoke bench clean
+
+test:
+	$(PY) -m pytest -x -q tests
+
+## End-to-end sanity check for the evaluation engine: a cold run that
+## simulates and populates the content-addressed store, then a warm run
+## that must be served from it.
+smoke:
+	rm -rf $(SMOKE_CACHE)
+	@echo "== cold: simulating into $(SMOKE_CACHE) =="
+	$(PY) -m repro $(SMOKE_ARGS)
+	@echo "== warm: store hits only =="
+	$(PY) -m repro $(SMOKE_ARGS)
+	rm -rf $(SMOKE_CACHE)
+
+bench:
+	$(PY) -m pytest benchmarks -q
+
+clean:
+	rm -rf $(SMOKE_CACHE) .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -26,11 +26,14 @@ RESULTS_DIR = BENCH_DIR / "results"
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 THRESHOLD = 100 if SCALE >= 0.9 else 10
 
+#: Worker processes for cold-cache trace generation (1 = sequential).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 @pytest.fixture(scope="session")
 def runner() -> BenchmarkRunner:
     """Session-wide runner with a persistent trace/profile cache."""
-    return BenchmarkRunner(scale=SCALE, cache_dir=CACHE_DIR)
+    return BenchmarkRunner(scale=SCALE, cache_dir=CACHE_DIR, jobs=JOBS)
 
 
 def save_result(name: str, text: str) -> None:
@@ -40,6 +43,5 @@ def save_result(name: str, text: str) -> None:
 
 
 def prewarm(runner: BenchmarkRunner, names) -> None:
-    """Simulate + profile outside the timed region."""
-    for name in names:
-        runner.artifacts(name)
+    """Simulate + profile outside the timed region (fans out when JOBS>1)."""
+    runner.prefetch(names)

@@ -6,11 +6,12 @@ benchmark harness under benchmarks/ runs the same experiments under
 pytest-benchmark timing.
 
 Run:  python examples/paper_tables.py [--scale S] [--only table2,figure3]
-                                      [--cache DIR]
+                                      [--cache DIR] [--jobs N]
 
 At scale 1.0 the full run simulates ~80M instructions across 15 analogs
-and takes several minutes on first run (traces are cached if --cache is
-given).
+and takes several minutes on first run (--jobs fans the simulations over
+a process pool; traces are stored content-addressed if --cache is given,
+so warm reruns skip simulation).
 """
 
 import argparse
@@ -31,7 +32,10 @@ def main() -> None:
                         help="comma-separated experiment ids "
                              f"(known: {', '.join(EXPERIMENTS)})")
     parser.add_argument("--cache", type=str, default="",
-                        help="directory for trace/profile caching")
+                        help="content-addressed artifact store directory")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation "
+                             "(1 = sequential)")
     args = parser.parse_args()
 
     wanted = (
@@ -44,7 +48,7 @@ def main() -> None:
         parser.error(f"unknown experiments: {unknown}")
 
     runner = BenchmarkRunner(
-        scale=args.scale, cache_dir=args.cache or None
+        scale=args.scale, cache_dir=args.cache or None, jobs=args.jobs
     )
     for experiment_id in wanted:
         experiment = EXPERIMENTS[experiment_id]
@@ -57,6 +61,8 @@ def main() -> None:
         print(run_experiment(experiment_id, runner))
         print(f"[{experiment_id} took {time.time() - started:.1f}s]")
         sys.stdout.flush()
+    print()
+    print(runner.stats.render())
 
 
 if __name__ == "__main__":

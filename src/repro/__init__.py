@@ -12,14 +12,18 @@ The package is organised bottom-up:
 * :mod:`repro.predictors` — the 2-level predictor family (PAg et al.);
 * :mod:`repro.static_analysis` — CFG, dominators, natural loops, a
   profile-free conflict-graph estimator, and an assembly linter;
-* :mod:`repro.eval` — regenerates every table and figure in the paper.
+* :mod:`repro.eval` — regenerates every table and figure in the paper,
+  via :class:`~repro.eval.engine.ExecutionEngine`: a process-pool
+  evaluation engine over a content-addressed artifact store (see
+  docs/EVAL.md).
 
 Quick start::
 
     from repro import BenchmarkRunner, run_experiment
 
-    runner = BenchmarkRunner(scale=0.2)
+    runner = BenchmarkRunner(scale=0.2, cache_dir=".cache", jobs=4)
     print(run_experiment("table2", runner))
+    print(runner.stats.render())  # per-job timing + cache hit/miss
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -43,7 +47,15 @@ from .analysis import (
     partition_working_sets,
     working_set_metrics,
 )
-from .eval import BenchmarkRunner, run_all, run_experiment
+from .eval import (
+    ArtifactStore,
+    BenchmarkRunner,
+    ExecutionEngine,
+    RunArtifacts,
+    run_all,
+    run_all_experiments,
+    run_experiment,
+)
 from .predictors import (
     InterferenceFreePAg,
     PAgPredictor,
@@ -72,6 +84,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllocationResult",
+    "ArtifactStore",
     "BenchmarkRunner",
     "BiasClass",
     "BranchAllocator",
@@ -79,11 +92,13 @@ __all__ = [
     "ClassificationBounds",
     "ClassifiedBranchAllocator",
     "ConflictGraph",
+    "ExecutionEngine",
     "InterferenceFreePAg",
     "InterleaveAnalyzer",
     "InterleaveProfile",
     "PAgPredictor",
     "PCModuloIndex",
+    "RunArtifacts",
     "StaticConflictEstimator",
     "StaticIndexMap",
     "TraceCapture",
@@ -106,6 +121,7 @@ __all__ = [
     "profile_trace",
     "required_bht_size",
     "run_all",
+    "run_all_experiments",
     "run_experiment",
     "run_workload",
     "simulate_predictor",

@@ -10,8 +10,17 @@ Commands
                   estimate instead, with no profiling or simulation step.
 ``cfg``         — static control-flow summary (blocks, loops, functions).
 ``lint``        — static verifier diagnostics for one benchmark or --all.
-``experiment``  — run a registered experiment (table1..figure4, ablations).
+``experiment``  — run a registered experiment (table1..figure4, ablations);
+                  ``--jobs N`` fans the benchmark simulations across a
+                  process pool and ``--cache DIR`` enables the
+                  content-addressed artifact store (per-job timing and
+                  hit/miss counters are reported either way).
 ``disasm``      — assemble a workload and print its program listing.
+
+``run``, ``profile``, ``allocate`` and ``experiment`` accept ``--json``
+and then emit one versioned envelope
+(``{schema_version, command, params, results}`` — see
+:mod:`repro.schema`) instead of the human-readable prints.
 
 Unknown benchmark names exit with status 2 and a message on stderr.
 ``lint`` exits 1 when any program has errors.
@@ -31,6 +40,7 @@ from .allocation import (
 from .analysis import working_set_metrics
 from .eval import BenchmarkRunner
 from .eval.experiments import EXPERIMENTS, run_experiment
+from .schema import dump, envelope
 from .static_analysis import (
     StaticConflictEstimator,
     build_cfg,
@@ -50,6 +60,11 @@ def _threshold_for(scale: float) -> int:
     return 100 if scale >= 0.9 else 10
 
 
+def _emit(args: argparse.Namespace, command: str, params, results) -> None:
+    """Print the versioned JSON envelope for a --json invocation."""
+    print(dump(envelope(command, params, results)))
+
+
 def cmd_list(_: argparse.Namespace) -> int:
     print("benchmark analogs:")
     for name, spec in benchmark_suite().items():
@@ -63,23 +78,62 @@ def cmd_list(_: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     spec = get_benchmark(args.benchmark, scale=args.scale)
     built = build_workload(spec)
+    result = run_workload(built)
+    checksum = result.output.decode().strip()
+    if args.json:
+        _emit(
+            args,
+            "run",
+            {"benchmark": args.benchmark, "scale": args.scale},
+            {
+                "benchmark": spec.name,
+                "program_instructions": len(built.program),
+                "static_branches": built.static_conditional_branches,
+                "retired_instructions": result.instructions,
+                "conditional_branches": result.conditional_branches,
+                "taken_rate": result.taken_rate,
+                "halted": result.halted,
+                "checksum": checksum,
+            },
+        )
+        return 0
     print(f"{spec.name}: {len(built.program)} instructions, "
           f"{built.static_conditional_branches} static branches")
-    result = run_workload(built)
     print(f"retired {result.instructions} instructions, "
           f"{result.conditional_branches} conditional branches "
           f"({result.taken_rate:.1%} taken), "
           f"{'halted' if result.halted else 'fuel-capped'}")
-    print(f"driver checksum: {result.output.decode().strip()}")
+    print(f"driver checksum: {checksum}")
     return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
     runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
+    threshold = args.threshold or _threshold_for(args.scale)
     metrics = working_set_metrics(
-        runner.profile(args.benchmark),
-        threshold=args.threshold or _threshold_for(args.scale),
+        runner.profile(args.benchmark), threshold=threshold
     )
+    if args.json:
+        _emit(
+            args,
+            "profile",
+            {
+                "benchmark": args.benchmark,
+                "scale": args.scale,
+                "threshold": threshold,
+                "cache": args.cache or None,
+            },
+            {
+                "benchmark": metrics.name,
+                "working_sets": metrics.total_sets,
+                "average_static_size": metrics.average_static_size,
+                "average_dynamic_size": metrics.average_dynamic_size,
+                "largest_size": metrics.largest_size,
+                "static_branches": metrics.static_branches,
+                "threshold": metrics.threshold,
+            },
+        )
+        return 0
     print(f"{metrics.name}: {metrics.total_sets} working sets, "
           f"avg static {metrics.average_static_size:.1f}, "
           f"avg dynamic {metrics.average_dynamic_size:.1f}, "
@@ -100,6 +154,25 @@ def cmd_allocate(args: argparse.Namespace) -> int:
     sizing3 = required_bht_size(plain, baseline)
     classified = ClassifiedBranchAllocator(profile, threshold=threshold)
     sizing4 = required_bht_size(classified, baseline, min_size=3)
+    if args.json:
+        _emit(
+            args,
+            "allocate",
+            {
+                "benchmark": args.benchmark,
+                "scale": args.scale,
+                "threshold": threshold,
+                "static": False,
+                "cache": args.cache or None,
+            },
+            {
+                "benchmark": args.benchmark,
+                "baseline_cost": baseline,
+                "required_size_plain": sizing3.required_size,
+                "required_size_classified": sizing4.required_size,
+            },
+        )
+        return 0
     print(f"{args.benchmark}: baseline cost @1024 conventional = {baseline}")
     print(f"  required BHT size (Table 3 style): {sizing3.required_size}")
     print(f"  with classification (Table 4):     {sizing4.required_size}")
@@ -120,6 +193,34 @@ def _allocate_static(args: argparse.Namespace, threshold: int) -> int:
     allocator = BranchAllocator.from_graph(graph, threshold=threshold)
     allocation = allocator.allocate(args.bht)
     baseline = conventional_cost(graph, 1024)
+    sizing = required_bht_size(allocator, baseline) if baseline else None
+    if args.json:
+        _emit(
+            args,
+            "allocate",
+            {
+                "benchmark": args.benchmark,
+                "scale": args.scale,
+                "threshold": threshold,
+                "static": True,
+                "bht": args.bht,
+            },
+            {
+                "benchmark": args.benchmark,
+                "program_instructions": len(built.program),
+                "static_branches": built.static_conditional_branches,
+                "natural_loops": len(estimate.loops.loops),
+                "predicted_nodes": graph.node_count,
+                "predicted_edges": graph.edge_count,
+                "predicted_cost": allocation.cost,
+                "shared_branches": len(allocation.shared_branches),
+                "baseline_cost": baseline,
+                "predicted_required_size": (
+                    sizing.required_size if sizing else None
+                ),
+            },
+        )
+        return 0
     print(f"{args.benchmark}: static estimate (no profiling run)")
     print(f"  {len(built.program)} instructions, "
           f"{built.static_conditional_branches} static branches, "
@@ -129,8 +230,7 @@ def _allocate_static(args: argparse.Namespace, threshold: int) -> int:
     print(f"  allocation @{args.bht} entries: predicted cost "
           f"{allocation.cost}, {len(allocation.shared_branches)} shared "
           f"branches")
-    if baseline:
-        sizing = required_bht_size(allocator, baseline)
+    if sizing is not None:
         print(f"  predicted required BHT size: {sizing.required_size} "
               f"(vs conventional cost {baseline} @1024)")
     return 0
@@ -187,8 +287,37 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
-    print(run_experiment(args.id, runner))
+    runner = BenchmarkRunner(
+        scale=args.scale,
+        cache_dir=args.cache or None,
+        jobs=args.jobs,
+    )
+    experiment = EXPERIMENTS[args.id]
+    output = run_experiment(args.id, runner)
+    stats = runner.stats
+    if args.json:
+        _emit(
+            args,
+            "experiment",
+            {
+                "id": args.id,
+                "scale": args.scale,
+                "jobs": args.jobs,
+                "cache": args.cache or None,
+            },
+            {
+                "id": experiment.id,
+                "paper_artifact": experiment.paper_artifact,
+                "description": experiment.description,
+                "benchmarks": list(experiment.benchmarks),
+                "output": output,
+                "engine": stats.as_dict(),
+            },
+        )
+        return 0
+    print(output)
+    print()
+    print(stats.render())
     return 0
 
 
@@ -213,10 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks and kernels")
 
+    def add_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="emit the versioned JSON envelope "
+                       "(see repro.schema) instead of prints")
+
     def add_common(p: argparse.ArgumentParser, with_threshold=True) -> None:
         p.add_argument("benchmark", help="benchmark analog name")
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--cache", default="", help="trace cache directory")
+        add_json(p)
         if with_threshold:
             p.add_argument("--threshold", type=int, default=0,
                            help="edge threshold (0 = auto for scale)")
@@ -224,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate a benchmark analog")
     p_run.add_argument("benchmark")
     p_run.add_argument("--scale", type=float, default=1.0)
+    add_json(p_run)
 
     add_common(sub.add_parser("profile", help="Table 2 row"))
 
@@ -250,7 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--scale", type=float, default=1.0)
-    p_exp.add_argument("--cache", default="")
+    p_exp.add_argument("--cache", default="",
+                       help="content-addressed artifact store directory")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for benchmark simulation "
+                       "(1 = sequential)")
+    add_json(p_exp)
 
     p_dis = sub.add_parser("disasm", help="print a workload's listing")
     p_dis.add_argument("benchmark")

@@ -6,7 +6,23 @@ from .ablations import (
     run_predictor_family,
     run_threshold_ablation,
 )
-from .experiments import EXPERIMENTS, Experiment, run_all, run_experiment
+from .engine import (
+    ArtifactStore,
+    EngineStats,
+    ExecutionEngine,
+    JobResult,
+    JobSpec,
+    artifact_digest,
+    compute_job_digest,
+    prefetch_artifacts,
+)
+from .experiments import (
+    EXPERIMENTS,
+    Experiment,
+    run_all,
+    run_all_experiments,
+    run_experiment,
+)
 from .figures import (
     FigureRow,
     average_improvement,
@@ -31,22 +47,31 @@ from .tables import (
 )
 
 __all__ = [
+    "ArtifactStore",
     "BenchmarkRunner",
     "EXPERIMENTS",
+    "EngineStats",
     "Experiment",
+    "ExecutionEngine",
     "FigureRow",
+    "JobResult",
+    "JobSpec",
     "RunArtifacts",
     "SizingRow",
     "Table1Row",
     "Table2Row",
+    "artifact_digest",
     "average_improvement",
+    "compute_job_digest",
     "format_figure",
     "format_sizing_table",
     "format_table1",
     "format_table2",
     "reduction_summary",
+    "prefetch_artifacts",
     "render_table",
     "run_all",
+    "run_all_experiments",
     "run_experiment",
     "run_figure3",
     "run_figure4",

@@ -29,6 +29,7 @@ from ..predictors.indexing import XorFoldIndex
 from ..predictors.simulator import simulate_predictor
 from ..predictors.twolevel import GAgPredictor, PAgPredictor
 from ..profiling.merge import merge_profiles
+from .engine import prefetch_artifacts
 from .figures import HISTORY_BITS
 from .report import render_table
 from .runner import BenchmarkRunner
@@ -56,6 +57,7 @@ def run_threshold_ablation(
     thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
 ) -> List[ThresholdRow]:
     """Working-set metrics across edge-pruning thresholds."""
+    prefetch_artifacts(runner, benchmarks)
     rows: List[ThresholdRow] = []
     for name in benchmarks:
         profile = runner.profile(name)
@@ -110,6 +112,9 @@ def run_input_sensitivity(
     baseline_bht: int = 1024,
 ) -> List[InputSensitivityRow]:
     """The §5.2 experiment: per-input required size + cumulative merge."""
+    prefetch_artifacts(
+        runner, [f"{base}_{v}" for base in pairs for v in ("a", "b")]
+    )
     rows: List[InputSensitivityRow] = []
     for base in pairs:
         profile_a = runner.profile(f"{base}_a")
@@ -179,6 +184,7 @@ def run_predictor_family(
     history_bits: int = HISTORY_BITS,
 ) -> Dict[str, Dict[str, float]]:
     """Misprediction rates of the predictor family per benchmark."""
+    prefetch_artifacts(runner, benchmarks)
     results: Dict[str, Dict[str, float]] = {}
     for name in benchmarks:
         trace = runner.trace(name)
@@ -244,6 +250,7 @@ def run_hash_baseline(
     algorithms by analyzing ... branches") needs the profile, or whether a
     better blind hash suffices.
     """
+    prefetch_artifacts(runner, benchmarks)
     rows: List[HashBaselineRow] = []
     for name in benchmarks:
         profile = runner.profile(name)
@@ -291,6 +298,7 @@ def run_history_sweep(
 
     if threshold is None:
         threshold = DEFAULT_THRESHOLD
+    prefetch_artifacts(runner, benchmarks)
     rows: List[HistorySweepRow] = []
     for name in benchmarks:
         artifacts = runner.artifacts(name)
@@ -363,6 +371,7 @@ def run_clique_definition_ablation(
 
     if threshold is None:
         threshold = DEFAULT_THRESHOLD
+    prefetch_artifacts(runner, benchmarks)
     rows: List[CliqueDefinitionRow] = []
     for name in benchmarks:
         profile = runner.profile(name)
@@ -448,6 +457,7 @@ def run_alignment_ablation(
         from ..analysis.conflict_graph import DEFAULT_THRESHOLD
 
         threshold = DEFAULT_THRESHOLD
+    prefetch_artifacts(runner, benchmarks)
     rows: List[AlignmentRow] = []
     for name in benchmarks:
         artifacts = runner.artifacts(name)

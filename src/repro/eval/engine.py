@@ -1,0 +1,467 @@
+"""Parallel evaluation engine with a content-addressed artifact store.
+
+Every table and figure in the paper is a per-benchmark sweep, so the
+dominant wall-clock cost is simulating the analog suite.  The
+:class:`ExecutionEngine` removes that cost twice over:
+
+* **Parallelism** — benchmark x scale x trace-limit jobs fan out across a
+  ``multiprocessing`` pool (``jobs=N``; ``N=1`` is a plain sequential
+  loop in-process).
+* **Content-addressed caching** — artifacts are keyed on a digest of the
+  assembled program image, its input bytes and the capture parameters,
+  so editing a kernel (or the assembler, via the emitted image)
+  invalidates stale traces automatically and warm runs skip simulation
+  entirely.
+
+:class:`~repro.eval.runner.BenchmarkRunner` is a thin facade over this
+module; experiment code that only needs ``artifacts/trace/profile`` can
+accept either interchangeably.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..profiling.interleave import profile_trace
+from ..profiling.profile import InterleaveProfile
+from ..trace.capture import TraceCapture
+from ..trace.events import BranchTrace
+from ..trace.io import load_trace, save_trace
+from ..workloads.build import BuiltWorkload, build_workload, run_workload
+from ..workloads.suite import get_benchmark
+
+#: Bump to invalidate every stored artifact (digest input change).
+DIGEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunArtifacts:
+    """Everything the experiments need for one benchmark run."""
+
+    name: str
+    trace: BranchTrace
+    profile: InterleaveProfile
+    instructions: int
+    static_branches: int
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of engine work: a benchmark at a scale and capture limit."""
+
+    name: str
+    scale: float = 1.0
+    trace_limit: Optional[int] = None
+
+    def tag(self) -> str:
+        """Human-readable artifact prefix (the legacy cache tag)."""
+        tag = f"{self.name}-s{self.scale:g}"
+        if self.trace_limit:
+            tag += f"-l{self.trace_limit}"
+        return tag
+
+
+def artifact_digest(
+    built: BuiltWorkload, trace_limit: Optional[int] = None
+) -> str:
+    """Content digest for one job's artifacts.
+
+    Hashes the assembled program image (text + data + entry point), the
+    input bytes, and every parameter that changes what a capture run
+    records (random seed, fuel budget, trace limit).  Anything that
+    alters the simulated instruction stream alters the digest.
+    """
+    text, data = built.program.to_image()
+    hasher = hashlib.sha256()
+    for part in (
+        f"v{DIGEST_VERSION}",
+        f"entry:{built.program.entry_point}",
+        f"seed:{built.spec.random_seed}",
+        f"fuel:{built.spec.fuel}",
+        f"limit:{trace_limit or 0}",
+    ):
+        hasher.update(part.encode("ascii"))
+        hasher.update(b"\x00")
+    hasher.update(text)
+    hasher.update(b"\x00")
+    hasher.update(data)
+    hasher.update(b"\x00")
+    hasher.update(built.input_data)
+    return hasher.hexdigest()
+
+
+def compute_job_digest(spec: JobSpec) -> str:
+    """Build the workload for *spec* and digest it (no simulation)."""
+    built = build_workload(get_benchmark(spec.name, scale=spec.scale))
+    return artifact_digest(built, trace_limit=spec.trace_limit)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one executed job.
+
+    ``artifacts`` is ``None`` when they were written to (or found in) the
+    artifact store — the parent process loads them from there instead of
+    shipping arrays through the pool's pickle pipe.
+    """
+
+    spec: JobSpec
+    digest: str
+    source: str  # "store" | "simulated"
+    seconds: float
+    artifacts: Optional[RunArtifacts] = None
+
+
+class ArtifactStore:
+    """Content-addressed trace/profile store.
+
+    Layout is flat and human-readable: the legacy ``name-sSCALE[-lLIMIT]``
+    tag with the content digest folded in::
+
+        <root>/compress-s1-3f9a2c41d06b17e8.trace.npz
+        <root>/compress-s1-3f9a2c41d06b17e8.profile.json
+        <root>/compress-s1-3f9a2c41d06b17e8.meta.json
+
+    The digest alone decides validity: a kernel edit changes the program
+    image, hence the digest, hence the filename — stale artifacts simply
+    stop being found.
+    """
+
+    #: hex digits of the digest folded into filenames.
+    DIGEST_CHARS = 16
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def stem(self, spec: JobSpec, digest: str) -> str:
+        return f"{spec.tag()}-{digest[: self.DIGEST_CHARS]}"
+
+    def paths(self, spec: JobSpec, digest: str) -> Tuple[Path, Path, Path]:
+        """(trace, profile, meta) paths for one job."""
+        stem = self.stem(spec, digest)
+        return (
+            self.root / f"{stem}.trace.npz",
+            self.root / f"{stem}.profile.json",
+            self.root / f"{stem}.meta.json",
+        )
+
+    def contains(self, spec: JobSpec, digest: str) -> bool:
+        trace_path, profile_path, meta_path = self.paths(spec, digest)
+        return (
+            trace_path.exists()
+            and profile_path.exists()
+            and meta_path.exists()
+        )
+
+    def load(self, spec: JobSpec, digest: str) -> Optional[RunArtifacts]:
+        """Artifacts for *spec* if stored, else None."""
+        if not self.contains(spec, digest):
+            return None
+        trace_path, profile_path, meta_path = self.paths(spec, digest)
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        trace = load_trace(trace_path)
+        profile = InterleaveProfile.load(profile_path)
+        return RunArtifacts(
+            name=spec.name,
+            trace=trace,
+            profile=profile,
+            instructions=int(meta["instructions"]),
+            static_branches=int(meta["static_branches"]),
+        )
+
+    def put(
+        self, spec: JobSpec, digest: str, artifacts: RunArtifacts
+    ) -> None:
+        """Persist one job's artifacts under their content address."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        trace_path, profile_path, meta_path = self.paths(spec, digest)
+        save_trace(
+            artifacts.trace, trace_path,
+            meta={"digest": digest, "benchmark": spec.name},
+        )
+        artifacts.profile.save(profile_path)
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "digest": digest,
+                    "digest_version": DIGEST_VERSION,
+                    "benchmark": spec.name,
+                    "scale": spec.scale,
+                    "trace_limit": spec.trace_limit,
+                    "instructions": artifacts.instructions,
+                    "static_branches": artifacts.static_branches,
+                }
+            ),
+            encoding="utf-8",
+        )
+
+
+def _execute_job(payload: Tuple[JobSpec, Optional[str]]) -> JobResult:
+    """Run one job end to end (pool worker; must stay module-level).
+
+    Builds, digests, then either loads from the store or simulates and
+    stores.  With a store the result carries no arrays — the parent
+    reloads them by digest — so the pickle pipe stays small.
+    """
+    spec, cache_root = payload
+    started = time.perf_counter()
+    built = build_workload(get_benchmark(spec.name, scale=spec.scale))
+    digest = artifact_digest(built, trace_limit=spec.trace_limit)
+    store = ArtifactStore(Path(cache_root)) if cache_root else None
+    if store is not None and store.contains(spec, digest):
+        return JobResult(
+            spec=spec,
+            digest=digest,
+            source="store",
+            seconds=time.perf_counter() - started,
+        )
+    capture = TraceCapture(limit=spec.trace_limit)
+    result = run_workload(built, branch_hook=capture)
+    trace = capture.finish(spec.name)
+    profile = profile_trace(trace, name=spec.name)
+    profile.instructions = result.instructions
+    artifacts = RunArtifacts(
+        name=spec.name,
+        trace=trace,
+        profile=profile,
+        instructions=result.instructions,
+        static_branches=built.static_conditional_branches,
+    )
+    if store is not None:
+        store.put(spec, digest, artifacts)
+        artifacts = None  # parent reloads from the store
+    return JobResult(
+        spec=spec,
+        digest=digest,
+        source="simulated",
+        seconds=time.perf_counter() - started,
+        artifacts=artifacts,
+    )
+
+
+@dataclass
+class EngineStats:
+    """Cache and timing counters for one engine's lifetime."""
+
+    store_hits: int = 0
+    simulated: int = 0
+    memo_hits: int = 0
+    job_seconds: Dict[str, float] = field(default_factory=dict)
+    job_source: Dict[str, str] = field(default_factory=dict)
+
+    def record(self, result: JobResult) -> None:
+        if result.source == "store":
+            self.store_hits += 1
+        else:
+            self.simulated += 1
+        self.job_seconds[result.spec.name] = result.seconds
+        self.job_source[result.spec.name] = result.source
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.job_seconds.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (the CLI's --json envelope embeds this)."""
+        return {
+            "store_hits": self.store_hits,
+            "simulated": self.simulated,
+            "memo_hits": self.memo_hits,
+            "jobs": [
+                {
+                    "benchmark": name,
+                    "seconds": round(seconds, 4),
+                    "source": self.job_source[name],
+                }
+                for name, seconds in sorted(self.job_seconds.items())
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-job timing + hit/miss summary."""
+        lines = ["-- engine --"]
+        for name in sorted(self.job_seconds):
+            lines.append(
+                f"  {name:12s} {self.job_seconds[name]:8.2f}s  "
+                f"{self.job_source[name]}"
+            )
+        lines.append(
+            f"  cache: {self.store_hits} hit(s), "
+            f"{self.simulated} simulated, {self.memo_hits} memoised"
+        )
+        return "\n".join(lines)
+
+
+class ExecutionEngine:
+    """Builds, simulates and profiles benchmark jobs, in parallel.
+
+    Example::
+
+        engine = ExecutionEngine(scale=1.0, cache_dir=".cache", jobs=4)
+        results = engine.prefetch(["compress", "gcc", "li"])  # one pool pass
+        engine.artifacts("gcc")  # memoised, free
+
+    Args:
+        scale: workload scale forwarded to the suite.
+        cache_dir: optional root of the content-addressed artifact store.
+        trace_limit: optional cap on captured events per run.
+        jobs: worker processes for :meth:`prefetch`; 1 = sequential,
+            in-process.
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        cache_dir: Optional[Path] = None,
+        trace_limit: Optional[int] = None,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.scale = scale
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.trace_limit = trace_limit
+        self.jobs = jobs
+        self.store = (
+            ArtifactStore(self.cache_dir)
+            if self.cache_dir is not None
+            else None
+        )
+        self.stats = EngineStats()
+        self._memo: Dict[str, RunArtifacts] = {}
+        self._digests: Dict[str, str] = {}
+
+    # -- job bookkeeping ----------------------------------------------------
+
+    def job(self, name: str) -> JobSpec:
+        """The job spec this engine would run for *name*."""
+        return JobSpec(
+            name=name, scale=self.scale, trace_limit=self.trace_limit
+        )
+
+    def digest(self, name: str) -> str:
+        """Content digest of *name*'s artifacts (builds, never simulates)."""
+        cached = self._digests.get(name)
+        if cached is None:
+            cached = compute_job_digest(self.job(name))
+            self._digests[name] = cached
+        return cached
+
+    def cache_paths(self, name: str) -> Optional[Tuple[Path, Path]]:
+        """(trace, profile) store paths for *name*; None without a store."""
+        if self.store is None:
+            return None
+        trace_path, profile_path, _ = self.store.paths(
+            self.job(name), self.digest(name)
+        )
+        return trace_path, profile_path
+
+    # -- public artifact API ------------------------------------------------
+
+    def artifacts(self, name: str) -> RunArtifacts:
+        """Trace + profile for benchmark *name* (memoised)."""
+        cached = self._memo.get(name)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        cache_root = str(self.cache_dir) if self.cache_dir else None
+        return self._absorb(_execute_job((self.job(name), cache_root)))
+
+    def trace(self, name: str) -> BranchTrace:
+        """The benchmark's branch trace."""
+        return self.artifacts(name).trace
+
+    def profile(self, name: str) -> InterleaveProfile:
+        """The benchmark's interleave profile."""
+        return self.artifacts(name).profile
+
+    def prefetch(
+        self, names: Sequence[str]
+    ) -> Dict[str, RunArtifacts]:
+        """Materialise artifacts for *names*, fanning out across the pool.
+
+        Unmemoised jobs run concurrently when ``jobs > 1``; results are
+        collected order-independently, so parallel and sequential runs
+        observe identical artifacts (same digests, same contents).
+        """
+        wanted = list(dict.fromkeys(names))
+        missing = [n for n in wanted if n not in self._memo]
+        if self.jobs > 1 and len(missing) > 1:
+            import multiprocessing
+
+            cache_root = str(self.cache_dir) if self.cache_dir else None
+            payloads = [(self.job(n), cache_root) for n in missing]
+            with multiprocessing.Pool(
+                processes=min(self.jobs, len(missing))
+            ) as pool:
+                for result in pool.imap_unordered(_execute_job, payloads):
+                    self._absorb(result)
+        else:
+            for name in missing:
+                self.artifacts(name)
+        for name in wanted:
+            if name in self._memo and name not in missing:
+                self.stats.memo_hits += 1
+        return {name: self._memo[name] for name in wanted}
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop memoised artifacts (all of them when *name* is None)."""
+        if name is None:
+            self._memo.clear()
+            self._digests.clear()
+        else:
+            self._memo.pop(name, None)
+            self._digests.pop(name, None)
+
+    # -- internals ----------------------------------------------------------
+
+    def _absorb(self, result: JobResult) -> RunArtifacts:
+        artifacts = result.artifacts
+        if artifacts is None:
+            if self.store is None:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "job result carried no artifacts and no store is "
+                    "configured"
+                )
+            artifacts = self.store.load(result.spec, result.digest)
+            if artifacts is None:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"store lost artifacts for {result.spec.name} "
+                    f"({result.digest[:16]})"
+                )
+        self._memo[result.spec.name] = artifacts
+        self._digests[result.spec.name] = result.digest
+        self.stats.record(result)
+        return artifacts
+
+
+def prefetch_artifacts(runner, names: Iterable[str]) -> None:
+    """Warm *runner* for *names* if it supports batched prefetching.
+
+    The experiment entry points call this first so that an engine-backed
+    runner materialises every benchmark in one parallel pass; runners
+    without :meth:`prefetch` (e.g. test doubles) fall through to their
+    lazy per-benchmark path.
+    """
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None:
+        prefetch(list(names))
+
+
+__all__ = [
+    "ArtifactStore",
+    "DIGEST_VERSION",
+    "EngineStats",
+    "ExecutionEngine",
+    "JobResult",
+    "JobSpec",
+    "RunArtifacts",
+    "artifact_digest",
+    "compute_job_digest",
+    "prefetch_artifacts",
+]

@@ -1,26 +1,61 @@
 """Experiment registry: one entry per paper table/figure plus ablations.
 
-Gives the examples and the CLI-style scripts a uniform way to enumerate and
-run everything DESIGN.md's per-experiment index lists.
+Gives the examples and the CLI a uniform way to enumerate and run
+everything DESIGN.md's per-experiment index lists.  Every entry declares
+the benchmarks it consumes, so :func:`run_experiment` can warm an
+engine-backed runner with one parallel :meth:`prefetch` pass before the
+(cheap, sequential) analysis code touches individual artifacts.
+
+Entry points accept any artifact source uniformly — a
+:class:`~repro.eval.runner.BenchmarkRunner` facade or a bare
+:class:`~repro.eval.engine.ExecutionEngine`; nothing here constructs
+runners of its own.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
+from ..workloads.suite import (
+    FIGURE_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    TABLE34_BENCHMARKS,
+)
 from . import ablations, figures, tables
+from .engine import prefetch_artifacts
 from .runner import BenchmarkRunner
+
+#: Benchmark lists reused by several experiments.
+_THRESHOLD_BENCHMARKS = ("compress", "gcc", "python")
+_PREDICTOR_BENCHMARKS = ("compress", "gcc", "li", "chess")
+_HASH_BENCHMARKS = ("gcc", "python", "chess", "gs")
+_GROUP_BENCHMARKS = ("compress", "gcc", "tex")
+_PAIR_BENCHMARKS = ("perl_a", "perl_b", "ss_a", "ss_b")
+_ALIGNMENT_BENCHMARKS = ("gcc", "tex")
+_CLIQUE_BENCHMARKS = ("compress", "pgp", "plot", "chess")
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """A runnable experiment: produces printable text from a runner."""
+    """A runnable experiment: produces printable text from a runner.
+
+    Attributes:
+        id: registry key (the CLI's ``experiment <id>`` argument).
+        paper_artifact: which paper table/figure/section this regenerates.
+        description: one-line summary.
+        run: the entry point; takes any artifact source (runner or
+            engine) and returns rendered text.
+        benchmarks: every benchmark the experiment consumes — prefetched
+            in one parallel pass before ``run`` is called.
+    """
 
     id: str
     paper_artifact: str
     description: str
     run: Callable[[BenchmarkRunner], str]
+    benchmarks: Tuple[str, ...] = ()
 
 
 def _table1(runner: BenchmarkRunner) -> str:
@@ -61,7 +96,7 @@ def _figure4(runner: BenchmarkRunner) -> str:
 
 def _ablation_threshold(runner: BenchmarkRunner) -> str:
     rows = ablations.run_threshold_ablation(
-        runner, ["compress", "gcc", "python"]
+        runner, list(_THRESHOLD_BENCHMARKS)
     )
     return ablations.format_threshold_ablation(rows)
 
@@ -73,32 +108,32 @@ def _ablation_inputs(runner: BenchmarkRunner) -> str:
 
 def _ablation_predictors(runner: BenchmarkRunner) -> str:
     results = ablations.run_predictor_family(
-        runner, ["compress", "gcc", "li", "chess"]
+        runner, list(_PREDICTOR_BENCHMARKS)
     )
     return ablations.format_predictor_family(results)
 
 
 def _ablation_hash(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_hash_baseline(
-        runner, ["gcc", "python", "chess", "gs"]
-    )
+    rows = ablations.run_hash_baseline(runner, list(_HASH_BENCHMARKS))
     return ablations.format_hash_baseline(rows)
 
 
 def _ablation_groups(runner: BenchmarkRunner) -> str:
     from .group_allocation import format_group_ablation, run_group_ablation
 
-    rows = run_group_ablation(runner, ["compress", "gcc", "tex"])
+    rows = run_group_ablation(runner, list(_GROUP_BENCHMARKS))
     return format_group_ablation(rows)
 
 
 def _ablation_alignment(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_alignment_ablation(runner, ["gcc", "tex"])
+    rows = ablations.run_alignment_ablation(
+        runner, list(_ALIGNMENT_BENCHMARKS)
+    )
     return ablations.format_alignment_ablation(rows)
 
 
 def _ablation_history(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_history_sweep(runner, ["gcc", "tex"])
+    rows = ablations.run_history_sweep(runner, list(_ALIGNMENT_BENCHMARKS))
     return ablations.format_history_sweep(rows)
 
 
@@ -110,9 +145,15 @@ def _static_compare(runner: BenchmarkRunner) -> str:
 
 def _ablation_cliques(runner: BenchmarkRunner) -> str:
     rows = ablations.run_clique_definition_ablation(
-        runner, ["compress", "pgp", "plot", "chess"]
+        runner, list(_CLIQUE_BENCHMARKS)
     )
     return ablations.format_clique_definition(rows)
+
+
+def _static_compare_benchmarks() -> Tuple[str, ...]:
+    from .static_compare import DEFAULT_BENCHMARKS
+
+    return tuple(DEFAULT_BENCHMARKS)
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -120,49 +161,55 @@ EXPERIMENTS: Dict[str, Experiment] = {
     for exp in [
         Experiment("table1", "Table 1",
                    "benchmarks, input sets, % dynamic branches analyzed",
-                   _table1),
+                   _table1, tuple(TABLE2_BENCHMARKS)),
         Experiment("table2", "Table 2",
-                   "working-set counts and sizes", _table2),
+                   "working-set counts and sizes", _table2,
+                   tuple(TABLE2_BENCHMARKS)),
         Experiment("table3", "Table 3",
-                   "BHT size required by branch allocation", _table3),
+                   "BHT size required by branch allocation", _table3,
+                   tuple(TABLE34_BENCHMARKS)),
         Experiment("table4", "Table 4",
-                   "BHT size required with branch classification", _table4),
+                   "BHT size required with branch classification", _table4,
+                   tuple(TABLE34_BENCHMARKS)),
         Experiment("figure3", "Figure 3",
                    "misprediction: allocation without classification",
-                   _figure3),
+                   _figure3, tuple(FIGURE_BENCHMARKS)),
         Experiment("figure4", "Figure 4",
                    "misprediction: allocation with classification",
-                   _figure4),
+                   _figure4, tuple(FIGURE_BENCHMARKS)),
         Experiment("ablation_threshold", "§4.2",
-                   "edge-threshold sensitivity", _ablation_threshold),
+                   "edge-threshold sensitivity", _ablation_threshold,
+                   _THRESHOLD_BENCHMARKS),
         Experiment("ablation_inputs", "§5.2",
                    "profile input sensitivity + cumulative merge",
-                   _ablation_inputs),
+                   _ablation_inputs, _PAIR_BENCHMARKS),
         Experiment("ablation_predictors", "context",
-                   "predictor family comparison", _ablation_predictors),
+                   "predictor family comparison", _ablation_predictors,
+                   _PREDICTOR_BENCHMARKS),
         Experiment("ablation_hash", "context",
-                   "indexing-scheme conflict cost", _ablation_hash),
+                   "indexing-scheme conflict cost", _ablation_hash,
+                   _HASH_BENCHMARKS),
         Experiment("ablation_groups", "§6 extension",
                    "group-level allocation (bias / history-pattern groups)",
-                   _ablation_groups),
+                   _ablation_groups, _GROUP_BENCHMARKS),
         Experiment("ablation_alignment", "§5 alternative",
                    "branch alignment (no ISA change) vs branch allocation",
-                   _ablation_alignment),
+                   _ablation_alignment, _ALIGNMENT_BENCHMARKS),
         Experiment("ablation_cliques", "§4.1 note",
                    "working-set definition: partition vs maximal cliques",
-                   _ablation_cliques),
+                   _ablation_cliques, _CLIQUE_BENCHMARKS),
         Experiment("ablation_history", "context",
                    "PAg history-length sweep with/without allocation",
-                   _ablation_history),
+                   _ablation_history, _ALIGNMENT_BENCHMARKS),
         Experiment("static_compare", "§5 extension",
                    "static-estimated vs profiled allocation quality",
-                   _static_compare),
+                   _static_compare, _static_compare_benchmarks()),
     ]
 }
 
 
 def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
-    """Run one experiment by id.
+    """Run one experiment by id (prefetching its benchmarks in parallel).
 
     Raises:
         KeyError: for unknown experiment ids.
@@ -172,12 +219,33 @@ def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
             f"unknown experiment {experiment_id!r}; known: "
             f"{sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[experiment_id].run(runner)
+    experiment = EXPERIMENTS[experiment_id]
+    prefetch_artifacts(runner, experiment.benchmarks)
+    return experiment.run(runner)
 
 
-def run_all(runner: BenchmarkRunner) -> List[str]:
-    """Run every registered experiment, returning rendered blocks."""
+def run_all_experiments(runner: BenchmarkRunner) -> List[str]:
+    """Run every registered experiment, returning rendered blocks.
+
+    The union of every experiment's benchmark list is prefetched first,
+    so an engine-backed runner simulates the whole suite in one parallel
+    pass and each experiment then runs against warm artifacts.
+    """
+    every = [
+        name for exp in EXPERIMENTS.values() for name in exp.benchmarks
+    ]
+    prefetch_artifacts(runner, every)
     return [
         f"== {exp.paper_artifact} ({exp.id}) ==\n{exp.run(runner)}"
         for exp in EXPERIMENTS.values()
     ]
+
+
+def run_all(runner: BenchmarkRunner) -> List[str]:
+    """Deprecated alias for :func:`run_all_experiments`."""
+    warnings.warn(
+        "repro.eval.run_all is deprecated; use run_all_experiments",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_all_experiments(runner)

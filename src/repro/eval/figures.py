@@ -23,6 +23,7 @@ from ..analysis.conflict_graph import DEFAULT_THRESHOLD
 from ..predictors.simulator import simulate_predictor
 from ..predictors.twolevel import InterferenceFreePAg, PAgPredictor
 from ..workloads.suite import FIGURE_BENCHMARKS
+from .engine import prefetch_artifacts
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -59,6 +60,7 @@ def _figure_rows(
     threshold: int,
     sizes: Sequence[int],
 ) -> List[FigureRow]:
+    prefetch_artifacts(runner, benchmarks)
     rows: List[FigureRow] = []
     for name in benchmarks:
         artifacts = runner.artifacts(name)

@@ -31,6 +31,7 @@ from ..predictors.simulator import simulate_predictor
 from ..predictors.twolevel import PAgPredictor
 from ..profiling.profile import InterleaveProfile
 from ..trace.events import BranchTrace
+from .engine import prefetch_artifacts
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -104,6 +105,7 @@ def run_group_ablation(
     history_bits: int = 12,
 ) -> List[GroupAblationRow]:
     """Compare per-branch vs group-level allocation on prediction accuracy."""
+    prefetch_artifacts(runner, benchmarks)
     rows: List[GroupAblationRow] = []
     for name in benchmarks:
         artifacts = runner.artifacts(name)

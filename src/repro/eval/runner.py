@@ -1,36 +1,24 @@
-"""Experiment orchestration.
+"""Experiment orchestration facade.
 
-:class:`BenchmarkRunner` builds, simulates and profiles benchmark analogs
-with memoisation, because every table/figure re-uses the same traces and
-profiles.  An optional cache directory persists traces and profiles across
-processes (the benchmark harness uses it so pytest-benchmark rounds do not
-re-simulate).
+:class:`BenchmarkRunner` keeps the historical ``artifacts/trace/profile``
+API the tables, figures and ablations consume, but is now a thin facade
+over :class:`repro.eval.engine.ExecutionEngine`: jobs fan out across a
+process pool when ``jobs > 1`` and persistent caching is content-addressed
+— artifact filenames fold in a digest of the assembled program, its input
+and the capture parameters, so edited kernels invalidate stale artifacts
+automatically (the old filename-tag scheme kept them alive forever).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..profiling.interleave import profile_trace
 from ..profiling.profile import InterleaveProfile
-from ..trace.capture import TraceCapture
 from ..trace.events import BranchTrace
-from ..trace.io import load_trace, save_trace
-from ..workloads.build import build_workload, run_workload
-from ..workloads.suite import get_benchmark
+from .engine import ExecutionEngine, RunArtifacts
 
-
-@dataclass(frozen=True)
-class RunArtifacts:
-    """Everything the experiments need for one benchmark run."""
-
-    name: str
-    trace: BranchTrace
-    profile: InterleaveProfile
-    instructions: int
-    static_branches: int
+__all__ = ["BenchmarkRunner", "RunArtifacts"]
 
 
 class BenchmarkRunner:
@@ -38,7 +26,8 @@ class BenchmarkRunner:
 
     Example::
 
-        runner = BenchmarkRunner(scale=1.0)
+        runner = BenchmarkRunner(scale=1.0, jobs=4)
+        runner.prefetch(["compress", "gcc"])   # one parallel pool pass
         artifacts = runner.artifacts("compress")
         artifacts.profile  # InterleaveProfile for the compress analog
     """
@@ -48,90 +37,87 @@ class BenchmarkRunner:
         scale: float = 1.0,
         cache_dir: Optional[Path] = None,
         trace_limit: Optional[int] = None,
+        jobs: int = 1,
     ) -> None:
         """
         Args:
             scale: workload scale forwarded to the suite.
-            cache_dir: optional directory for persistent trace/profile
-                caching (created on demand).
+            cache_dir: optional directory for the content-addressed
+                trace/profile store (created on demand).
             trace_limit: optional cap on captured events per run
                 (downsampled profiling for quick passes).
+            jobs: worker processes used by :meth:`prefetch`; 1 keeps the
+                historical sequential in-process behaviour.
         """
-        self.scale = scale
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.trace_limit = trace_limit
-        self._artifacts: Dict[str, RunArtifacts] = {}
+        self._engine = ExecutionEngine(
+            scale=scale,
+            cache_dir=cache_dir,
+            trace_limit=trace_limit,
+            jobs=jobs,
+        )
+
+    # -- engine passthroughs ---------------------------------------------------
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The underlying execution engine (stats, store, job specs)."""
+        return self._engine
+
+    @property
+    def scale(self) -> float:
+        return self._engine.scale
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._engine.cache_dir
+
+    @property
+    def trace_limit(self) -> Optional[int]:
+        return self._engine.trace_limit
+
+    @property
+    def jobs(self) -> int:
+        return self._engine.jobs
+
+    @property
+    def stats(self):
+        """Cache hit/miss counters and per-job timings."""
+        return self._engine.stats
+
+    @property
+    def _artifacts(self) -> Dict[str, RunArtifacts]:
+        # the in-memory memo, exposed under its historical name
+        return self._engine._memo
 
     # -- cache paths -----------------------------------------------------------
 
     def _cache_paths(self, name: str) -> Optional[Tuple[Path, Path]]:
-        if self.cache_dir is None:
-            return None
-        tag = f"{name}-s{self.scale:g}"
-        if self.trace_limit:
-            tag += f"-l{self.trace_limit}"
-        return (
-            self.cache_dir / f"{tag}.trace.npz",
-            self.cache_dir / f"{tag}.profile.json",
-        )
+        """(trace, profile) cache paths with the content digest folded in.
+
+        The legacy scheme keyed on ``name-sSCALE[-lLIMIT]`` only, so stale
+        artifacts survived kernel edits; the tag now ends with the first
+        16 hex digits of the job's content digest.
+        """
+        return self._engine.cache_paths(name)
 
     # -- public API --------------------------------------------------------------
 
     def artifacts(self, name: str) -> RunArtifacts:
         """Trace + profile for benchmark *name* (memoised)."""
-        cached = self._artifacts.get(name)
-        if cached is not None:
-            return cached
-        artifact = self._load_or_run(name)
-        self._artifacts[name] = artifact
-        return artifact
+        return self._engine.artifacts(name)
 
     def trace(self, name: str) -> BranchTrace:
         """The benchmark's branch trace."""
-        return self.artifacts(name).trace
+        return self._engine.trace(name)
 
     def profile(self, name: str) -> InterleaveProfile:
         """The benchmark's interleave profile."""
-        return self.artifacts(name).profile
+        return self._engine.profile(name)
+
+    def prefetch(self, names: Sequence[str]) -> Dict[str, RunArtifacts]:
+        """Materialise artifacts for *names*, in parallel when jobs > 1."""
+        return self._engine.prefetch(names)
 
     def invalidate(self, name: Optional[str] = None) -> None:
         """Drop memoised artifacts (all of them when *name* is None)."""
-        if name is None:
-            self._artifacts.clear()
-        else:
-            self._artifacts.pop(name, None)
-
-    # -- internals ------------------------------------------------------------
-
-    def _load_or_run(self, name: str) -> RunArtifacts:
-        paths = self._cache_paths(name)
-        if paths is not None:
-            trace_path, profile_path = paths
-            if trace_path.exists() and profile_path.exists():
-                trace = load_trace(trace_path)
-                profile = InterleaveProfile.load(profile_path)
-                return RunArtifacts(
-                    name=name,
-                    trace=trace,
-                    profile=profile,
-                    instructions=profile.instructions,
-                    static_branches=profile.static_branch_count,
-                )
-        spec = get_benchmark(name, scale=self.scale)
-        built = build_workload(spec)
-        capture = TraceCapture(limit=self.trace_limit)
-        result = run_workload(built, branch_hook=capture)
-        trace = capture.finish(name)
-        profile = profile_trace(trace, name=name)
-        profile.instructions = result.instructions
-        if paths is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            save_trace(trace, paths[0])
-            profile.save(paths[1])
-        return RunArtifacts(
-            name=name,
-            trace=trace,
-            profile=profile,
-            instructions=result.instructions,
-            static_branches=built.static_conditional_branches,
-        )
+        self._engine.invalidate(name)

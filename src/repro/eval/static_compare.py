@@ -33,6 +33,7 @@ from ..predictors.indexing import PCModuloIndex
 from ..static_analysis.estimator import estimate_conflict_graph
 from ..workloads.build import build_workload
 from ..workloads.suite import get_benchmark
+from .engine import prefetch_artifacts
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -101,6 +102,7 @@ def run_static_compare(
         edge_threshold = DEFAULT_THRESHOLD if runner.scale >= 0.9 else 10
     else:
         edge_threshold = threshold
+    prefetch_artifacts(runner, benchmarks)
     rows: List[StaticCompareRow] = []
     for name in benchmarks:
         # the static path: build only, never simulate

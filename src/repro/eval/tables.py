@@ -23,6 +23,7 @@ from ..workloads.suite import (
     TABLE34_BENCHMARKS,
     benchmark_suite,
 )
+from .engine import prefetch_artifacts
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -53,6 +54,7 @@ def run_table1(
 ) -> List[Table1Row]:
     """Regenerate Table 1: trace sizes and the frequency-cutoff coverage."""
     names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
+    prefetch_artifacts(runner, names)
     suite = benchmark_suite(runner.scale)
     rows: List[Table1Row] = []
     for name in names:
@@ -127,6 +129,7 @@ def run_table2(
 ) -> List[Table2Row]:
     """Regenerate Table 2: the branch working set statistics."""
     names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
+    prefetch_artifacts(runner, names)
     rows: List[Table2Row] = []
     for name in names:
         profile = runner.profile(name)
@@ -192,6 +195,7 @@ def run_table3(
 ) -> List[SizingRow]:
     """Regenerate Table 3: minimal BHT size for plain branch allocation."""
     names = list(benchmarks) if benchmarks else list(TABLE34_BENCHMARKS)
+    prefetch_artifacts(runner, names)
     rows: List[SizingRow] = []
     for name in names:
         profile = runner.profile(name)
@@ -224,6 +228,7 @@ def run_table4(
     the paper's premise that same-class biased conflicts are harmless.
     """
     names = list(benchmarks) if benchmarks else list(TABLE34_BENCHMARKS)
+    prefetch_artifacts(runner, names)
     rows: List[SizingRow] = []
     for name in names:
         profile = runner.profile(name)

@@ -1,0 +1,45 @@
+"""Versioned machine-readable output schema for the CLI.
+
+Every ``python -m repro`` subcommand that supports ``--json`` emits one
+envelope::
+
+    {
+      "schema_version": 1,
+      "command": "experiment",
+      "params": {...},     # the parsed arguments that shaped the run
+      "results": {...}     # command-specific payload
+    }
+
+``schema_version`` is bumped on any backwards-incompatible change to the
+envelope or to a command's ``results`` payload, so scripts can pin what
+they parse.  Replaces the ad-hoc prints as the only stable programmatic
+surface of the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+#: Bump on backwards-incompatible envelope/payload changes.
+SCHEMA_VERSION = 1
+
+
+def envelope(
+    command: str, params: Dict[str, Any], results: Any
+) -> Dict[str, Any]:
+    """Wrap a command's results in the versioned envelope."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "command": command,
+        "params": params,
+        "results": results,
+    }
+
+
+def dump(document: Dict[str, Any]) -> str:
+    """Render an envelope as stable, human-inspectable JSON."""
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+__all__ = ["SCHEMA_VERSION", "dump", "envelope"]

@@ -2,7 +2,13 @@
 
 from .capture import TraceCapture
 from .events import BranchEvent, BranchTrace
-from .io import load_trace, load_trace_ndjson, save_trace, save_trace_ndjson
+from .io import (
+    load_trace,
+    load_trace_ndjson,
+    read_trace_meta,
+    save_trace,
+    save_trace_ndjson,
+)
 from .sampling import systematic_sample, truncate
 from .stats import TraceSummary, frequency_cutoff, summarize_trace
 from .synthetic import (
@@ -26,6 +32,7 @@ __all__ = [
     "load_trace",
     "load_trace_ndjson",
     "make_phased_workload",
+    "read_trace_meta",
     "save_trace",
     "save_trace_ndjson",
     "summarize_trace",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -23,8 +23,23 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
-def save_trace(trace: BranchTrace, path: PathLike) -> None:
-    """Write *trace* to an ``.npz`` file."""
+def save_trace(
+    trace: BranchTrace,
+    path: PathLike,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write *trace* to an ``.npz`` file.
+
+    Args:
+        trace: the trace to persist.
+        path: destination path.
+        meta: optional JSON-serialisable provenance metadata (the artifact
+            store stamps the content digest here); readable without
+            decompressing the event columns via :func:`read_trace_meta`.
+    """
+    extras = {}
+    if meta is not None:
+        extras["meta"] = np.array([json.dumps(meta)])
     np.savez_compressed(
         Path(path),
         version=np.array([_FORMAT_VERSION]),
@@ -33,7 +48,23 @@ def save_trace(trace: BranchTrace, path: PathLike) -> None:
         targets=trace.targets,
         taken=trace.taken,
         timestamps=trace.timestamps,
+        **extras,
     )
+
+
+def read_trace_meta(path: PathLike) -> Dict[str, object]:
+    """Provenance metadata stored with :func:`save_trace` (may be empty).
+
+    Raises:
+        ValueError: on a format-version mismatch.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        if "meta" not in archive.files:
+            return {}
+        return json.loads(str(archive["meta"][0]))
 
 
 def load_trace(path: PathLike) -> BranchTrace:

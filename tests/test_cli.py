@@ -1,8 +1,21 @@
 """CLI (`python -m repro`) tests."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.schema import SCHEMA_VERSION
+
+
+def _json_out(capsys, command):
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["command"] == command
+    assert set(document) == {
+        "schema_version", "command", "params", "results",
+    }
+    return document
 
 
 def test_list_command(capsys):
@@ -89,6 +102,57 @@ def test_allocate_static_runs_without_simulation(capsys):
     assert "no profiling run" in out
     assert "predicted conflict graph" in out
     assert "allocation @64 entries" in out
+
+
+def test_run_json_envelope(capsys):
+    assert main(["run", "plot", "--scale", "0.05", "--json"]) == 0
+    document = _json_out(capsys, "run")
+    assert document["params"]["benchmark"] == "plot"
+    assert document["results"]["retired_instructions"] > 0
+    assert document["results"]["static_branches"] > 0
+
+
+def test_profile_json_envelope(capsys):
+    assert main(["profile", "plot", "--scale", "0.05",
+                 "--threshold", "5", "--json"]) == 0
+    document = _json_out(capsys, "profile")
+    assert document["results"]["working_sets"] > 0
+    assert document["results"]["threshold"] == 5
+
+
+def test_allocate_json_envelope(capsys):
+    assert main(["allocate", "plot", "--scale", "0.05",
+                 "--threshold", "5", "--json"]) == 0
+    document = _json_out(capsys, "allocate")
+    assert document["params"]["static"] is False
+    assert document["results"]["required_size_plain"] > 0
+
+
+def test_allocate_static_json_envelope(capsys):
+    assert main(["allocate", "plot", "--static", "--scale", "0.05",
+                 "--threshold", "5", "--bht", "64", "--json"]) == 0
+    document = _json_out(capsys, "allocate")
+    assert document["params"]["static"] is True
+    assert document["results"]["predicted_nodes"] > 0
+
+
+def test_experiment_jobs_and_cache(tmp_path, capsys):
+    argv = ["experiment", "table2", "--scale", "0.03",
+            "--cache", str(tmp_path), "--jobs", "2"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "simulated" in out          # per-job timing block
+    assert "cache: 0 hit(s)" in out
+
+    # warm rerun: every artifact comes back from the store
+    assert main(argv + ["--json"]) == 0
+    document = _json_out(capsys, "experiment")
+    assert document["params"]["jobs"] == 2
+    engine = document["results"]["engine"]
+    assert engine["simulated"] == 0
+    assert engine["store_hits"] == len(document["results"]["benchmarks"])
+    assert "Table 2" in document["results"]["output"]
 
 
 def test_parser_requires_command():
