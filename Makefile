@@ -5,19 +5,31 @@ export PYTHONPATH := src
 SMOKE_CACHE := .smoke-cache
 SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
 
-.PHONY: test smoke bench clean
+.PHONY: test faults smoke bench clean
 
 test:
 	$(PY) -m pytest -x -q tests
 
+## Only the fault-injection and recovery tests (crashed/hung/flaky
+## workers, corrupted cache entries, degraded experiments).
+faults:
+	$(PY) -m pytest -x -q -m faults tests
+
 ## End-to-end sanity check for the evaluation engine: a cold run that
-## simulates and populates the content-addressed store, then a warm run
-## that must be served from it.
+## simulates and populates the content-addressed store, a warm run that
+## must be served from it, then a corruption pass — one cache entry is
+## damaged in place and the rerun must quarantine + resimulate it.
 smoke:
 	rm -rf $(SMOKE_CACHE)
 	@echo "== cold: simulating into $(SMOKE_CACHE) =="
 	$(PY) -m repro $(SMOKE_ARGS)
 	@echo "== warm: store hits only =="
+	$(PY) -m repro $(SMOKE_ARGS)
+	@echo "== corrupt: damaging one stored trace =="
+	$(PY) -c "import pathlib; from repro.eval.faults import corrupt_file; \
+	victim = sorted(pathlib.Path('$(SMOKE_CACHE)').glob('*.trace.npz'))[0]; \
+	corrupt_file(victim); print(f'corrupted {victim}')"
+	@echo "== recover: quarantine + resimulate the damaged entry =="
 	$(PY) -m repro $(SMOKE_ARGS)
 	rm -rf $(SMOKE_CACHE)
 

@@ -15,10 +15,18 @@ Commands
                   process pool and ``--cache DIR`` enables the
                   content-addressed artifact store (per-job timing and
                   hit/miss counters are reported either way).
+                  ``--timeout``/``--retries`` bound each job: failing
+                  benchmarks are retried with backoff and then dropped,
+                  the experiment runs on the survivors, and the exit is
+                  nonzero only when *every* benchmark failed.
+``faults``      — fault-injection demo: runs a benchmark subset with
+                  injected worker crashes / hangs / flaky failures /
+                  cache corruption, then a clean recovery pass proving
+                  quarantined entries are resimulated.
 ``disasm``      — assemble a workload and print its program listing.
 
-``run``, ``profile``, ``allocate`` and ``experiment`` accept ``--json``
-and then emit one versioned envelope
+``run``, ``profile``, ``allocate``, ``experiment`` and ``faults`` accept
+``--json`` and then emit one versioned envelope
 (``{schema_version, command, params, results}`` — see
 :mod:`repro.schema`) instead of the human-readable prints.
 
@@ -38,6 +46,7 @@ from .allocation import (
     required_bht_size,
 )
 from .analysis import working_set_metrics
+from .errors import SuiteDegraded
 from .eval import BenchmarkRunner
 from .eval.experiments import EXPERIMENTS, run_experiment
 from .schema import dump, envelope
@@ -286,39 +295,168 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _failures_payload(runner: BenchmarkRunner) -> list:
+    """The envelope's ``failures`` array: one object per failed benchmark."""
+    return [
+        {"benchmark": name, **error.to_dict()}
+        for name, error in sorted(runner.failures.items())
+    ]
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     runner = BenchmarkRunner(
         scale=args.scale,
         cache_dir=args.cache or None,
         jobs=args.jobs,
+        timeout=args.timeout or None,
+        retries=args.retries,
     )
     experiment = EXPERIMENTS[args.id]
-    output = run_experiment(args.id, runner)
-    stats = runner.stats
+    params = {
+        "id": args.id,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "cache": args.cache or None,
+        "timeout": args.timeout or None,
+        "retries": args.retries,
+    }
+    try:
+        output = run_experiment(args.id, runner)
+    except SuiteDegraded as exc:
+        if args.json:
+            _emit(
+                args,
+                "experiment",
+                params,
+                {
+                    "id": experiment.id,
+                    "degraded": exc.to_dict(),
+                    "failures": _failures_payload(runner),
+                    "engine": runner.stats.as_dict(),
+                },
+            )
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+            print(runner.stats.render(), file=sys.stderr)
+        return 1
     if args.json:
         _emit(
             args,
             "experiment",
-            {
-                "id": args.id,
-                "scale": args.scale,
-                "jobs": args.jobs,
-                "cache": args.cache or None,
-            },
+            params,
             {
                 "id": experiment.id,
                 "paper_artifact": experiment.paper_artifact,
                 "description": experiment.description,
                 "benchmarks": list(experiment.benchmarks),
                 "output": output,
-                "engine": stats.as_dict(),
+                "failures": _failures_payload(runner),
+                "engine": runner.stats.as_dict(),
             },
         )
         return 0
     print(output)
     print()
-    print(stats.render())
+    print(runner.stats.render())
     return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection demo: poisoned pass, then a clean recovery pass."""
+    import json as json_mod
+    import shutil
+    import tempfile
+
+    from .eval.engine import ExecutionEngine
+    from .eval.faults import FaultPlan
+
+    names = (
+        [n for n in args.benchmarks.split(",") if n]
+        if args.benchmarks
+        else ["plot", "pgp", "compress"]
+    )
+    for name in names:
+        get_benchmark(name)  # unknown names exit 2 via the KeyError hook
+    crash = [args.crash] if args.crash else []
+    corrupt = [args.corrupt] if args.corrupt else []
+    if not any((args.crash, args.hang, args.flaky, args.corrupt)):
+        # default demo: one worker dies hard, one cache entry is damaged
+        crash = [names[0]]
+        corrupt = [names[-1]]
+    state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    cache_dir = args.cache or None
+    cache_is_temp = cache_dir is None and bool(corrupt)
+    if cache_is_temp:
+        cache_dir = tempfile.mkdtemp(prefix="repro-faults-cache-")
+    flaky = {}
+    if args.flaky:
+        bench, _, count = args.flaky.partition(":")
+        flaky[bench] = int(count or 1)
+    plan = FaultPlan(
+        worker_crash=tuple(crash),
+        worker_hang=(args.hang,) if args.hang else (),
+        flaky=flaky,
+        corrupt_trace=tuple(corrupt),
+        hang_seconds=(args.timeout or 5.0) * 3,
+        state_dir=state_dir,
+    )
+    try:
+        with plan.installed():
+            poisoned = ExecutionEngine(
+                scale=args.scale,
+                cache_dir=cache_dir,
+                jobs=args.jobs,
+                timeout=args.timeout or None,
+                retries=args.retries,
+            )
+            poisoned.prefetch(names)
+        recovery = ExecutionEngine(
+            scale=args.scale,
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+            timeout=args.timeout or None,
+            retries=args.retries,
+        )
+        recovered = recovery.prefetch(names)
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+        if cache_is_temp:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    ok = len(recovered) == len(names)
+    if args.json:
+        _emit(
+            args,
+            "faults",
+            {
+                "benchmarks": names,
+                "scale": args.scale,
+                "jobs": args.jobs,
+                "cache": args.cache or None,
+                "timeout": args.timeout or None,
+                "retries": args.retries,
+            },
+            {
+                "plan": json_mod.loads(plan.to_json()),
+                "injected": poisoned.stats.as_dict(),
+                "failures": [
+                    {"benchmark": name, **error.to_dict()}
+                    for name, error in sorted(poisoned.failures.items())
+                ],
+                "recovery": recovery.stats.as_dict(),
+                "recovered": sorted(recovered),
+            },
+        )
+        return 0 if ok else 1
+    print("== poisoned pass ==")
+    print(poisoned.stats.render())
+    print()
+    print("== clean recovery pass ==")
+    print(recovery.stats.render())
+    print(
+        f"\nrecovered {len(recovered)}/{len(names)} benchmark(s): "
+        + (", ".join(sorted(recovered)) or "none")
+    )
+    return 0 if ok else 1
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -383,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lint every registered benchmark analog")
     p_lint.add_argument("--scale", type=float, default=1.0)
 
+    def add_fault_tolerance(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--timeout", type=float, default=0.0,
+                       help="per-attempt wall-clock budget in seconds for "
+                       "parallel jobs (0 = unbounded)")
+        p.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per failed job before it is "
+                       "dropped from the run")
+
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--scale", type=float, default=1.0)
@@ -391,7 +537,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for benchmark simulation "
                        "(1 = sequential)")
+    add_fault_tolerance(p_exp)
     add_json(p_exp)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="fault-injection demo: poisoned pass + clean recovery pass",
+    )
+    p_faults.add_argument("--benchmarks", default="",
+                          help="comma-separated benchmark analogs "
+                          "(default: plot,pgp,compress)")
+    p_faults.add_argument("--scale", type=float, default=0.05)
+    p_faults.add_argument("--jobs", type=int, default=4)
+    p_faults.add_argument("--cache", default="",
+                          help="artifact store directory (default: a "
+                          "throwaway temp store when corruption is "
+                          "injected)")
+    p_faults.add_argument("--crash", default="",
+                          help="benchmark whose worker dies hard")
+    p_faults.add_argument("--hang", default="",
+                          help="benchmark whose worker hangs (pair with "
+                          "--timeout)")
+    p_faults.add_argument("--flaky", default="",
+                          help="NAME[:N] — benchmark that fails its first "
+                          "N attempts (default 1)")
+    p_faults.add_argument("--corrupt", default="",
+                          help="benchmark whose stored trace is corrupted")
+    add_fault_tolerance(p_faults)
+    add_json(p_faults)
 
     p_dis = sub.add_parser("disasm", help="print a workload's listing")
     p_dis.add_argument("benchmark")
@@ -409,11 +582,14 @@ _HANDLERS = {
     "cfg": cmd_cfg,
     "lint": cmd_lint,
     "experiment": cmd_experiment,
+    "faults": cmd_faults,
     "disasm": cmd_disasm,
 }
 
 
 def main(argv=None) -> int:
+    from .errors import ReproError
+
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
@@ -422,6 +598,11 @@ def main(argv=None) -> int:
         # registries; report them cleanly instead of a traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except ReproError as exc:
+        # typed pipeline failures (a benchmark that keeps failing, a
+        # fully degraded suite) exit 1 with the structured message
+        print(f"error: [{exc.code}] {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

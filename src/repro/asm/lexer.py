@@ -13,13 +13,18 @@ import re
 from dataclasses import dataclass
 from typing import Iterator, List
 
+from ..errors import ReproError
 
-class AsmSyntaxError(ValueError):
+
+class AsmSyntaxError(ReproError, ValueError):
     """Raised on malformed assembly input; carries the source line number."""
+
+    code = "asm_syntax_error"
 
     def __init__(self, message: str, line: int):
         super().__init__(f"line {line}: {message}")
         self.line = line
+        self.context["line"] = line
 
 
 class TokenKind(enum.Enum):

@@ -1,0 +1,155 @@
+"""Typed error taxonomy for the whole reproduction.
+
+Every failure the pipeline can produce descends from :class:`ReproError`,
+so callers can catch one root for "anything this package raised" and the
+CLI can serialise any failure into the machine-readable JSON envelope via
+:meth:`ReproError.to_dict`.
+
+Layers::
+
+    ReproError                      — root; carries a message + context dict
+    ├── ArtifactCorrupt             — cache entry failed verification/load
+    ├── JobFailed                   — one engine job exhausted its retries
+    │   └── JobTimeout              — ... by exceeding its wall-clock budget
+    ├── SuiteDegraded               — *every* benchmark of a run failed
+    ├── MemAccessError              — invalid simulated memory access
+    ├── SimulationError             — executor left text / decoded garbage
+    │   (defined in repro.sim.executor, folded in here)
+    ├── FuelExhausted               — instruction budget ran out
+    ├── SyscallError                — unknown environment call
+    ├── AsmSyntaxError              — malformed assembly input
+    └── EncodingError               — unencodable instruction
+
+The simulator/assembler errors keep their historical bases
+(``RuntimeError`` / ``ValueError``) so existing ``except`` clauses keep
+working; they are re-exported from this module lazily to avoid import
+cycles (this module must stay import-free at the bottom of the package
+dependency graph).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ReproError(Exception):
+    """Root of the package's error taxonomy.
+
+    Context is carried as keyword arguments (``benchmark=...``,
+    ``path=...``) and surfaces both in ``str()`` output and in the
+    machine-readable :meth:`to_dict` form.  Subclasses set ``code`` to a
+    stable machine-readable identifier.
+    """
+
+    code = "repro_error"
+
+    def __init__(self, message: str = "", **context: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.context: Dict[str, Any] = context
+
+    def __str__(self) -> str:
+        return self.message
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view for the CLI envelope's ``failures`` array."""
+        return {
+            "error": type(self).__name__,
+            "code": self.code,
+            "message": self.message,
+            **self.context,
+        }
+
+
+class ArtifactCorrupt(ReproError):
+    """A stored artifact failed digest/schema verification or did not load.
+
+    The store reports these as cache *misses* (quarantining the bad files)
+    so a corrupt entry costs a resimulation, never an aborted run.
+    """
+
+    code = "artifact_corrupt"
+
+
+class JobFailed(ReproError):
+    """One engine job failed after exhausting its retry budget."""
+
+    code = "job_failed"
+
+
+class JobTimeout(JobFailed):
+    """A job exceeded its per-attempt wall-clock budget."""
+
+    code = "job_timeout"
+
+
+class SuiteDegraded(ReproError):
+    """Every benchmark an experiment needed failed.
+
+    Partial failure degrades gracefully (experiments run on the surviving
+    set); this is raised — and turned into a nonzero exit — only when
+    nothing survived.
+    """
+
+    code = "suite_degraded"
+
+
+class MemAccessError(ReproError, RuntimeError):
+    """Raised on invalid simulated memory access.
+
+    Replaces the historical ``MemoryError_`` name (kept as a deprecated
+    alias in :mod:`repro.sim.memory`) that shadowed the builtin pattern.
+    """
+
+    code = "mem_access_error"
+
+
+#: Errors defined in their home modules but folded into the taxonomy here.
+_FOLDED = {
+    "SimulationError": ("repro.sim.executor", "SimulationError"),
+    "FuelExhausted": ("repro.sim.executor", "FuelExhausted"),
+    "SyscallError": ("repro.sim.syscalls", "SyscallError"),
+    "AsmSyntaxError": ("repro.asm.lexer", "AsmSyntaxError"),
+    "EncodingError": ("repro.isa.encoding", "EncodingError"),
+}
+
+
+def __getattr__(name: str):  # lazy re-exports, avoids import cycles
+    target = _FOLDED.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target[0]), target[1])
+
+
+def error_to_dict(exc: BaseException) -> Dict[str, Any]:
+    """Serialise any exception for the JSON envelope.
+
+    :class:`ReproError` instances use their typed :meth:`~ReproError.to_dict`;
+    foreign exceptions get a generic wrapper so the envelope never loses a
+    failure just because it was not ours.
+    """
+    if isinstance(exc, ReproError):
+        return exc.to_dict()
+    return {
+        "error": type(exc).__name__,
+        "code": "unexpected_error",
+        "message": str(exc),
+    }
+
+
+__all__ = [
+    "ArtifactCorrupt",
+    "AsmSyntaxError",
+    "EncodingError",
+    "FuelExhausted",
+    "JobFailed",
+    "JobTimeout",
+    "MemAccessError",
+    "ReproError",
+    "SimulationError",
+    "SuiteDegraded",
+    "SyscallError",
+    "error_to_dict",
+]

@@ -1,17 +1,33 @@
-"""Parallel evaluation engine with a content-addressed artifact store.
+"""Parallel evaluation engine with a fault-tolerant artifact store.
 
 Every table and figure in the paper is a per-benchmark sweep, so the
 dominant wall-clock cost is simulating the analog suite.  The
 :class:`ExecutionEngine` removes that cost twice over:
 
-* **Parallelism** — benchmark x scale x trace-limit jobs fan out across a
-  ``multiprocessing`` pool (``jobs=N``; ``N=1`` is a plain sequential
-  loop in-process).
+* **Parallelism** — benchmark x scale x trace-limit jobs fan out across
+  worker processes (``jobs=N``; ``N=1`` is a plain sequential loop
+  in-process).
 * **Content-addressed caching** — artifacts are keyed on a digest of the
   assembled program image, its input bytes and the capture parameters,
   so editing a kernel (or the assembler, via the emitted image)
   invalidates stale traces automatically and warm runs skip simulation
   entirely.
+
+And, because the paper's sweeps are long multi-benchmark runs where one
+bad job must not discard hours of completed work, the engine is built to
+*degrade* rather than abort:
+
+* store writes are atomic (tmp + ``os.replace``) and loads are verified —
+  a corrupt entry is quarantined under ``<root>/quarantine/`` and costs a
+  resimulation, never a crash;
+* a worker that raises, dies or hangs yields a structured
+  :class:`JobResult` carrying a typed :class:`~repro.errors.ReproError`
+  instead of killing the pool pass;
+* failures are retried with exponential backoff (``retries``/
+  ``retry_backoff``) and bounded per-attempt wall-clock time
+  (``timeout``, parallel runs only);
+* whatever still fails lands in :attr:`ExecutionEngine.failures` so the
+  experiment layer can run on the surviving benchmark set.
 
 :class:`~repro.eval.runner.BenchmarkRunner` is a thin facade over this
 module; experiment code that only needs ``artifacts/trace/profile`` can
@@ -20,23 +36,36 @@ accept either interchangeably.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..errors import (
+    ArtifactCorrupt,
+    JobFailed,
+    JobTimeout,
+    ReproError,
+    error_to_dict,
+)
 from ..profiling.interleave import profile_trace
 from ..profiling.profile import InterleaveProfile
 from ..trace.capture import TraceCapture
 from ..trace.events import BranchTrace
-from ..trace.io import load_trace, save_trace
+from ..trace.io import load_trace, read_trace_meta, save_trace
 from ..workloads.build import BuiltWorkload, build_workload, run_workload
 from ..workloads.suite import get_benchmark
+from . import faults
 
 #: Bump to invalidate every stored artifact (digest input change).
 DIGEST_VERSION = 1
+
+#: Scheduler poll interval while parallel jobs are in flight (seconds).
+_POLL_SECONDS = 0.02
 
 
 @dataclass(frozen=True)
@@ -107,18 +136,23 @@ class JobResult:
 
     ``artifacts`` is ``None`` when they were written to (or found in) the
     artifact store — the parent process loads them from there instead of
-    shipping arrays through the pool's pickle pipe.
+    shipping arrays through the pool's pickle pipe — *and* when the job
+    failed, in which case ``error`` carries the typed failure and
+    ``source`` is ``"failed"``.
     """
 
     spec: JobSpec
     digest: str
-    source: str  # "store" | "simulated"
+    source: str  # "store" | "simulated" | "resimulated" | "failed"
     seconds: float
     artifacts: Optional[RunArtifacts] = None
+    error: Optional[ReproError] = None
+    attempts: int = 1
+    quarantined: int = 0
 
 
 class ArtifactStore:
-    """Content-addressed trace/profile store.
+    """Content-addressed trace/profile store with verified, atomic entries.
 
     Layout is flat and human-readable: the legacy ``name-sSCALE[-lLIMIT]``
     tag with the content digest folded in::
@@ -130,13 +164,29 @@ class ArtifactStore:
     The digest alone decides validity: a kernel edit changes the program
     image, hence the digest, hence the filename — stale artifacts simply
     stop being found.
+
+    Robustness guarantees:
+
+    * :meth:`put` stages all three files in a temp directory and commits
+      each with ``os.replace`` (meta last), so a crashed or killed writer
+      can never leave a torn entry that looks complete;
+    * :meth:`load` and :meth:`verify` treat *any* defect — truncated
+      JSON, a bad zip member, a missing key, a digest mismatch — as an
+      :class:`~repro.errors.ArtifactCorrupt` cache miss: the bad files
+      are moved to ``<root>/quarantine/`` (for post-mortem) and the
+      caller resimulates.
     """
 
     #: hex digits of the digest folded into filenames.
     DIGEST_CHARS = 16
 
+    #: subdirectory corrupt entries are moved to.
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
+        #: corruption events observed by this store instance.
+        self.corrupt_events: List[ArtifactCorrupt] = []
 
     def stem(self, spec: JobSpec, digest: str) -> str:
         return f"{spec.tag()}-{digest[: self.DIGEST_CHARS]}"
@@ -158,67 +208,164 @@ class ArtifactStore:
             and meta_path.exists()
         )
 
-    def load(self, spec: JobSpec, digest: str) -> Optional[RunArtifacts]:
-        """Artifacts for *spec* if stored, else None."""
-        if not self.contains(spec, digest):
-            return None
+    # -- corruption handling ------------------------------------------------
+
+    def quarantine(
+        self, spec: JobSpec, digest: str, reason: str
+    ) -> ArtifactCorrupt:
+        """Move the entry's files aside and record the corruption event."""
+        quarantine_root = self.root / self.QUARANTINE_DIR
+        moved = []
+        for path in self.paths(spec, digest):
+            if not path.exists():
+                continue
+            quarantine_root.mkdir(parents=True, exist_ok=True)
+            target = quarantine_root / path.name
+            os.replace(path, target)
+            moved.append(str(target))
+        error = ArtifactCorrupt(
+            f"corrupt cache entry for {spec.name}: {reason}",
+            benchmark=spec.name,
+            digest=digest[: self.DIGEST_CHARS],
+            quarantined=moved,
+        )
+        self.corrupt_events.append(error)
+        return error
+
+    def _read_verified_meta(self, spec: JobSpec, digest: str) -> Dict:
+        """Parse + schema/digest-check the sidecars; raises on any defect."""
         trace_path, profile_path, meta_path = self.paths(spec, digest)
         meta = json.loads(meta_path.read_text(encoding="utf-8"))
-        trace = load_trace(trace_path)
-        profile = InterleaveProfile.load(profile_path)
-        return RunArtifacts(
-            name=spec.name,
-            trace=trace,
-            profile=profile,
-            instructions=int(meta["instructions"]),
-            static_branches=int(meta["static_branches"]),
+        if int(meta["digest_version"]) != DIGEST_VERSION:
+            raise ValueError(
+                f"digest version {meta['digest_version']} != {DIGEST_VERSION}"
+            )
+        if meta["digest"] != digest:
+            raise ValueError("meta digest does not match content digest")
+        int(meta["instructions"])
+        int(meta["static_branches"])
+        if read_trace_meta(trace_path).get("digest") != digest:
+            raise ValueError("trace digest does not match content digest")
+        profile_payload = json.loads(
+            profile_path.read_text(encoding="utf-8")
         )
+        for key in ("branches", "pairs"):
+            if key not in profile_payload:
+                raise KeyError(key)
+        return meta
+
+    def verify(self, spec: JobSpec, digest: str) -> bool:
+        """True when the stored entry exists and passes verification.
+
+        Cheap relative to :meth:`load` (no event-column decompression);
+        pool workers use it to decide hit vs resimulate.  Corrupt entries
+        are quarantined as a side effect, so a False return means the
+        caller can simulate-and-put without racing the bad files.
+        """
+        if not self.contains(spec, digest):
+            return False
+        try:
+            self._read_verified_meta(spec, digest)
+        except Exception as exc:
+            self.quarantine(spec, digest, f"{type(exc).__name__}: {exc}")
+            return False
+        return True
+
+    def load(self, spec: JobSpec, digest: str) -> Optional[RunArtifacts]:
+        """Artifacts for *spec* if stored and intact, else None.
+
+        Any corruption — unparseable JSON, missing keys, a damaged
+        ``.npz``, digest mismatches — quarantines the entry and reads as
+        a cache miss; corruption is *reported* via
+        :attr:`corrupt_events`, never raised.
+        """
+        if not self.contains(spec, digest):
+            return None
+        trace_path, profile_path, _ = self.paths(spec, digest)
+        try:
+            meta = self._read_verified_meta(spec, digest)
+            trace = load_trace(trace_path)
+            profile = InterleaveProfile.load(profile_path)
+            return RunArtifacts(
+                name=spec.name,
+                trace=trace,
+                profile=profile,
+                instructions=int(meta["instructions"]),
+                static_branches=int(meta["static_branches"]),
+            )
+        except Exception as exc:
+            self.quarantine(spec, digest, f"{type(exc).__name__}: {exc}")
+            return None
 
     def put(
         self, spec: JobSpec, digest: str, artifacts: RunArtifacts
     ) -> None:
-        """Persist one job's artifacts under their content address."""
+        """Persist one job's artifacts under their content address.
+
+        All three files are staged in a private temp directory and moved
+        into place with ``os.replace`` — meta last, acting as the commit
+        record — so readers never observe a torn entry.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         trace_path, profile_path, meta_path = self.paths(spec, digest)
-        save_trace(
-            artifacts.trace, trace_path,
-            meta={"digest": digest, "benchmark": spec.name},
-        )
-        artifacts.profile.save(profile_path)
-        meta_path.write_text(
-            json.dumps(
-                {
-                    "digest": digest,
-                    "digest_version": DIGEST_VERSION,
-                    "benchmark": spec.name,
-                    "scale": spec.scale,
-                    "trace_limit": spec.trace_limit,
-                    "instructions": artifacts.instructions,
-                    "static_branches": artifacts.static_branches,
-                }
-            ),
-            encoding="utf-8",
-        )
+        stage = self.root / f".stage-{os.getpid()}-{self.stem(spec, digest)}"
+        stage.mkdir(parents=True, exist_ok=True)
+        try:
+            save_trace(
+                artifacts.trace, stage / trace_path.name,
+                meta={"digest": digest, "benchmark": spec.name},
+            )
+            artifacts.profile.save(stage / profile_path.name)
+            (stage / meta_path.name).write_text(
+                json.dumps(
+                    {
+                        "digest": digest,
+                        "digest_version": DIGEST_VERSION,
+                        "benchmark": spec.name,
+                        "scale": spec.scale,
+                        "trace_limit": spec.trace_limit,
+                        "instructions": artifacts.instructions,
+                        "static_branches": artifacts.static_branches,
+                    }
+                ),
+                encoding="utf-8",
+            )
+            for final in (trace_path, profile_path, meta_path):
+                os.replace(stage / final.name, final)
+        finally:
+            for leftover in stage.glob("*"):
+                leftover.unlink()
+            stage.rmdir()
 
 
-def _execute_job(payload: Tuple[JobSpec, Optional[str]]) -> JobResult:
+def _execute_job(
+    payload: Tuple[JobSpec, Optional[str], bool]
+) -> JobResult:
     """Run one job end to end (pool worker; must stay module-level).
 
     Builds, digests, then either loads from the store or simulates and
     stores.  With a store the result carries no arrays — the parent
     reloads them by digest — so the pickle pipe stays small.
+
+    An installed :class:`~repro.eval.faults.FaultPlan` is honoured here:
+    crash/hang/flaky faults fire before the build, corruption faults
+    right after the artifacts are stored.
     """
-    spec, cache_root = payload
+    spec, cache_root, in_worker = payload
     started = time.perf_counter()
+    plan = faults.active_plan()
+    if plan is not None:
+        plan.on_job_start(spec.name, in_worker)
     built = build_workload(get_benchmark(spec.name, scale=spec.scale))
     digest = artifact_digest(built, trace_limit=spec.trace_limit)
     store = ArtifactStore(Path(cache_root)) if cache_root else None
-    if store is not None and store.contains(spec, digest):
+    if store is not None and store.verify(spec, digest):
         return JobResult(
             spec=spec,
             digest=digest,
             source="store",
             seconds=time.perf_counter() - started,
+            quarantined=len(store.corrupt_events),
         )
     capture = TraceCapture(limit=spec.trace_limit)
     result = run_workload(built, branch_hook=capture)
@@ -234,6 +381,9 @@ def _execute_job(payload: Tuple[JobSpec, Optional[str]]) -> JobResult:
     )
     if store is not None:
         store.put(spec, digest, artifacts)
+        if plan is not None:
+            trace_path, _, meta_path = store.paths(spec, digest)
+            plan.on_artifacts_stored(spec.name, trace_path, meta_path)
         artifacts = None  # parent reloads from the store
     return JobResult(
         spec=spec,
@@ -241,26 +391,61 @@ def _execute_job(payload: Tuple[JobSpec, Optional[str]]) -> JobResult:
         source="simulated",
         seconds=time.perf_counter() - started,
         artifacts=artifacts,
+        quarantined=len(store.corrupt_events) if store is not None else 0,
     )
+
+
+def _worker_entry(conn, payload) -> None:
+    """Process entry point: ship the result (or a failure) to the parent.
+
+    Every exception is serialised and sent back, so a *raising* job can
+    never take down the pass; a job that kills its process (``os._exit``)
+    or hangs is detected parent-side by liveness/deadline monitoring.
+    """
+    try:
+        try:
+            result = _execute_job(payload)
+        except Exception as exc:  # crash isolation: report, don't die
+            conn.send(("error", error_to_dict(exc)))
+        else:
+            conn.send(("ok", result))
+    finally:
+        conn.close()
 
 
 @dataclass
 class EngineStats:
-    """Cache and timing counters for one engine's lifetime."""
+    """Cache, timing and failure counters for one engine's lifetime."""
 
     store_hits: int = 0
     simulated: int = 0
     memo_hits: int = 0
+    failed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
     job_seconds: Dict[str, float] = field(default_factory=dict)
     job_source: Dict[str, str] = field(default_factory=dict)
+    failures: List[Dict[str, object]] = field(default_factory=list)
 
     def record(self, result: JobResult) -> None:
-        if result.source == "store":
+        self.quarantined += result.quarantined
+        self.retried += max(0, result.attempts - 1)
+        if result.error is not None:
+            self.failed += 1
+            if isinstance(result.error, JobTimeout):
+                self.timeouts += 1
+            self.failures.append(
+                {"benchmark": result.spec.name, **result.error.to_dict()}
+            )
+        elif result.source == "store":
             self.store_hits += 1
         else:
             self.simulated += 1
         self.job_seconds[result.spec.name] = result.seconds
-        self.job_source[result.spec.name] = result.source
+        self.job_source[result.spec.name] = (
+            "failed" if result.error is not None else result.source
+        )
 
     @property
     def total_seconds(self) -> float:
@@ -272,6 +457,10 @@ class EngineStats:
             "store_hits": self.store_hits,
             "simulated": self.simulated,
             "memo_hits": self.memo_hits,
+            "failed": self.failed,
+            "retried": self.retried,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
             "jobs": [
                 {
                     "benchmark": name,
@@ -280,10 +469,11 @@ class EngineStats:
                 }
                 for name, seconds in sorted(self.job_seconds.items())
             ],
+            "failures": list(self.failures),
         }
 
     def render(self) -> str:
-        """Human-readable per-job timing + hit/miss summary."""
+        """Human-readable per-job timing + hit/miss/failure summary."""
         lines = ["-- engine --"]
         for name in sorted(self.job_seconds):
             lines.append(
@@ -294,6 +484,15 @@ class EngineStats:
             f"  cache: {self.store_hits} hit(s), "
             f"{self.simulated} simulated, {self.memo_hits} memoised"
         )
+        lines.append(
+            f"  faults: {self.failed} failed, {self.retried} retried, "
+            f"{self.timeouts} timed out, {self.quarantined} quarantined"
+        )
+        for failure in self.failures:
+            lines.append(
+                f"    {failure.get('benchmark', '?')}: "
+                f"{failure.get('code', '?')} — {failure.get('message', '')}"
+            )
         return "\n".join(lines)
 
 
@@ -305,6 +504,7 @@ class ExecutionEngine:
         engine = ExecutionEngine(scale=1.0, cache_dir=".cache", jobs=4)
         results = engine.prefetch(["compress", "gcc", "li"])  # one pool pass
         engine.artifacts("gcc")  # memoised, free
+        engine.failures          # {} unless something kept failing
 
     Args:
         scale: workload scale forwarded to the suite.
@@ -312,6 +512,12 @@ class ExecutionEngine:
         trace_limit: optional cap on captured events per run.
         jobs: worker processes for :meth:`prefetch`; 1 = sequential,
             in-process.
+        timeout: per-attempt wall-clock budget in seconds for parallel
+            jobs (None disables; sequential in-process runs cannot be
+            pre-empted and ignore it).
+        retries: extra attempts per failed job before it is recorded as
+            a failure.
+        retry_backoff: base delay between attempts, doubled per retry.
     """
 
     def __init__(
@@ -320,19 +526,29 @@ class ExecutionEngine:
         cache_dir: Optional[Path] = None,
         trace_limit: Optional[int] = None,
         jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.scale = scale
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.trace_limit = trace_limit
         self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
         self.store = (
             ArtifactStore(self.cache_dir)
             if self.cache_dir is not None
             else None
         )
         self.stats = EngineStats()
+        #: benchmarks that exhausted their retries, name -> typed error.
+        self.failures: Dict[str, ReproError] = {}
         self._memo: Dict[str, RunArtifacts] = {}
         self._digests: Dict[str, str] = {}
 
@@ -361,16 +577,29 @@ class ExecutionEngine:
         )
         return trace_path, profile_path
 
+    def _cache_root(self) -> Optional[str]:
+        return str(self.cache_dir) if self.cache_dir else None
+
     # -- public artifact API ------------------------------------------------
 
     def artifacts(self, name: str) -> RunArtifacts:
-        """Trace + profile for benchmark *name* (memoised)."""
+        """Trace + profile for benchmark *name* (memoised).
+
+        Raises:
+            JobFailed: when the job keeps failing after its retries (the
+                recorded failure is re-raised on repeated access).
+        """
         cached = self._memo.get(name)
         if cached is not None:
             self.stats.memo_hits += 1
             return cached
-        cache_root = str(self.cache_dir) if self.cache_dir else None
-        return self._absorb(_execute_job((self.job(name), cache_root)))
+        known_failure = self.failures.get(name)
+        if known_failure is not None:
+            raise known_failure
+        result = self._run_sequential_job(name)
+        if result.error is not None:
+            raise result.error
+        return self._memo[name]
 
     def trace(self, name: str) -> BranchTrace:
         """The benchmark's branch trace."""
@@ -388,56 +617,300 @@ class ExecutionEngine:
         Unmemoised jobs run concurrently when ``jobs > 1``; results are
         collected order-independently, so parallel and sequential runs
         observe identical artifacts (same digests, same contents).
+
+        Jobs that fail — a raising benchmark, a crashed or hung worker, a
+        corrupt store entry that will not resimulate — never abort the
+        pass: they are retried up to ``retries`` times and then recorded
+        in :attr:`failures`.  The returned mapping contains only the
+        benchmarks that produced artifacts.
         """
         wanted = list(dict.fromkeys(names))
-        missing = [n for n in wanted if n not in self._memo]
+        missing = [
+            n for n in wanted
+            if n not in self._memo and n not in self.failures
+        ]
         if self.jobs > 1 and len(missing) > 1:
-            import multiprocessing
-
-            cache_root = str(self.cache_dir) if self.cache_dir else None
-            payloads = [(self.job(n), cache_root) for n in missing]
-            with multiprocessing.Pool(
-                processes=min(self.jobs, len(missing))
-            ) as pool:
-                for result in pool.imap_unordered(_execute_job, payloads):
-                    self._absorb(result)
+            self._run_parallel(missing)
         else:
             for name in missing:
-                self.artifacts(name)
+                self._run_sequential_job(name)
         for name in wanted:
             if name in self._memo and name not in missing:
                 self.stats.memo_hits += 1
-        return {name: self._memo[name] for name in wanted}
+        return {
+            name: self._memo[name]
+            for name in wanted
+            if name in self._memo
+        }
 
     def invalidate(self, name: Optional[str] = None) -> None:
-        """Drop memoised artifacts (all of them when *name* is None)."""
+        """Drop memoised artifacts and recorded failures.
+
+        (All of them when *name* is None.)  Clearing a failure makes the
+        next access retry the benchmark from scratch.
+        """
         if name is None:
             self._memo.clear()
             self._digests.clear()
+            self.failures.clear()
         else:
             self._memo.pop(name, None)
             self._digests.pop(name, None)
+            self.failures.pop(name, None)
 
     # -- internals ----------------------------------------------------------
 
-    def _absorb(self, result: JobResult) -> RunArtifacts:
+    def _backoff_seconds(self, attempt: int) -> float:
+        """Exponential backoff before retry *attempt* (attempts are 1-based,
+        so the first retry — attempt 2 — waits one base interval)."""
+        return self.retry_backoff * (2 ** (attempt - 2))
+
+    def _run_sequential_job(self, name: str) -> JobResult:
+        """Run one job in-process with the retry policy, then absorb it."""
+        spec = self.job(name)
+        payload = (spec, self._cache_root(), False)
+        started = time.perf_counter()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = _execute_job(payload)
+            except KeyError:
+                raise  # unknown benchmark/kernel: caller error, not a fault
+            except Exception as exc:
+                if attempt <= self.retries:
+                    time.sleep(self._backoff_seconds(attempt + 1))
+                    continue
+                failure = exc if isinstance(exc, JobFailed) else JobFailed(
+                    f"{name} failed after {attempt} attempt(s): {exc}",
+                    benchmark=name,
+                    attempts=attempt,
+                    cause=error_to_dict(exc),
+                )
+                result = JobResult(
+                    spec=spec,
+                    digest="",
+                    source="failed",
+                    seconds=time.perf_counter() - started,
+                    error=failure,
+                    attempts=attempt,
+                )
+            else:
+                result = dataclasses.replace(result, attempts=attempt)
+            return self._absorb(result)
+
+    def _run_parallel(self, missing: Sequence[str]) -> None:
+        """Fan *missing* out over worker processes with fault handling.
+
+        One daemon process per attempt, at most ``jobs`` in flight; the
+        scheduler polls for three completion modes — a result on the
+        pipe, a dead process (crash), a blown deadline (hang) — and
+        requeues failed attempts with backoff until retries run out.
+        Terminated/hung workers are killed, never joined indefinitely.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        cache_root = self._cache_root()
+        # (spec, attempt, not_before) — not_before implements backoff
+        # without stalling the scheduler.
+        pending: List[Tuple[JobSpec, int, float]] = [
+            (self.job(n), 1, 0.0) for n in missing
+        ]
+        running: Dict[object, Tuple[JobSpec, int, object, Optional[float]]]
+        running = {}
+        first_launch: Dict[str, float] = {}
+
+        def finish(spec: JobSpec, attempt: int, error: ReproError) -> None:
+            if attempt <= self.retries:
+                pending.append(
+                    (
+                        spec,
+                        attempt + 1,
+                        time.monotonic()
+                        + self._backoff_seconds(attempt + 1),
+                    )
+                )
+                return
+            self._absorb(
+                JobResult(
+                    spec=spec,
+                    digest="",
+                    source="failed",
+                    seconds=time.monotonic() - first_launch[spec.name],
+                    error=error,
+                    attempts=attempt,
+                )
+            )
+
+        while pending or running:
+            now = time.monotonic()
+            while len(running) < self.jobs:
+                index = next(
+                    (
+                        i
+                        for i, (_, _, not_before) in enumerate(pending)
+                        if not_before <= now
+                    ),
+                    None,
+                )
+                if index is None:
+                    break
+                spec, attempt, _ = pending.pop(index)
+                first_launch.setdefault(spec.name, now)
+                receiver, sender = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_entry,
+                    args=(sender, (spec, cache_root, True)),
+                    daemon=True,
+                )
+                process.start()
+                sender.close()
+                deadline = (
+                    now + self.timeout if self.timeout is not None else None
+                )
+                running[process] = (spec, attempt, receiver, deadline)
+
+            progressed = False
+            for process in list(running):
+                spec, attempt, receiver, deadline = running[process]
+                outcome = None
+                if receiver.poll():
+                    try:
+                        outcome = receiver.recv()
+                    except EOFError:
+                        outcome = ("crash", process.exitcode)
+                elif not process.is_alive():
+                    outcome = ("crash", process.exitcode)
+                elif deadline is not None and time.monotonic() > deadline:
+                    process.terminate()
+                    outcome = ("timeout", None)
+                if outcome is None:
+                    continue
+                progressed = True
+                del running[process]
+                receiver.close()
+                process.join(timeout=5.0)
+                kind, payload = outcome
+                if kind == "ok":
+                    self._absorb(
+                        dataclasses.replace(payload, attempts=attempt)
+                    )
+                elif kind == "timeout":
+                    finish(
+                        spec,
+                        attempt,
+                        JobTimeout(
+                            f"{spec.name} exceeded the {self.timeout:g}s "
+                            f"wall-clock budget (attempt {attempt})",
+                            benchmark=spec.name,
+                            timeout_seconds=self.timeout,
+                            attempts=attempt,
+                        ),
+                    )
+                elif kind == "crash":
+                    finish(
+                        spec,
+                        attempt,
+                        JobFailed(
+                            f"worker for {spec.name} died "
+                            f"(exit code {payload}, attempt {attempt})",
+                            benchmark=spec.name,
+                            exit_code=payload,
+                            attempts=attempt,
+                        ),
+                    )
+                else:  # kind == "error": the job raised inside the worker
+                    finish(
+                        spec,
+                        attempt,
+                        JobFailed(
+                            f"{spec.name} failed: "
+                            f"{payload.get('message', 'unknown error')}",
+                            benchmark=spec.name,
+                            attempts=attempt,
+                            cause=payload,
+                        ),
+                    )
+            if not progressed:
+                time.sleep(_POLL_SECONDS)
+
+    def _absorb(self, result: JobResult) -> JobResult:
+        """Fold one job outcome into memo/failures and the stats."""
+        if result.error is not None:
+            self.failures[result.spec.name] = result.error
+            self.stats.record(result)
+            return result
         artifacts = result.artifacts
         if artifacts is None:
-            if self.store is None:  # pragma: no cover - defensive
-                raise RuntimeError(
+            if self.store is None:
+                raise ReproError(
                     "job result carried no artifacts and no store is "
-                    "configured"
+                    "configured",
+                    benchmark=result.spec.name,
                 )
-            artifacts = self.store.load(result.spec, result.digest)
-            if artifacts is None:  # pragma: no cover - defensive
-                raise RuntimeError(
-                    f"store lost artifacts for {result.spec.name} "
-                    f"({result.digest[:16]})"
+            before = len(self.store.corrupt_events)
+            try:
+                artifacts, result = self._load_or_resimulate(result)
+            except ArtifactCorrupt as exc:
+                # persistent corruption (the resimulated entry would not
+                # load back either) fails this benchmark, not the pass
+                result = dataclasses.replace(
+                    result,
+                    source="failed",
+                    error=exc,
+                    quarantined=result.quarantined
+                    + len(self.store.corrupt_events) - before,
                 )
+                self.failures[result.spec.name] = exc
+                self.stats.record(result)
+                return result
         self._memo[result.spec.name] = artifacts
         self._digests[result.spec.name] = result.digest
         self.stats.record(result)
-        return artifacts
+        return result
+
+    def _load_or_resimulate(
+        self, result: JobResult
+    ) -> Tuple[RunArtifacts, JobResult]:
+        """Load a store-backed result, resimulating if the entry is bad.
+
+        The worker verified (or just wrote) the entry, but the parent's
+        full load can still discover damage in the event columns — or
+        lose a race with an external writer.  One in-process rerun
+        repairs it; only if the store drops the artifacts *again* is the
+        situation hopeless enough for a typed error.
+
+        Raises:
+            ArtifactCorrupt: when the rerun's artifacts cannot be loaded
+                back either.
+        """
+        store = self.store
+        before = len(store.corrupt_events)
+        artifacts = store.load(result.spec, result.digest)
+        quarantined = len(store.corrupt_events) - before
+        if artifacts is not None:
+            return artifacts, dataclasses.replace(
+                result, quarantined=result.quarantined + quarantined
+            )
+        rerun = _execute_job((result.spec, self._cache_root(), False))
+        artifacts = rerun.artifacts
+        if artifacts is None:
+            artifacts = store.load(rerun.spec, rerun.digest)
+        if artifacts is None:
+            raise ArtifactCorrupt(
+                f"store lost artifacts for {result.spec.name} "
+                f"({result.digest[:16]})",
+                benchmark=result.spec.name,
+                digest=result.digest[:16],
+            )
+        return artifacts, dataclasses.replace(
+            result,
+            source="resimulated",
+            digest=rerun.digest,
+            seconds=result.seconds + rerun.seconds,
+            quarantined=result.quarantined + quarantined + rerun.quarantined,
+        )
 
 
 def prefetch_artifacts(runner, names: Iterable[str]) -> None:
@@ -453,6 +926,18 @@ def prefetch_artifacts(runner, names: Iterable[str]) -> None:
         prefetch(list(names))
 
 
+def surviving_benchmarks(runner, names: Iterable[str]) -> List[str]:
+    """*names* minus the benchmarks the runner has recorded as failed.
+
+    Runners without failure tracking (test doubles) survive everything.
+    Experiment code calls this after :func:`prefetch_artifacts` so tables
+    and figures degrade to the benchmarks that produced artifacts instead
+    of crashing on the first failed one.
+    """
+    failures = getattr(runner, "failures", None) or {}
+    return [name for name in names if name not in failures]
+
+
 __all__ = [
     "ArtifactStore",
     "DIGEST_VERSION",
@@ -464,4 +949,5 @@ __all__ = [
     "artifact_digest",
     "compute_job_digest",
     "prefetch_artifacts",
+    "surviving_benchmarks",
 ]

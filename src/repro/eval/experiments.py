@@ -10,21 +10,30 @@ Entry points accept any artifact source uniformly — a
 :class:`~repro.eval.runner.BenchmarkRunner` facade or a bare
 :class:`~repro.eval.engine.ExecutionEngine`; nothing here constructs
 runners of its own.
+
+Failure semantics: a benchmark whose job kept failing (see the engine's
+retry/timeout policy) is dropped from the experiment rather than aborting
+it — the output is computed over the surviving set and annotated with a
+per-benchmark failure report.  Only when *every* benchmark an experiment
+needs has failed does :func:`run_experiment` raise
+:class:`~repro.errors.SuiteDegraded` (the CLI turns that into a nonzero
+exit).
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
+from ..errors import ReproError, SuiteDegraded
 from ..workloads.suite import (
     FIGURE_BENCHMARKS,
     TABLE2_BENCHMARKS,
     TABLE34_BENCHMARKS,
 )
 from . import ablations, figures, tables
-from .engine import prefetch_artifacts
+from .engine import prefetch_artifacts, surviving_benchmarks
 from .runner import BenchmarkRunner
 
 #: Benchmark lists reused by several experiments.
@@ -46,7 +55,8 @@ class Experiment:
         paper_artifact: which paper table/figure/section this regenerates.
         description: one-line summary.
         run: the entry point; takes any artifact source (runner or
-            engine) and returns rendered text.
+            engine) plus the benchmark subset to cover (the surviving
+            set after failures are dropped) and returns rendered text.
         benchmarks: every benchmark the experiment consumes — prefetched
             in one parallel pass before ``run`` is called.
     """
@@ -54,98 +64,124 @@ class Experiment:
     id: str
     paper_artifact: str
     description: str
-    run: Callable[[BenchmarkRunner], str]
+    run: Callable[[BenchmarkRunner, Sequence[str]], str]
     benchmarks: Tuple[str, ...] = ()
 
 
-def _table1(runner: BenchmarkRunner) -> str:
-    return tables.format_table1(tables.run_table1(runner))
+def _table1(runner: BenchmarkRunner, benchmarks: Sequence[str]) -> str:
+    return tables.format_table1(tables.run_table1(runner, benchmarks))
 
 
-def _table2(runner: BenchmarkRunner) -> str:
-    return tables.format_table2(tables.run_table2(runner))
+def _table2(runner: BenchmarkRunner, benchmarks: Sequence[str]) -> str:
+    return tables.format_table2(tables.run_table2(runner, benchmarks))
 
 
-def _table3(runner: BenchmarkRunner) -> str:
-    rows = tables.run_table3(runner)
+def _table3(runner: BenchmarkRunner, benchmarks: Sequence[str]) -> str:
+    rows = tables.run_table3(runner, benchmarks)
     return tables.format_sizing_table(
         rows, "Table 3", "(working sets only)"
     )
 
 
-def _table4(runner: BenchmarkRunner) -> str:
-    rows = tables.run_table4(runner)
+def _table4(runner: BenchmarkRunner, benchmarks: Sequence[str]) -> str:
+    rows = tables.run_table4(runner, benchmarks)
     return tables.format_sizing_table(
         rows, "Table 4", "with branch classification"
     )
 
 
-def _figure3(runner: BenchmarkRunner) -> str:
-    rows = figures.run_figure3(runner)
+def _figure3(runner: BenchmarkRunner, benchmarks: Sequence[str]) -> str:
+    rows = figures.run_figure3(runner, benchmarks)
     return figures.format_figure(
         rows, "Figure 3", "allocation without classification"
     )
 
 
-def _figure4(runner: BenchmarkRunner) -> str:
-    rows = figures.run_figure4(runner)
+def _figure4(runner: BenchmarkRunner, benchmarks: Sequence[str]) -> str:
+    rows = figures.run_figure4(runner, benchmarks)
     return figures.format_figure(
         rows, "Figure 4", "allocation with classification"
     )
 
 
-def _ablation_threshold(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_threshold_ablation(
-        runner, list(_THRESHOLD_BENCHMARKS)
-    )
+def _ablation_threshold(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    rows = ablations.run_threshold_ablation(runner, list(benchmarks))
     return ablations.format_threshold_ablation(rows)
 
 
-def _ablation_inputs(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_input_sensitivity(runner)
+def _ablation_inputs(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    # pairs survive only whole: both the _a and _b variant must have run
+    survivors = set(benchmarks)
+    pairs = [
+        base
+        for base in dict.fromkeys(
+            name.rsplit("_", 1)[0] for name in _PAIR_BENCHMARKS
+        )
+        if f"{base}_a" in survivors and f"{base}_b" in survivors
+    ]
+    if not pairs:
+        raise SuiteDegraded(
+            "no complete benchmark input pair survived",
+            experiment="ablation_inputs",
+        )
+    rows = ablations.run_input_sensitivity(runner, pairs=pairs)
     return ablations.format_input_sensitivity(rows)
 
 
-def _ablation_predictors(runner: BenchmarkRunner) -> str:
-    results = ablations.run_predictor_family(
-        runner, list(_PREDICTOR_BENCHMARKS)
-    )
+def _ablation_predictors(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    results = ablations.run_predictor_family(runner, list(benchmarks))
     return ablations.format_predictor_family(results)
 
 
-def _ablation_hash(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_hash_baseline(runner, list(_HASH_BENCHMARKS))
+def _ablation_hash(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    rows = ablations.run_hash_baseline(runner, list(benchmarks))
     return ablations.format_hash_baseline(rows)
 
 
-def _ablation_groups(runner: BenchmarkRunner) -> str:
+def _ablation_groups(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
     from .group_allocation import format_group_ablation, run_group_ablation
 
-    rows = run_group_ablation(runner, list(_GROUP_BENCHMARKS))
+    rows = run_group_ablation(runner, list(benchmarks))
     return format_group_ablation(rows)
 
 
-def _ablation_alignment(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_alignment_ablation(
-        runner, list(_ALIGNMENT_BENCHMARKS)
-    )
+def _ablation_alignment(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    rows = ablations.run_alignment_ablation(runner, list(benchmarks))
     return ablations.format_alignment_ablation(rows)
 
 
-def _ablation_history(runner: BenchmarkRunner) -> str:
-    rows = ablations.run_history_sweep(runner, list(_ALIGNMENT_BENCHMARKS))
+def _ablation_history(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    rows = ablations.run_history_sweep(runner, list(benchmarks))
     return ablations.format_history_sweep(rows)
 
 
-def _static_compare(runner: BenchmarkRunner) -> str:
+def _static_compare(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
     from .static_compare import format_static_compare, run_static_compare
 
-    return format_static_compare(run_static_compare(runner))
+    return format_static_compare(run_static_compare(runner, benchmarks))
 
 
-def _ablation_cliques(runner: BenchmarkRunner) -> str:
+def _ablation_cliques(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
     rows = ablations.run_clique_definition_ablation(
-        runner, list(_CLIQUE_BENCHMARKS)
+        runner, list(benchmarks)
     )
     return ablations.format_clique_definition(rows)
 
@@ -208,11 +244,32 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 
+def format_failure_report(failures: Mapping[str, ReproError]) -> str:
+    """Render the per-benchmark failure annotation appended to outputs."""
+    lines = [f"-- degraded: {len(failures)} benchmark(s) failed --"]
+    for name in sorted(failures):
+        error = failures[name]
+        code = getattr(error, "code", type(error).__name__)
+        lines.append(f"  {name}: {code} — {error}")
+    return "\n".join(lines)
+
+
+def _relevant_failures(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> Dict[str, ReproError]:
+    failures = getattr(runner, "failures", None) or {}
+    return {name: failures[name] for name in benchmarks if name in failures}
+
+
 def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
     """Run one experiment by id (prefetching its benchmarks in parallel).
 
+    Benchmarks whose jobs keep failing are dropped: the experiment runs
+    on the surviving set and its output gains a failure report.
+
     Raises:
         KeyError: for unknown experiment ids.
+        SuiteDegraded: when every benchmark the experiment needs failed.
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
@@ -221,7 +278,22 @@ def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
         )
     experiment = EXPERIMENTS[experiment_id]
     prefetch_artifacts(runner, experiment.benchmarks)
-    return experiment.run(runner)
+    survivors = surviving_benchmarks(runner, experiment.benchmarks)
+    failed = _relevant_failures(runner, experiment.benchmarks)
+    if experiment.benchmarks and not survivors:
+        raise SuiteDegraded(
+            f"every benchmark of {experiment_id} failed "
+            f"({', '.join(sorted(failed))})",
+            experiment=experiment_id,
+            failures=[
+                {"benchmark": name, **error.to_dict()}
+                for name, error in sorted(failed.items())
+            ],
+        )
+    output = experiment.run(runner, survivors)
+    if failed:
+        output = f"{output}\n\n{format_failure_report(failed)}"
+    return output
 
 
 def run_all_experiments(runner: BenchmarkRunner) -> List[str]:
@@ -229,16 +301,35 @@ def run_all_experiments(runner: BenchmarkRunner) -> List[str]:
 
     The union of every experiment's benchmark list is prefetched first,
     so an engine-backed runner simulates the whole suite in one parallel
-    pass and each experiment then runs against warm artifacts.
+    pass and each experiment then runs against warm artifacts.  An
+    experiment whose entire benchmark set failed renders as a failure
+    block; only when *no* benchmark in the union survived does the sweep
+    raise :class:`~repro.errors.SuiteDegraded`.
     """
     every = [
         name for exp in EXPERIMENTS.values() for name in exp.benchmarks
     ]
     prefetch_artifacts(runner, every)
-    return [
-        f"== {exp.paper_artifact} ({exp.id}) ==\n{exp.run(runner)}"
-        for exp in EXPERIMENTS.values()
-    ]
+    if not surviving_benchmarks(runner, every):
+        raise SuiteDegraded(
+            "every benchmark in the suite failed",
+            failures=[
+                {"benchmark": name, **error.to_dict()}
+                for name, error in sorted(
+                    _relevant_failures(runner, every).items()
+                )
+            ],
+        )
+    blocks = []
+    for exp in EXPERIMENTS.values():
+        try:
+            body = run_experiment(exp.id, runner)
+        except SuiteDegraded:
+            body = format_failure_report(
+                _relevant_failures(runner, exp.benchmarks)
+            )
+        blocks.append(f"== {exp.paper_artifact} ({exp.id}) ==\n{body}")
+    return blocks
 
 
 def run_all(runner: BenchmarkRunner) -> List[str]:

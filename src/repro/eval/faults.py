@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the evaluation engine.
+
+The fault-tolerance layer in :mod:`repro.eval.engine` is only trustworthy
+if its failure paths are exercised on purpose.  This module injects the
+faults the engine must survive:
+
+* ``worker_crash`` — the pool worker process dies hard (``os._exit``)
+  while running the named benchmark; in-process (``jobs=1``) runs raise
+  instead, since killing the parent would defeat the point.
+* ``worker_hang`` — the job sleeps past any reasonable deadline, forcing
+  the engine's wall-clock timeout to fire.
+* ``flaky`` — the job raises a transient error on its first *n* attempts
+  and then succeeds, exercising retry/backoff.
+* ``corrupt_trace`` / ``corrupt_meta`` — the job's stored ``.trace.npz``
+  / ``.meta.json`` is corrupted on disk right after it is written,
+  exercising verification, quarantine and resimulation.
+
+Plans cross the process boundary via the ``REPRO_FAULTS`` environment
+variable (JSON), so pool workers inherit them automatically; ``flaky``
+attempt counts are kept as marker files under a state directory so they
+survive worker restarts.  Everything is deterministic — no randomness,
+no time dependence — which keeps the fault suite reproducible.
+
+Usage::
+
+    plan = FaultPlan(worker_crash=("gcc",), flaky={"plot": 2},
+                     state_dir=str(tmp_path))
+    with plan.installed():
+        engine = ExecutionEngine(jobs=4, retries=2, ...)
+        engine.prefetch(names)   # gcc fails, plot succeeds on attempt 3
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Environment variable carrying the serialised plan to pool workers.
+ENV_VAR = "REPRO_FAULTS"
+
+#: How long a hung worker sleeps (bounded so leaked processes die on
+#: their own even if never reaped; pool workers are killed much sooner
+#: by the engine's timeout handling).
+DEFAULT_HANG_SECONDS = 60.0
+
+
+class InjectedFault(ReproError):
+    """Raised by injected ``worker_crash`` (in-process) / ``flaky`` faults."""
+
+    code = "injected_fault"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults to inject, keyed by benchmark name.
+
+    Attributes:
+        worker_crash: benchmarks whose job kills its worker process.
+        worker_hang: benchmarks whose job sleeps for ``hang_seconds``.
+        flaky: benchmark -> number of leading attempts that must fail.
+        corrupt_trace: benchmarks whose stored trace is corrupted on put.
+        corrupt_meta: benchmarks whose meta sidecar is corrupted on put.
+        hang_seconds: sleep length for ``worker_hang``.
+        state_dir: directory for cross-process flaky attempt counters
+            (required when ``flaky`` is non-empty).
+    """
+
+    worker_crash: Tuple[str, ...] = ()
+    worker_hang: Tuple[str, ...] = ()
+    flaky: Dict[str, int] = field(default_factory=dict)
+    corrupt_trace: Tuple[str, ...] = ()
+    corrupt_meta: Tuple[str, ...] = ()
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+    state_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.flaky and not self.state_dir:
+            raise ValueError("flaky faults need state_dir for counters")
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "worker_crash": list(self.worker_crash),
+                "worker_hang": list(self.worker_hang),
+                "flaky": dict(self.flaky),
+                "corrupt_trace": list(self.corrupt_trace),
+                "corrupt_meta": list(self.corrupt_meta),
+                "hang_seconds": self.hang_seconds,
+                "state_dir": self.state_dir,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        return cls(
+            worker_crash=tuple(payload.get("worker_crash", ())),
+            worker_hang=tuple(payload.get("worker_hang", ())),
+            flaky={
+                str(k): int(v) for k, v in payload.get("flaky", {}).items()
+            },
+            corrupt_trace=tuple(payload.get("corrupt_trace", ())),
+            corrupt_meta=tuple(payload.get("corrupt_meta", ())),
+            hang_seconds=float(
+                payload.get("hang_seconds", DEFAULT_HANG_SECONDS)
+            ),
+            state_dir=payload.get("state_dir"),
+        )
+
+    @contextmanager
+    def installed(self) -> Iterator["FaultPlan"]:
+        """Install the plan in ``os.environ`` for the dynamic extent."""
+        previous = os.environ.get(ENV_VAR)
+        os.environ[ENV_VAR] = self.to_json()
+        try:
+            yield self
+        finally:
+            if previous is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = previous
+
+    # -- injection hooks (called by the engine) -----------------------------
+
+    def on_job_start(self, benchmark: str, in_worker: bool) -> None:
+        """Fire crash/hang/flaky faults for *benchmark*, if planned.
+
+        Raises:
+            InjectedFault: for in-process crashes and flaky attempts.
+        """
+        if benchmark in self.worker_crash:
+            if in_worker:
+                os._exit(13)  # hard death: no exception, no cleanup
+            raise InjectedFault(
+                f"injected worker crash for {benchmark}",
+                benchmark=benchmark, fault="worker_crash",
+            )
+        if benchmark in self.worker_hang:
+            time.sleep(self.hang_seconds)
+        failures_wanted = self.flaky.get(benchmark, 0)
+        if failures_wanted:
+            if self._claim_flaky_attempt(benchmark, failures_wanted):
+                raise InjectedFault(
+                    f"injected transient failure for {benchmark}",
+                    benchmark=benchmark, fault="flaky",
+                )
+
+    def _claim_flaky_attempt(self, benchmark: str, wanted: int) -> bool:
+        """Record one attempt; True while the attempt should still fail."""
+        state = Path(self.state_dir)  # validated in __post_init__
+        state.mkdir(parents=True, exist_ok=True)
+        for attempt in range(wanted):
+            marker = state / f"flaky-{benchmark}-{attempt}"
+            try:
+                marker.touch(exist_ok=False)
+            except FileExistsError:
+                continue
+            return True
+        return False
+
+    def on_artifacts_stored(
+        self, benchmark: str, trace_path: Path, meta_path: Path
+    ) -> None:
+        """Corrupt freshly written artifacts for *benchmark*, if planned."""
+        if benchmark in self.corrupt_trace:
+            corrupt_file(trace_path)
+        if benchmark in self.corrupt_meta:
+            corrupt_file(meta_path)
+
+
+def corrupt_file(path: Path, offset: int = 16, length: int = 64) -> None:
+    """Deterministically flip a byte span of *path* in place.
+
+    Used by the injection plan, the ``repro faults`` CLI demo and the
+    smoke target to damage cache entries without deleting them (a deleted
+    file is a trivial miss; a damaged one must fail *verification*).
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    if not raw:
+        raw = bytearray(b"\xff" * length)
+    end = min(len(raw), offset + length)
+    for i in range(min(offset, len(raw) - 1), end):
+        raw[i] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan installed in the environment, or None.
+
+    A malformed ``REPRO_FAULTS`` value raises immediately — a half-applied
+    fault plan would silently invalidate whatever the suite was proving.
+    """
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    return FaultPlan.from_json(raw)
+
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "corrupt_file",
+]

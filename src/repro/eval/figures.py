@@ -23,7 +23,7 @@ from ..analysis.conflict_graph import DEFAULT_THRESHOLD
 from ..predictors.simulator import simulate_predictor
 from ..predictors.twolevel import InterferenceFreePAg, PAgPredictor
 from ..workloads.suite import FIGURE_BENCHMARKS
-from .engine import prefetch_artifacts
+from .engine import prefetch_artifacts, surviving_benchmarks
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -62,7 +62,7 @@ def _figure_rows(
 ) -> List[FigureRow]:
     prefetch_artifacts(runner, benchmarks)
     rows: List[FigureRow] = []
-    for name in benchmarks:
+    for name in surviving_benchmarks(runner, benchmarks):
         artifacts = runner.artifacts(name)
         trace, profile = artifacts.trace, artifacts.profile
         if classified:

@@ -38,6 +38,9 @@ class BenchmarkRunner:
         cache_dir: Optional[Path] = None,
         trace_limit: Optional[int] = None,
         jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
     ) -> None:
         """
         Args:
@@ -48,12 +51,20 @@ class BenchmarkRunner:
                 (downsampled profiling for quick passes).
             jobs: worker processes used by :meth:`prefetch`; 1 keeps the
                 historical sequential in-process behaviour.
+            timeout: per-attempt wall-clock budget (seconds) for parallel
+                jobs; None disables.
+            retries: extra attempts per failed job before it is recorded
+                as a failure.
+            retry_backoff: base delay between attempts, doubled per retry.
         """
         self._engine = ExecutionEngine(
             scale=scale,
             cache_dir=cache_dir,
             trace_limit=trace_limit,
             jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            retry_backoff=retry_backoff,
         )
 
     # -- engine passthroughs ---------------------------------------------------
@@ -81,8 +92,13 @@ class BenchmarkRunner:
 
     @property
     def stats(self):
-        """Cache hit/miss counters and per-job timings."""
+        """Cache hit/miss counters, per-job timings, failure counters."""
         return self._engine.stats
+
+    @property
+    def failures(self):
+        """Benchmarks that exhausted their retries, name -> typed error."""
+        return self._engine.failures
 
     @property
     def _artifacts(self) -> Dict[str, RunArtifacts]:

@@ -33,7 +33,7 @@ from ..predictors.indexing import PCModuloIndex
 from ..static_analysis.estimator import estimate_conflict_graph
 from ..workloads.build import build_workload
 from ..workloads.suite import get_benchmark
-from .engine import prefetch_artifacts
+from .engine import prefetch_artifacts, surviving_benchmarks
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -104,7 +104,7 @@ def run_static_compare(
         edge_threshold = threshold
     prefetch_artifacts(runner, benchmarks)
     rows: List[StaticCompareRow] = []
-    for name in benchmarks:
+    for name in surviving_benchmarks(runner, benchmarks):
         # the static path: build only, never simulate
         built = build_workload(get_benchmark(name, scale=runner.scale))
         static_graph = estimate_conflict_graph(

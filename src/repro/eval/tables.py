@@ -23,7 +23,7 @@ from ..workloads.suite import (
     TABLE34_BENCHMARKS,
     benchmark_suite,
 )
-from .engine import prefetch_artifacts
+from .engine import prefetch_artifacts, surviving_benchmarks
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -55,6 +55,7 @@ def run_table1(
     """Regenerate Table 1: trace sizes and the frequency-cutoff coverage."""
     names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
     prefetch_artifacts(runner, names)
+    names = surviving_benchmarks(runner, names)
     suite = benchmark_suite(runner.scale)
     rows: List[Table1Row] = []
     for name in names:
@@ -130,6 +131,7 @@ def run_table2(
     """Regenerate Table 2: the branch working set statistics."""
     names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
     prefetch_artifacts(runner, names)
+    names = surviving_benchmarks(runner, names)
     rows: List[Table2Row] = []
     for name in names:
         profile = runner.profile(name)
@@ -196,6 +198,7 @@ def run_table3(
     """Regenerate Table 3: minimal BHT size for plain branch allocation."""
     names = list(benchmarks) if benchmarks else list(TABLE34_BENCHMARKS)
     prefetch_artifacts(runner, names)
+    names = surviving_benchmarks(runner, names)
     rows: List[SizingRow] = []
     for name in names:
         profile = runner.profile(name)
@@ -229,6 +232,7 @@ def run_table4(
     """
     names = list(benchmarks) if benchmarks else list(TABLE34_BENCHMARKS)
     prefetch_artifacts(runner, names)
+    names = surviving_benchmarks(runner, names)
     rows: List[SizingRow] = []
     for name in names:
         profile = runner.profile(name)

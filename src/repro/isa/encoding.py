@@ -24,6 +24,7 @@ and exercised by round-trip tests.
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from .instructions import Format, Instruction, Opcode
 
 WORD_BITS = 32
@@ -31,8 +32,10 @@ IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
 IMM19_MIN, IMM19_MAX = -(1 << 18), (1 << 18) - 1
 
 
-class EncodingError(ValueError):
+class EncodingError(ReproError, ValueError):
     """Raised when an instruction cannot be encoded (field out of range)."""
+
+    code = "encoding_error"
 
 
 def _check_imm(value: int, lo: int, hi: int, what: str) -> int:

@@ -14,6 +14,16 @@ envelope::
 envelope or to a command's ``results`` payload, so scripts can pin what
 they parse.  Replaces the ad-hoc prints as the only stable programmatic
 surface of the CLI.
+
+Version history:
+
+* **1** — initial envelope (``run``/``profile``/``allocate``/
+  ``experiment``).
+* **2** — fault tolerance: ``experiment`` results gain a ``failures``
+  array (one ``{benchmark, error, code, message, ...}`` object per
+  benchmark that exhausted its retries) and the embedded ``engine``
+  stats gain ``failed``/``retried``/``timeouts``/``quarantined``
+  counters; the new ``faults`` command emits the same envelope shape.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def envelope(

@@ -9,7 +9,7 @@ from .debug import SingleStepper, StepRecord, trace_listing
 from .executor import Executor, FuelExhausted, SimulationError
 from .hooks import BranchHook, CompositeBranchHook, NullBranchHook
 from .machine import RunResult, Simulator
-from .memory import Memory
+from .memory import MemAccessError, Memory
 from .state import MachineState, unsigned32, wrap32
 from .syscalls import (
     SYS_EXIT,
@@ -30,6 +30,7 @@ __all__ = [
     "Executor",
     "FuelExhausted",
     "MachineState",
+    "MemAccessError",
     "Memory",
     "NullBranchHook",
     "RunResult",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import ReproError
 from ..isa.instructions import Instruction, Opcode
 from ..isa.program import INSTRUCTION_SIZE, Program
 from .hooks import BranchHook
@@ -29,17 +30,21 @@ from .state import MachineState, unsigned32, wrap32
 from .syscalls import Environment
 
 
-class SimulationError(RuntimeError):
+class SimulationError(ReproError, RuntimeError):
     """Raised when execution leaves the text segment or decodes garbage."""
 
+    code = "simulation_error"
 
-class FuelExhausted(RuntimeError):
+
+class FuelExhausted(ReproError, RuntimeError):
     """Raised when the instruction budget runs out before the program halts.
 
     Long-running workloads are *expected* to be stopped this way when the
     harness caps run length (the paper similarly caps runs at 500M
     instructions); callers that treat truncation as normal catch this.
     """
+
+    code = "fuel_exhausted"
 
 
 class Executor:

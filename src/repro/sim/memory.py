@@ -9,14 +9,16 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..errors import MemAccessError
+
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 ADDRESS_MASK = 0xFFFF_FFFF
 
-
-class MemoryError_(RuntimeError):
-    """Raised on invalid simulated memory access."""
+#: Deprecated alias — the historical name shadowed the ``*Error`` builtin
+#: naming pattern; new code should catch :class:`repro.errors.MemAccessError`.
+MemoryError_ = MemAccessError
 
 
 class Memory:
@@ -93,7 +95,7 @@ class Memory:
         """Read a NUL-terminated byte string (without the terminator).
 
         Raises:
-            MemoryError_: if no terminator is found within *limit* bytes.
+            MemAccessError: if no terminator is found within *limit* bytes.
         """
         out = bytearray()
         for i in range(limit):
@@ -101,7 +103,7 @@ class Memory:
             if byte == 0:
                 return bytes(out)
             out.append(byte)
-        raise MemoryError_(f"unterminated string at 0x{address:x}")
+        raise MemAccessError(f"unterminated string at 0x{address:x}")
 
     @property
     def resident_pages(self) -> int:

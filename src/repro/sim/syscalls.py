@@ -24,6 +24,7 @@ behaviour without shipping large inputs.
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from .state import MachineState, wrap32
 
 SYS_EXIT = 0
@@ -37,8 +38,10 @@ SYS_RANDOM = 6
 A0, A1, A2 = 10, 11, 12  # register numbers for a0..a2
 
 
-class SyscallError(RuntimeError):
+class SyscallError(ReproError, RuntimeError):
     """Raised on an unknown syscall number."""
+
+    code = "syscall_error"
 
 
 class Environment:

@@ -1,0 +1,110 @@
+"""The typed error taxonomy: hierarchy, serialisation, historical bases."""
+
+import pickle
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ArtifactCorrupt,
+    JobFailed,
+    JobTimeout,
+    MemAccessError,
+    ReproError,
+    SuiteDegraded,
+    error_to_dict,
+)
+
+
+# -- hierarchy --------------------------------------------------------------
+
+
+def test_taxonomy_roots():
+    for cls in (ArtifactCorrupt, JobFailed, JobTimeout, SuiteDegraded,
+                MemAccessError):
+        assert issubclass(cls, ReproError)
+    assert issubclass(JobTimeout, JobFailed)
+
+
+def test_folded_errors_join_the_taxonomy():
+    """Errors defined in their home modules are re-exported lazily and
+    descend from ReproError while keeping their historical bases."""
+    assert issubclass(errors.SimulationError, ReproError)
+    assert issubclass(errors.SimulationError, RuntimeError)
+    assert issubclass(errors.FuelExhausted, ReproError)
+    assert issubclass(errors.FuelExhausted, RuntimeError)
+    assert issubclass(errors.SyscallError, ReproError)
+    assert issubclass(errors.AsmSyntaxError, ReproError)
+    assert issubclass(errors.AsmSyntaxError, ValueError)
+    assert issubclass(errors.EncodingError, ReproError)
+    assert issubclass(errors.EncodingError, ValueError)
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        errors.NotAnError
+
+
+def test_mem_access_error_replaces_legacy_alias():
+    from repro.sim.memory import MemoryError_
+
+    assert MemoryError_ is MemAccessError
+    assert issubclass(MemAccessError, RuntimeError)
+    # historical except clauses keep working
+    with pytest.raises(MemoryError_):
+        raise MemAccessError("unmapped", address=0xDEAD)
+
+
+def test_asm_syntax_error_keeps_line_formatting():
+    exc = errors.AsmSyntaxError("bad mnemonic", 3)
+    assert str(exc) == "line 3: bad mnemonic"
+    assert exc.line == 3
+    assert exc.to_dict()["line"] == 3
+
+
+# -- serialisation ----------------------------------------------------------
+
+
+def test_to_dict_carries_code_and_context():
+    exc = JobTimeout("gcc blew its budget", benchmark="gcc",
+                     timeout_seconds=2.5)
+    payload = exc.to_dict()
+    assert payload == {
+        "error": "JobTimeout",
+        "code": "job_timeout",
+        "message": "gcc blew its budget",
+        "benchmark": "gcc",
+        "timeout_seconds": 2.5,
+    }
+    assert str(exc) == "gcc blew its budget"
+
+
+def test_error_codes_are_distinct():
+    codes = {
+        cls.code
+        for cls in (ReproError, ArtifactCorrupt, JobFailed, JobTimeout,
+                    SuiteDegraded, MemAccessError)
+    }
+    assert len(codes) == 6
+
+
+def test_error_to_dict_wraps_foreign_exceptions():
+    payload = error_to_dict(ValueError("nope"))
+    assert payload == {
+        "error": "ValueError",
+        "code": "unexpected_error",
+        "message": "nope",
+    }
+    typed = error_to_dict(ArtifactCorrupt("bad entry", digest="abcd"))
+    assert typed["code"] == "artifact_corrupt"
+    assert typed["digest"] == "abcd"
+
+
+def test_repro_errors_pickle_round_trip():
+    """Worker failures cross process boundaries; context must survive."""
+    original = JobFailed("compress died", benchmark="compress", attempts=3)
+    clone = pickle.loads(pickle.dumps(original))
+    assert isinstance(clone, JobFailed)
+    assert clone.message == "compress died"
+    assert clone.context == {"benchmark": "compress", "attempts": 3}
+    assert clone.to_dict() == original.to_dict()
