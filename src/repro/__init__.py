@@ -10,6 +10,8 @@ The package is organised bottom-up:
   analysis), :mod:`repro.analysis` (conflict graph + working sets),
   :mod:`repro.allocation` (graph-colouring branch allocation);
 * :mod:`repro.predictors` — the 2-level predictor family (PAg et al.);
+* :mod:`repro.pipeline` — the columnar event bus fusing simulate →
+  profile → predict into one pass (see docs/PIPELINE.md);
 * :mod:`repro.static_analysis` — CFG, dominators, natural loops, a
   profile-free conflict-graph estimator, and an assembly linter;
 * :mod:`repro.eval` — regenerates every table and figure in the paper,
@@ -77,6 +79,13 @@ from .static_analysis import (
     lint_program,
     lint_source,
 )
+from .pipeline import (
+    BranchEventBus,
+    InterleaveConsumer,
+    PredictorConsumer,
+    TraceBuilder,
+    replay_bank,
+)
 from .trace import BranchTrace, TraceCapture, make_phased_workload
 from .workloads import benchmark_suite, build_workload, run_workload
 
@@ -88,6 +97,7 @@ __all__ = [
     "BenchmarkRunner",
     "BiasClass",
     "BranchAllocator",
+    "BranchEventBus",
     "BranchTrace",
     "ClassificationBounds",
     "ClassifiedBranchAllocator",
@@ -95,12 +105,15 @@ __all__ = [
     "ExecutionEngine",
     "InterferenceFreePAg",
     "InterleaveAnalyzer",
+    "InterleaveConsumer",
     "InterleaveProfile",
     "PAgPredictor",
     "PCModuloIndex",
+    "PredictorConsumer",
     "RunArtifacts",
     "StaticConflictEstimator",
     "StaticIndexMap",
+    "TraceBuilder",
     "TraceCapture",
     "WorkingSetPartition",
     "__version__",
@@ -119,6 +132,7 @@ __all__ = [
     "merge_profiles",
     "partition_working_sets",
     "profile_trace",
+    "replay_bank",
     "required_bht_size",
     "run_all",
     "run_all_experiments",

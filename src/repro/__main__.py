@@ -30,6 +30,9 @@ Commands
 (``{schema_version, command, params, results}`` — see
 :mod:`repro.schema`) instead of the human-readable prints.
 
+``repro --version`` prints the package version together with the output
+schema version the envelopes carry.
+
 Unknown benchmark names exit with status 2 and a message on stderr.
 ``lint`` exits 1 when any program has errors.
 """
@@ -39,6 +42,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .allocation import (
     BranchAllocator,
     ClassifiedBranchAllocator,
@@ -49,7 +53,7 @@ from .analysis import working_set_metrics
 from .errors import SuiteDegraded
 from .eval import BenchmarkRunner
 from .eval.experiments import EXPERIMENTS, run_experiment
-from .schema import dump, envelope
+from .schema import SCHEMA_VERSION, dump, envelope
 from .static_analysis import (
     StaticConflictEstimator,
     build_cfg,
@@ -475,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="branch working set analysis reproduction "
         "(Kim & Tyson, MICRO 1998)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} (schema {SCHEMA_VERSION})",
+        help="print package and output-schema versions",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

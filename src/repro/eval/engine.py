@@ -52,9 +52,15 @@ from ..errors import (
     ReproError,
     error_to_dict,
 )
-from ..profiling.interleave import profile_trace
+from ..pipeline.bus import BranchEventBus, PipelineStats
+from ..pipeline.consumers import (
+    InterleaveConsumer,
+    PredictorConsumer,
+    TraceBuilder,
+)
+from ..predictors.base import BranchPredictor
+from ..predictors.simulator import PredictionStats
 from ..profiling.profile import InterleaveProfile
-from ..trace.capture import TraceCapture
 from ..trace.events import BranchTrace
 from ..trace.io import load_trace, read_trace_meta, save_trace
 from ..workloads.build import BuiltWorkload, build_workload, run_workload
@@ -77,6 +83,26 @@ class RunArtifacts:
     profile: InterleaveProfile
     instructions: int
     static_branches: int
+
+
+@dataclass(frozen=True)
+class FusedRunResult:
+    """Outcome of one :meth:`ExecutionEngine.profile_and_predict` call.
+
+    ``fused`` is True when the profile and every predictor ran inside
+    the simulation pass itself; False when a cached trace was replayed.
+    ``archived`` is True when a full trace exists for the benchmark
+    (materialised this run or already cached).
+    """
+
+    name: str
+    profile: InterleaveProfile
+    predictions: Dict[str, PredictionStats]
+    instructions: int
+    static_branches: int
+    fused: bool
+    archived: bool
+    pipeline: PipelineStats
 
 
 @dataclass(frozen=True)
@@ -149,6 +175,9 @@ class JobResult:
     error: Optional[ReproError] = None
     attempts: int = 1
     quarantined: int = 0
+    #: per-consumer observability counters when the job simulated
+    #: through the event bus (None on store hits and failures).
+    pipeline: Optional[PipelineStats] = None
 
 
 class ArtifactStore:
@@ -367,10 +396,15 @@ def _execute_job(
             seconds=time.perf_counter() - started,
             quarantined=len(store.corrupt_events),
         )
-    capture = TraceCapture(limit=spec.trace_limit)
-    result = run_workload(built, branch_hook=capture)
-    trace = capture.finish(spec.name)
-    profile = profile_trace(trace, name=spec.name)
+    # one pass: the bus fans each branch event to the profiler and the
+    # chunked trace builder together (no capture-then-replay)
+    profiler = InterleaveConsumer(label=spec.name)
+    builder = TraceBuilder(label=spec.name)
+    bus = BranchEventBus([profiler, builder], limit=spec.trace_limit)
+    result = run_workload(built, branch_hook=bus)
+    pipeline = bus.finish()
+    trace = builder.result
+    profile = profiler.result
     profile.instructions = result.instructions
     artifacts = RunArtifacts(
         name=spec.name,
@@ -392,6 +426,7 @@ def _execute_job(
         seconds=time.perf_counter() - started,
         artifacts=artifacts,
         quarantined=len(store.corrupt_events) if store is not None else 0,
+        pipeline=pipeline,
     )
 
 
@@ -424,6 +459,12 @@ class EngineStats:
     retried: int = 0
     timeouts: int = 0
     quarantined: int = 0
+    #: fused one-pass profile+predict runs vs replays of a cached trace.
+    fused_runs: int = 0
+    replayed_runs: int = 0
+    #: aggregated per-consumer bus counters across every bus this engine
+    #: ran (simulation jobs, fused runs and bank replays alike).
+    pipeline: PipelineStats = field(default_factory=PipelineStats)
     job_seconds: Dict[str, float] = field(default_factory=dict)
     job_source: Dict[str, str] = field(default_factory=dict)
     failures: List[Dict[str, object]] = field(default_factory=list)
@@ -431,6 +472,8 @@ class EngineStats:
     def record(self, result: JobResult) -> None:
         self.quarantined += result.quarantined
         self.retried += max(0, result.attempts - 1)
+        if result.pipeline is not None:
+            self.pipeline.merge(result.pipeline)
         if result.error is not None:
             self.failed += 1
             if isinstance(result.error, JobTimeout):
@@ -461,6 +504,9 @@ class EngineStats:
             "retried": self.retried,
             "timeouts": self.timeouts,
             "quarantined": self.quarantined,
+            "fused_runs": self.fused_runs,
+            "replayed_runs": self.replayed_runs,
+            "pipeline": self.pipeline.as_dict(),
             "jobs": [
                 {
                     "benchmark": name,
@@ -608,6 +654,121 @@ class ExecutionEngine:
     def profile(self, name: str) -> InterleaveProfile:
         """The benchmark's interleave profile."""
         return self.artifacts(name).profile
+
+    def profile_and_predict(
+        self,
+        name: str,
+        predictors: Sequence[BranchPredictor],
+        warmup: int = 0,
+        track_per_branch: bool = False,
+        archive: Optional[bool] = None,
+    ) -> FusedRunResult:
+        """Profile *name* and run a predictor bank over it in one pass.
+
+        Warm path — artifacts already memoised or verifiably in the
+        store — replays the cached trace through the bank in one chunked
+        pass (the profile comes from the cache).  Cold path fuses
+        everything into the simulation itself: the event bus fans each
+        branch event to the interleave analyzer and every predictor
+        concurrently, so the trace need never be materialised when only
+        aggregates are wanted.
+
+        Args:
+            name: benchmark name.
+            predictors: the bank (consumed statefully; reset first when
+                reusing predictor instances).
+            warmup: leading events that train but are not scored.
+            track_per_branch: keep per-static-branch counters.
+            archive: materialise (and, with a store, persist) the trace
+                on a cold run.  None archives exactly when a store is
+                configured — so the next run goes warm — False skips the
+                trace entirely, True forces materialisation (memo-only
+                without a store).
+
+        Raises:
+            ValueError: if two predictors share a name.
+            JobFailed: when the benchmark keeps failing.
+        """
+        seen = set()
+        for predictor in predictors:
+            if predictor.name in seen:
+                raise ValueError(
+                    f"duplicate predictor name {predictor.name!r}"
+                )
+            seen.add(predictor.name)
+        known_failure = self.failures.get(name)
+        if known_failure is not None:
+            raise known_failure
+        warm = name in self._memo or (
+            self.store is not None
+            and self.store.verify(self.job(name), self.digest(name))
+        )
+        bank = [
+            PredictorConsumer(
+                predictor,
+                label=name,
+                track_per_branch=track_per_branch,
+                warmup=warmup,
+            )
+            for predictor in predictors
+        ]
+        if warm:
+            artifacts = self.artifacts(name)
+            stats = BranchEventBus.replay(artifacts.trace, bank)
+            self.stats.replayed_runs += 1
+            self.stats.pipeline.merge(stats)
+            return FusedRunResult(
+                name=name,
+                profile=artifacts.profile,
+                predictions={c.predictor.name: c.result for c in bank},
+                instructions=artifacts.instructions,
+                static_branches=artifacts.static_branches,
+                fused=False,
+                archived=True,
+                pipeline=stats,
+            )
+        started = time.perf_counter()
+        built = build_workload(get_benchmark(name, scale=self.scale))
+        digest = artifact_digest(built, trace_limit=self.trace_limit)
+        profiler = InterleaveConsumer(label=name)
+        do_archive = archive if archive is not None else (
+            self.store is not None
+        )
+        builder = TraceBuilder(label=name) if do_archive else None
+        consumers: List[object] = [profiler, *bank]
+        if builder is not None:
+            consumers.append(builder)
+        bus = BranchEventBus(consumers, limit=self.trace_limit)
+        run = run_workload(built, branch_hook=bus)
+        stats = bus.finish()
+        profile = profiler.result
+        profile.instructions = run.instructions
+        if builder is not None:
+            artifacts = RunArtifacts(
+                name=name,
+                trace=builder.result,
+                profile=profile,
+                instructions=run.instructions,
+                static_branches=built.static_conditional_branches,
+            )
+            if self.store is not None:
+                self.store.put(self.job(name), digest, artifacts)
+            self._memo[name] = artifacts
+        self._digests[name] = digest
+        self.stats.fused_runs += 1
+        self.stats.pipeline.merge(stats)
+        self.stats.job_seconds[name] = time.perf_counter() - started
+        self.stats.job_source[name] = "fused"
+        return FusedRunResult(
+            name=name,
+            profile=profile,
+            predictions={c.predictor.name: c.result for c in bank},
+            instructions=run.instructions,
+            static_branches=built.static_conditional_branches,
+            fused=True,
+            archived=builder is not None,
+            pipeline=stats,
+        )
 
     def prefetch(
         self, names: Sequence[str]
@@ -943,6 +1104,7 @@ __all__ = [
     "DIGEST_VERSION",
     "EngineStats",
     "ExecutionEngine",
+    "FusedRunResult",
     "JobResult",
     "JobSpec",
     "RunArtifacts",

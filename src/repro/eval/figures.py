@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence
 from ..allocation.allocator import BranchAllocator
 from ..allocation.classified import ClassifiedBranchAllocator
 from ..analysis.conflict_graph import DEFAULT_THRESHOLD
-from ..predictors.simulator import simulate_predictor
+from ..pipeline.bus import BranchEventBus
+from ..pipeline.consumers import PredictorConsumer
 from ..predictors.twolevel import InterferenceFreePAg, PAgPredictor
 from ..workloads.suite import FIGURE_BENCHMARKS
 from .engine import prefetch_artifacts, surviving_benchmarks
@@ -62,6 +63,7 @@ def _figure_rows(
 ) -> List[FigureRow]:
     prefetch_artifacts(runner, benchmarks)
     rows: List[FigureRow] = []
+    engine = getattr(runner, "engine", None)  # test doubles may lack it
     for name in surviving_benchmarks(runner, benchmarks):
         artifacts = runner.artifacts(name)
         trace, profile = artifacts.trace, artifacts.profile
@@ -69,28 +71,47 @@ def _figure_rows(
             allocator = ClassifiedBranchAllocator(profile, threshold=threshold)
         else:
             allocator = BranchAllocator(profile, threshold=threshold)
-        allocated: Dict[int, float] = {}
-        for size in sizes:
-            index_map = allocator.allocate(size).index_map()
-            predictor = PAgPredictor.allocated(index_map, HISTORY_BITS)
-            stats = simulate_predictor(
-                predictor, trace, track_per_branch=False
+        # one chunked pass: the whole predictor bank rides the bus
+        # together instead of replaying the trace once per predictor
+        # (explicit consumer names — the bank repeats the PAg label)
+        bank = [
+            PredictorConsumer(
+                PAgPredictor.allocated(
+                    allocator.allocate(size).index_map(), HISTORY_BITS
+                ),
+                label=name,
+                track_per_branch=False,
+                name=f"predict:alloc@{size}",
             )
-            allocated[size] = stats.misprediction_rate
-        conventional = simulate_predictor(
+            for size in sizes
+        ]
+        conventional = PredictorConsumer(
             PAgPredictor.conventional(BASELINE_BHT, HISTORY_BITS),
-            trace,
+            label=name,
             track_per_branch=False,
-        ).misprediction_rate
-        infinite = simulate_predictor(
-            InterferenceFreePAg(HISTORY_BITS), trace, track_per_branch=False
-        ).misprediction_rate
+            name="predict:conventional",
+        )
+        infinite = PredictorConsumer(
+            InterferenceFreePAg(HISTORY_BITS),
+            label=name,
+            track_per_branch=False,
+            name="predict:interference-free",
+        )
+        stats = BranchEventBus.replay(
+            trace, [*bank, conventional, infinite]
+        )
+        if engine is not None:
+            engine.stats.replayed_runs += 1
+            engine.stats.pipeline.merge(stats)
         rows.append(
             FigureRow(
                 benchmark=name,
-                allocated=allocated,
-                conventional=conventional,
-                interference_free=infinite,
+                allocated={
+                    size: consumer.result.misprediction_rate
+                    for size, consumer in zip(sizes, bank)
+                },
+                conventional=conventional.result.misprediction_rate,
+                interference_free=infinite.result.misprediction_rate,
             )
         )
     return rows

@@ -14,11 +14,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..predictors.base import BranchPredictor
 from ..profiling.profile import InterleaveProfile
 from ..trace.events import BranchTrace
-from .engine import ExecutionEngine, RunArtifacts
+from .engine import ExecutionEngine, FusedRunResult, RunArtifacts
 
-__all__ = ["BenchmarkRunner", "RunArtifacts"]
+__all__ = ["BenchmarkRunner", "FusedRunResult", "RunArtifacts"]
 
 
 class BenchmarkRunner:
@@ -129,6 +130,29 @@ class BenchmarkRunner:
     def profile(self, name: str) -> InterleaveProfile:
         """The benchmark's interleave profile."""
         return self._engine.profile(name)
+
+    def profile_and_predict(
+        self,
+        name: str,
+        predictors: Sequence[BranchPredictor],
+        warmup: int = 0,
+        track_per_branch: bool = False,
+        archive: Optional[bool] = None,
+    ) -> FusedRunResult:
+        """Fused mode: profile + predictor bank from one pass.
+
+        Cold benchmarks simulate once with the interleave analyzer and
+        every predictor riding the event bus together; warm benchmarks
+        replay their cached trace through the bank in one chunked pass.
+        See :meth:`ExecutionEngine.profile_and_predict`.
+        """
+        return self._engine.profile_and_predict(
+            name,
+            predictors,
+            warmup=warmup,
+            track_per_branch=track_per_branch,
+            archive=archive,
+        )
 
     def prefetch(self, names: Sequence[str]) -> Dict[str, RunArtifacts]:
         """Materialise artifacts for *names*, in parallel when jobs > 1."""

@@ -10,6 +10,11 @@ program order, mirroring sim-bpred.
 from __future__ import annotations
 
 import abc
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+Column = Union[Sequence, np.ndarray]
 
 
 class BranchPredictor(abc.ABC):
@@ -33,6 +38,38 @@ class BranchPredictor(abc.ABC):
         prediction = self.predict(pc, target)
         self.update(pc, taken, target)
         return prediction
+
+    def access_chunk(
+        self,
+        pcs: Column,
+        taken: Column,
+        targets: Optional[Column] = None,
+    ) -> np.ndarray:
+        """Predict+update over a columnar batch; returns the predictions.
+
+        Semantically equivalent to calling :meth:`access` once per event
+        in order — the default implementation does exactly that, so every
+        predictor rides the streaming pipeline unmodified.  Table-based
+        predictors override this with a vectorized path over the numpy
+        columns (the trace outcome is known, so future table state is
+        computable without per-event Python dispatch).
+        """
+        pcs_l = pcs.tolist() if isinstance(pcs, np.ndarray) else pcs
+        taken_l = taken.tolist() if isinstance(taken, np.ndarray) else taken
+        access = self.access
+        if targets is None:
+            out = [access(pc, tk) for pc, tk in zip(pcs_l, taken_l)]
+        else:
+            targets_l = (
+                targets.tolist()
+                if isinstance(targets, np.ndarray)
+                else targets
+            )
+            out = [
+                access(pc, tk, tg)
+                for pc, tk, tg in zip(pcs_l, taken_l, targets_l)
+            ]
+        return np.asarray(out, dtype=bool)
 
     def reset(self) -> None:
         """Restore power-on state.  Default: no state."""

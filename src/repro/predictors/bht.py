@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
+from .chunked import grouped_history_patterns
 from .indexing import IndexFunction
 
 
@@ -56,6 +59,32 @@ class BranchHistoryTable:
         self.table[index] = ((pattern << 1) | taken) & self._mask
         return pattern
 
+    def read_and_update_chunk(
+        self, pcs: np.ndarray, taken: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`read_and_update` over an event batch.
+
+        Returns the per-event patterns (register value *before* each
+        event) and advances the table, bit-identical to the scalar path —
+        including aliasing, since events are grouped by table entry, not
+        by PC.
+        """
+        entry_ids = self.index_fn.index_array(pcs)
+        unique_entries, group_ids = np.unique(entry_ids, return_inverse=True)
+        entries = unique_entries.tolist()
+        table = self.table
+        carry_in = np.fromiter(
+            (table[entry] for entry in entries),
+            dtype=np.int64,
+            count=len(entries),
+        )
+        patterns, carry_out = grouped_history_patterns(
+            group_ids, taken, self.history_bits, carry_in
+        )
+        for entry, register in zip(entries, carry_out.tolist()):
+            table[entry] = register
+        return patterns
+
     def reset(self) -> None:
         for i in range(len(self.table)):
             self.table[i] = 0
@@ -88,6 +117,22 @@ class InfiniteBHT:
         pattern = self.table.get(pc, 0)
         self.table[pc] = ((pattern << 1) | taken) & self._mask
         return pattern
+
+    def read_and_update_chunk(
+        self, pcs: np.ndarray, taken: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`read_and_update`; groups are exact PCs."""
+        unique_pcs, group_ids = np.unique(pcs, return_inverse=True)
+        keys = unique_pcs.tolist()
+        get = self.table.get
+        carry_in = np.fromiter(
+            (get(pc, 0) for pc in keys), dtype=np.int64, count=len(keys)
+        )
+        patterns, carry_out = grouped_history_patterns(
+            group_ids, taken, self.history_bits, carry_in
+        )
+        self.table.update(zip(keys, carry_out.tolist()))
+        return patterns
 
     def reset(self) -> None:
         self.table.clear()

@@ -1,0 +1,156 @@
+"""Vectorized chunk-replay kernels for table-based predictors.
+
+Trace-driven simulation knows every branch outcome up front, so future
+predictor table state is computable without per-event Python dispatch:
+
+* :func:`grouped_history_patterns` reconstructs each event's first-level
+  history register *before* the event.  Events are grouped by table
+  entry; within a group the pattern at in-group position ``t`` is the
+  previous ``t`` outcomes (vectorized as ``k`` shifted-OR passes over
+  the sorted event array) topped up with the entry's carried-in register
+  shifted past them.
+* :func:`saturating_counter_predict` replays a batch through a table of
+  n-bit saturating counters.  Events are sorted by counter index and cut
+  into runs of identical (index, outcome); within a run the counter
+  moves monotonically, so the value before the ``t``-th event is
+  ``clip(c0 ± t)`` and every prediction falls out of one vectorized
+  comparison.  Only the (much shorter) run list is walked in Python to
+  chain counter state through runs.
+
+Both kernels are exact: they produce bit-identical results to calling
+``read_and_update``/``access`` once per event, which the pipeline
+equivalence property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import MutableSequence, Tuple
+
+import numpy as np
+
+
+def grouped_history_patterns(
+    group_ids: np.ndarray,
+    taken: np.ndarray,
+    history_bits: int,
+    carry_in: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-event k-bit history patterns, grouped by table entry.
+
+    Args:
+        group_ids: dense group id (``0..G-1``) per event, program order.
+        taken: outcome per event.
+        history_bits: history register width ``k``.
+        carry_in: ``int64[G]`` register value per group entering the batch.
+
+    Returns:
+        ``(patterns, carry_out)``: the register value *before* each event
+        (program order), and the ``int64[G]`` register value per group
+        after the batch.
+    """
+    n = len(group_ids)
+    carry_out = carry_in.copy()
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), carry_out
+    k = history_bits
+    mask = (1 << k) - 1
+    order = np.argsort(group_ids, kind="stable")
+    sorted_gids = group_ids[order]
+    outcomes = taken[order].astype(np.int64)
+    idx = np.arange(n)
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_gids[1:] != sorted_gids[:-1]
+    # in-group position of each event
+    tpos = idx - np.maximum.accumulate(np.where(starts, idx, 0))
+    patterns = np.zeros(n, dtype=np.int64)
+    # bit j-1 of the pattern is the outcome j events back in the group
+    for j in range(1, k + 1):
+        if j >= n:
+            break
+        contribution = outcomes[:-j] << (j - 1)
+        patterns[j:] += np.where(tpos[j:] >= j, contribution, 0)
+    # carried-in register fills the bits above the in-batch outcomes;
+    # the shift is capped at k so (carry << k) & mask vanishes exactly
+    # when the group already has k in-batch outcomes
+    carry_per_event = carry_in[sorted_gids]
+    patterns += (carry_per_event << np.minimum(tpos, k)) & mask
+    patterns &= mask
+    ends = np.empty(n, dtype=bool)
+    ends[-1] = True
+    ends[:-1] = sorted_gids[1:] != sorted_gids[:-1]
+    carry_out[sorted_gids[ends]] = (
+        (patterns[ends] << 1) | outcomes[ends]
+    ) & mask
+    unsorted = np.empty(n, dtype=np.int64)
+    unsorted[order] = patterns
+    return unsorted, carry_out
+
+
+def saturating_counter_predict(
+    indices: np.ndarray,
+    taken: np.ndarray,
+    table: MutableSequence[int],
+    threshold: int,
+    max_value: int,
+) -> np.ndarray:
+    """Batch predict+update over a saturating counter table.
+
+    *table* is updated in place; returns the per-event predictions in
+    program order, bit-identical to ``CounterTable.access`` per event.
+    """
+    n = len(indices)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    outcomes = taken[order]
+    positions = np.arange(n)
+    run_breaks = np.empty(n, dtype=bool)
+    run_breaks[0] = True
+    run_breaks[1:] = (sorted_idx[1:] != sorted_idx[:-1]) | (
+        outcomes[1:] != outcomes[:-1]
+    )
+    run_start = np.nonzero(run_breaks)[0]
+    run_id = np.cumsum(run_breaks) - 1
+    tpos = positions - run_start[run_id]
+    run_index = sorted_idx[run_start].tolist()
+    run_outcome = outcomes[run_start].tolist()
+    run_length = np.diff(np.append(run_start, n)).tolist()
+    # chain counter state through the run list (runs of one counter are
+    # consecutive after the stable sort); within a run the counter moves
+    # monotonically so only its starting value is needed per event
+    start_counters = [0] * len(run_index)
+    current = -1
+    value = 0
+    for r, counter_index in enumerate(run_index):
+        if counter_index != current:
+            if current >= 0:
+                table[current] = value
+            value = table[counter_index]
+            current = counter_index
+        start_counters[r] = value
+        if run_outcome[r]:
+            value += run_length[r]
+            if value > max_value:
+                value = max_value
+        else:
+            value -= run_length[r]
+            if value < 0:
+                value = 0
+    if current >= 0:
+        table[current] = value
+    counter_before = np.asarray(start_counters, dtype=np.int64)[run_id]
+    # value before event t of a taken-run is min(max, c0+t): >= threshold
+    # iff c0+t is (threshold <= max); dually for not-taken runs
+    predictions = np.where(
+        outcomes,
+        counter_before + tpos >= threshold,
+        counter_before - tpos >= threshold,
+    )
+    unsorted = np.empty(n, dtype=bool)
+    unsorted[order] = predictions
+    return unsorted
+
+
+__all__ = ["grouped_history_patterns", "saturating_counter_predict"]

@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
+from .chunked import saturating_counter_predict
+
 
 class CounterTable:
     """A table of n-bit saturating counters."""
@@ -68,6 +72,14 @@ class CounterTable:
         elif value > 0:
             self.table[index] = value - 1
         return prediction
+
+    def access_chunk(
+        self, indices: np.ndarray, taken: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`access` over a batch; returns predictions."""
+        return saturating_counter_predict(
+            indices, taken, self.table, self.threshold, self.max_value
+        )
 
     def reset(self, initial: int = -1) -> None:
         """Reset every counter (default: weakly-taken)."""

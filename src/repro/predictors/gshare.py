@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
-from .base import BranchPredictor
+from typing import Optional
+
+import numpy as np
+
+from .base import BranchPredictor, Column
 from .counters import CounterTable
+from .twolevel import _global_history_patterns
 
 
 class GSharePredictor(BranchPredictor):
@@ -33,6 +38,20 @@ class GSharePredictor(BranchPredictor):
         prediction = self.pht.access(self._index(pc), taken)
         self.history = ((self.history << 1) | taken) & self._mask
         return prediction
+
+    def access_chunk(
+        self,
+        pcs: Column,
+        taken: Column,
+        targets: Optional[Column] = None,
+    ) -> np.ndarray:
+        pcs = np.asarray(pcs).astype(np.int64)
+        taken = np.asarray(taken, dtype=bool)
+        histories, self.history = _global_history_patterns(
+            taken, self.history_bits, self.history
+        )
+        indices = ((pcs >> 2) ^ histories) & self._mask
+        return self.pht.access_chunk(indices, taken)
 
     def reset(self) -> None:
         self.history = 0

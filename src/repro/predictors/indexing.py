@@ -12,6 +12,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..isa.program import INSTRUCTION_SIZE
 
 
@@ -26,6 +28,23 @@ class IndexFunction(abc.ABC):
     @abc.abstractmethod
     def index(self, pc: int) -> int:
         """Table index for the branch at *pc* (in ``range(size)``)."""
+
+    def index_array(self, pcs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index` over an event column.
+
+        The mapping depends only on the PC, so it is evaluated once per
+        *distinct* PC and broadcast back — exact for every subclass
+        (including :class:`StaticIndexMap`'s dictionary lookups) without
+        per-event Python calls.
+        """
+        unique_pcs, inverse = np.unique(pcs, return_inverse=True)
+        index = self.index
+        mapped = np.fromiter(
+            (index(pc) for pc in unique_pcs.tolist()),
+            dtype=np.int64,
+            count=len(unique_pcs),
+        )
+        return mapped[inverse]
 
     def __call__(self, pc: int) -> int:
         return self.index(pc)

@@ -64,6 +64,7 @@ def simulate_predictor(
     trace: BranchTrace,
     track_per_branch: bool = True,
     warmup: int = 0,
+    chunked: bool = True,
 ) -> PredictionStats:
     """Replay *trace* through *predictor*.
 
@@ -74,6 +75,11 @@ def simulate_predictor(
         track_per_branch: disable to save memory/time on huge traces.
         warmup: events at the head of the trace that train the predictor but
             are excluded from the statistics.
+        chunked: replay through the streaming pipeline's columnar chunks
+            (default), riding the predictor's vectorized
+            ``access_chunk`` fast path.  ``False`` forces the classic
+            per-event loop — the reference implementation the
+            equivalence tests compare against.
 
     Returns:
         The accumulated :class:`PredictionStats`.
@@ -83,6 +89,19 @@ def simulate_predictor(
     """
     if warmup < 0:
         raise ValueError("warmup must be non-negative")
+    if chunked:
+        # late import: the pipeline package sits above the predictors
+        from ..pipeline.bus import BranchEventBus
+        from ..pipeline.consumers import PredictorConsumer
+
+        consumer = PredictorConsumer(
+            predictor,
+            label=trace.name,
+            track_per_branch=track_per_branch,
+            warmup=warmup,
+        )
+        BranchEventBus.replay(trace, [consumer])
+        return consumer.result
     stats = PredictionStats(predictor=predictor.name, trace=trace.name)
     per_branch = stats.per_branch
     access = predictor.access
@@ -121,14 +140,13 @@ def compare_predictors(
 ) -> Dict[str, PredictionStats]:
     """Run several predictors over the same trace; keyed by predictor name.
 
+    The whole bank rides one chunked pass over the trace (each chunk is
+    sliced once and fanned out to every predictor) instead of replaying
+    the trace once per predictor.
+
     Raises:
         ValueError: if two predictors share a name (results would collide).
     """
-    results: Dict[str, PredictionStats] = {}
-    for predictor in predictors:
-        if predictor.name in results:
-            raise ValueError(f"duplicate predictor name {predictor.name!r}")
-        results[predictor.name] = simulate_predictor(
-            predictor, trace, track_per_branch=False, warmup=warmup
-        )
-    return results
+    from ..pipeline.consumers import replay_bank
+
+    return replay_bank(trace, predictors, warmup=warmup)

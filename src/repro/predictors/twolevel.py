@@ -18,9 +18,12 @@ first-level table exists, so branch allocation drops in unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
-from .base import BranchPredictor
+import numpy as np
+
+from .base import BranchPredictor, Column
+from .chunked import grouped_history_patterns
 from .bht import BranchHistoryTable, InfiniteBHT
 from .counters import CounterTable
 from .indexing import IndexFunction, PCModuloIndex
@@ -71,6 +74,18 @@ class PAgPredictor(BranchPredictor):
         pattern = self.bht.read_and_update(pc, taken)
         return self.pht.access(pattern, taken)
 
+    def access_chunk(
+        self,
+        pcs: Column,
+        taken: Column,
+        targets: Optional[Column] = None,
+    ) -> np.ndarray:
+        """Vectorized chunk replay: both levels in columnar batches."""
+        pcs = np.asarray(pcs)
+        taken = np.asarray(taken, dtype=bool)
+        patterns = self.bht.read_and_update_chunk(pcs, taken)
+        return self.pht.access_chunk(patterns, taken)
+
     def reset(self) -> None:
         self.bht.reset()
         self.pht.reset()
@@ -114,9 +129,38 @@ class GAgPredictor(BranchPredictor):
         self.history = ((self.history << 1) | taken) & self._mask
         return prediction
 
+    def access_chunk(
+        self,
+        pcs: Column,
+        taken: Column,
+        targets: Optional[Column] = None,
+    ) -> np.ndarray:
+        taken = np.asarray(taken, dtype=bool)
+        patterns, self.history = _global_history_patterns(
+            taken, self.history_bits, self.history
+        )
+        return self.pht.access_chunk(patterns, taken)
+
     def reset(self) -> None:
         self.history = 0
         self.pht.reset()
+
+
+def _global_history_patterns(
+    taken: np.ndarray, history_bits: int, history: int
+) -> "tuple[np.ndarray, int]":
+    """Per-event global history (before each event) and the carry-out.
+
+    The degenerate single-group case of :func:`grouped_history_patterns`
+    — the whole batch shares the one global register.
+    """
+    patterns, carry = grouped_history_patterns(
+        np.zeros(len(taken), dtype=np.int64),
+        taken,
+        history_bits,
+        np.array([history], dtype=np.int64),
+    )
+    return patterns, int(carry[0])
 
 
 class PApPredictor(BranchPredictor):
@@ -199,6 +243,20 @@ class GAsPredictor(BranchPredictor):
         prediction = self.pht.access(self._index(pc), taken)
         self.history = ((self.history << 1) | taken) & self._hmask
         return prediction
+
+    def access_chunk(
+        self,
+        pcs: Column,
+        taken: Column,
+        targets: Optional[Column] = None,
+    ) -> np.ndarray:
+        pcs = np.asarray(pcs).astype(np.int64)
+        taken = np.asarray(taken, dtype=bool)
+        histories, self.history = _global_history_patterns(
+            taken, self.history_bits, self.history
+        )
+        indices = (((pcs >> 2) & self._smask) << self.history_bits) | histories
+        return self.pht.access_chunk(indices, taken)
 
     def reset(self) -> None:
         self.history = 0

@@ -24,6 +24,12 @@ Version history:
   benchmark that exhausted its retries) and the embedded ``engine``
   stats gain ``failed``/``retried``/``timeouts``/``quarantined``
   counters; the new ``faults`` command emits the same envelope shape.
+* **3** — streaming pipeline observability: the embedded ``engine``
+  stats gain ``fused_runs``/``replayed_runs`` counters and a
+  ``pipeline`` object (``events``, ``delivered``, ``chunk_flushes``,
+  ``truncated``, and per-consumer ``consumers`` entries with
+  ``chunks``/``events``/``seconds``/``events_per_second``); the new
+  ``--version`` flag reports ``{"version": ..., "schema_version": ...}``.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def envelope(

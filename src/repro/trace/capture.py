@@ -1,10 +1,18 @@
-"""Trace capture: a branch hook that accumulates a :class:`BranchTrace`."""
+"""Trace capture: a branch hook that accumulates a :class:`BranchTrace`.
+
+``TraceCapture`` is now a thin shim over the streaming pipeline: events
+are staged into fixed-size columnar numpy blocks by a
+:class:`~repro.pipeline.bus.BranchEventBus` carrying a single
+:class:`~repro.pipeline.consumers.TraceBuilder`, and ``finish()``
+concatenates the blocks.  The classic API (``on_branch`` / ``finish`` /
+``saturated`` / ``len``) is unchanged; new code that wants more than the
+raw trace out of a simulation should attach additional consumers to a
+bus instead of capturing and replaying (see ``docs/PIPELINE.md``).
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-import numpy as np
+from typing import Optional
 
 from .events import BranchTrace
 
@@ -21,40 +29,41 @@ class TraceCapture:
 
     An optional *limit* stops recording after that many events (downsampled
     profiling of long runs); the simulator keeps executing, the capture just
-    goes quiet.
+    goes quiet.  The limit truncates exactly even when it is not a multiple
+    of the chunk size, and ``finish()`` on an empty capture returns a
+    well-formed zero-length trace.
     """
 
-    def __init__(self, limit: Optional[int] = None) -> None:
-        self._pcs: List[int] = []
-        self._targets: List[int] = []
-        self._taken: List[bool] = []
-        self._timestamps: List[int] = []
-        self._limit = limit
-
-    def on_branch(
-        self, pc: int, target: int, taken: bool, instruction_count: int
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        chunk_events: Optional[int] = None,
     ) -> None:
-        if self._limit is not None and len(self._pcs) >= self._limit:
-            return
-        self._pcs.append(pc)
-        self._targets.append(target)
-        self._taken.append(taken)
-        self._timestamps.append(instruction_count)
+        # Imported here, not at module top: repro.trace initializes before
+        # repro.pipeline's consumers (which pull in the predictor stack).
+        from ..pipeline.bus import DEFAULT_CHUNK_EVENTS, BranchEventBus
+        from ..pipeline.consumers import TraceBuilder
+
+        self._builder = TraceBuilder()
+        self._bus = BranchEventBus(
+            [self._builder],
+            chunk_events=chunk_events or DEFAULT_CHUNK_EVENTS,
+            limit=limit,
+        )
+        self.on_branch = self._bus.on_branch  # hot path: no extra frame
 
     def __len__(self) -> int:
-        return len(self._pcs)
+        return len(self._bus)
 
     @property
     def saturated(self) -> bool:
         """True once the event limit has been reached."""
-        return self._limit is not None and len(self._pcs) >= self._limit
+        return self._bus.saturated
 
     def finish(self, name: str = "<capture>") -> BranchTrace:
         """Freeze the accumulated events into an immutable trace."""
-        return BranchTrace(
-            np.array(self._pcs, dtype=np.uint64),
-            np.array(self._targets, dtype=np.uint64),
-            np.array(self._taken, dtype=bool),
-            np.array(self._timestamps, dtype=np.uint64),
-            name=name,
-        )
+        self._builder.label = name
+        self._bus.finish()
+        if self._builder.result is None or self._builder.result.name != name:
+            return self._builder.finish(name)
+        return self._builder.result
