@@ -308,12 +308,21 @@ def _failures_payload(runner: BenchmarkRunner) -> list:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    if (args.resume or args.checkpoint_every) and not args.cache:
+        print(
+            "error: --resume/--checkpoint-every need --cache (the journal "
+            "and checkpoints live in the cache directory)",
+            file=sys.stderr,
+        )
+        return 2
     runner = BenchmarkRunner(
         scale=args.scale,
         cache_dir=args.cache or None,
         jobs=args.jobs,
         timeout=args.timeout or None,
         retries=args.retries,
+        checkpoint_every_events=args.checkpoint_every or None,
+        resume=args.resume,
     )
     experiment = EXPERIMENTS[args.id]
     params = {
@@ -323,6 +332,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "cache": args.cache or None,
         "timeout": args.timeout or None,
         "retries": args.retries,
+        "resume": args.resume,
+        "checkpoint_every": args.checkpoint_every or None,
     }
     try:
         output = run_experiment(args.id, runner)
@@ -383,13 +394,22 @@ def cmd_faults(args: argparse.Namespace) -> int:
         get_benchmark(name)  # unknown names exit 2 via the KeyError hook
     crash = [args.crash] if args.crash else []
     corrupt = [args.corrupt] if args.corrupt else []
-    if not any((args.crash, args.hang, args.flaky, args.corrupt)):
+    if not any(
+        (args.crash, args.hang, args.flaky, args.corrupt, args.kill)
+    ):
         # default demo: one worker dies hard, one cache entry is damaged
         crash = [names[0]]
         corrupt = [names[-1]]
+    kill = {}
+    if args.kill:
+        bench, _, events = args.kill.partition(":")
+        kill[bench] = int(events or 10_000)
+    # worker_kill proves checkpoint/resume, which needs an artifact store
+    # for the checkpoint directory and periodic snapshots to restore from
+    checkpoint_every = args.checkpoint_every or (2_000 if kill else None)
     state_dir = tempfile.mkdtemp(prefix="repro-faults-")
     cache_dir = args.cache or None
-    cache_is_temp = cache_dir is None and bool(corrupt)
+    cache_is_temp = cache_dir is None and bool(corrupt or kill)
     if cache_is_temp:
         cache_dir = tempfile.mkdtemp(prefix="repro-faults-cache-")
     flaky = {}
@@ -401,6 +421,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         worker_hang=(args.hang,) if args.hang else (),
         flaky=flaky,
         corrupt_trace=tuple(corrupt),
+        worker_kill=kill,
         hang_seconds=(args.timeout or 5.0) * 3,
         state_dir=state_dir,
     )
@@ -412,6 +433,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 timeout=args.timeout or None,
                 retries=args.retries,
+                checkpoint_every_events=checkpoint_every,
             )
             poisoned.prefetch(names)
         recovery = ExecutionEngine(
@@ -420,6 +442,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             timeout=args.timeout or None,
             retries=args.retries,
+            checkpoint_every_events=checkpoint_every,
         )
         recovered = recovery.prefetch(names)
     finally:
@@ -438,6 +461,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 "cache": args.cache or None,
                 "timeout": args.timeout or None,
                 "retries": args.retries,
+                "checkpoint_every": checkpoint_every,
             },
             {
                 "plan": json_mod.loads(plan.to_json()),
@@ -548,6 +572,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for benchmark simulation "
                        "(1 = sequential)")
     add_fault_tolerance(p_exp)
+    p_exp.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="EVENTS",
+                       help="snapshot simulator+pipeline state every N "
+                       "branch events so retried/killed jobs resume "
+                       "instead of cold-starting (needs --cache)")
+    p_exp.add_argument("--resume", action="store_true",
+                       help="skip benchmarks the run journal records as "
+                       "completed at these parameters (needs --cache)")
     add_json(p_exp)
 
     p_faults = sub.add_parser(
@@ -573,6 +605,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "N attempts (default 1)")
     p_faults.add_argument("--corrupt", default="",
                           help="benchmark whose stored trace is corrupted")
+    p_faults.add_argument("--kill", default="",
+                          help="NAME[:EVENTS] — benchmark whose worker is "
+                          "SIGKILLed once the bus has seen EVENTS branch "
+                          "events (default 10000); the retry resumes from "
+                          "the last checkpoint")
+    p_faults.add_argument("--checkpoint-every", type=int, default=0,
+                          metavar="EVENTS",
+                          help="checkpoint cadence in branch events "
+                          "(default: 2000 when --kill is given)")
     add_fault_tolerance(p_faults)
     add_json(p_faults)
 

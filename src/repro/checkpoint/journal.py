@@ -1,0 +1,154 @@
+"""The append-only suite run journal.
+
+``<cache>/journal.jsonl`` records one line per finished engine job —
+benchmark name, run parameters, the content digest of the stored
+artifacts, and outcome — flushed and fsynced per record, so the history
+survives the *driver* process dying, not just a worker.
+
+``repro experiment --resume`` replays the journal before scheduling
+work: a benchmark whose latest record (for the same scale/trace-limit
+parameters) is ``completed`` is loaded straight from the artifact store
+by its recorded digest and never re-simulated.  The journal is advisory
+provenance, not a second artifact index: if the recorded artifacts
+turn out to be missing or corrupt, the engine falls back to the normal
+simulate-or-cache path for that benchmark.
+
+Reads are tolerant: a torn trailing line (the driver died mid-append)
+or any unparsable line is skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+class RunJournal:
+    """Append-only, fsynced JSONL record of per-benchmark completion."""
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / self.FILENAME
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record durably (flush + fsync before returning).
+
+        A writer that died mid-line leaves a torn tail with no newline;
+        appending straight after it would fuse the new record into the
+        garbage line and lose *both*.  The tail is checked and terminated
+        first, so one torn line never costs more than itself.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write(line.encode("utf-8") + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_completed(
+        self,
+        benchmark: str,
+        digest: str,
+        scale: float,
+        trace_limit: Optional[int],
+        **extra: Any,
+    ) -> None:
+        self.append(
+            {
+                "status": "completed",
+                "benchmark": benchmark,
+                "digest": digest,
+                "scale": scale,
+                "trace_limit": trace_limit,
+                "ts": round(time.time(), 3),
+                **extra,
+            }
+        )
+
+    def record_failed(
+        self,
+        benchmark: str,
+        scale: float,
+        trace_limit: Optional[int],
+        error: Dict[str, Any],
+        **extra: Any,
+    ) -> None:
+        self.append(
+            {
+                "status": "failed",
+                "benchmark": benchmark,
+                "scale": scale,
+                "trace_limit": trace_limit,
+                "error": error,
+                "ts": round(time.time(), 3),
+                **extra,
+            }
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All parseable records, in append order.
+
+        Unparsable lines (torn tail from a dying writer, manual edits)
+        are skipped silently — the journal degrades to fewer skips,
+        never to a crash.
+        """
+        if not self.path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    out.append(record)
+        return out
+
+    def completed(
+        self, scale: float, trace_limit: Optional[int]
+    ) -> Dict[str, str]:
+        """benchmark -> artifact digest for finished work at these params.
+
+        The *latest* record per benchmark at these parameters wins, so a
+        later ``failed`` entry invalidates an earlier completion.
+        Records at other scales/limits are ignored entirely (they speak
+        about different artifacts).
+        """
+        latest: Dict[str, Optional[str]] = {}
+        for record in self.records():
+            benchmark = record.get("benchmark")
+            if not isinstance(benchmark, str):
+                continue
+            if (
+                record.get("scale") != scale
+                or record.get("trace_limit") != trace_limit
+            ):
+                continue
+            if record.get("status") == "completed" and isinstance(
+                record.get("digest"), str
+            ):
+                latest[benchmark] = record["digest"]
+            else:
+                latest[benchmark] = None
+        return {b: d for b, d in latest.items() if d is not None}
+
+
+__all__ = ["RunJournal"]

@@ -1,0 +1,235 @@
+"""The checkpointed simulation loop.
+
+:func:`run_simulation` replaces the one-shot
+:func:`~repro.workloads.build.run_workload` call inside engine jobs.  It
+executes the same program with the same bus, but drives the interpreter
+in *fuel slices* so there are periodic quiesced points — the executor
+syncs ``state.pc`` and its retired-instruction counter only when
+``Executor.run`` returns, so a checkpoint taken mid-hook would capture a
+stale machine.  Between slices the simulation is exactly restorable.
+
+A checkpoint is written whenever at least ``every_events`` new branch
+events have accumulated since the last one (measured on the bus, which
+counts every dynamic conditional branch).  On start-up the latest valid
+checkpoint for the job's stem is restored — machine, memory,
+environment, executor counters, the bus's staged partial chunk, and all
+consumer state — so the resumed run replays **zero** events and its
+chunk boundaries, profiles and traces are byte-identical to an
+uninterrupted run's.
+
+Slicing is semantically free: ``Executor.run`` accumulates counters
+across calls and raises :class:`~repro.sim.executor.FuelExhausted`
+whenever a (slice) budget runs out, which the loop treats as "slice
+over" until the overall fuel is spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..sim.executor import FuelExhausted
+from ..sim.machine import RunResult, Simulator
+from ..workloads.build import BuiltWorkload
+from .snapshot import (
+    restore_bus,
+    restore_simulator,
+    snapshot_bus,
+    snapshot_simulator,
+)
+from .store import CheckpointStore
+
+#: Default instructions per executor slice.  Small enough that the
+#: event-count checkpoint trigger and fault hooks are checked with fine
+#: granularity, large enough that the per-slice Python call overhead is
+#: noise against the interpreter's per-instruction cost.
+DEFAULT_SLICE_INSTRUCTIONS = 1 << 16
+
+#: Floor for auto-derived slice budgets, so a tiny ``every_events`` cannot
+#: degenerate into per-instruction Python dispatch.
+MIN_SLICE_INSTRUCTIONS = 1 << 10
+
+
+def slice_for_cadence(every_events: int) -> int:
+    """Instructions per slice for a checkpoint cadence of *every_events*.
+
+    Checkpoints (and fault hooks) only fire **between** slices, so the
+    slice budget bounds the achievable cadence: a 64 Ki-instruction slice
+    in a branch-dense workload can cross several thousand events at once,
+    silently coarsening a small ``every_events``.  Workloads here run
+    4-10 instructions per conditional branch, so ``every_events * 4``
+    instructions keeps slice boundaries at or below the requested event
+    cadence while staying well above the per-slice call overhead floor.
+    """
+    return max(
+        MIN_SLICE_INSTRUCTIONS,
+        min(DEFAULT_SLICE_INSTRUCTIONS, every_events * 4),
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often to checkpoint one simulation job.
+
+    ``slice_instructions`` defaults to 0, meaning "derive from
+    ``every_events``" via :func:`slice_for_cadence`.
+    """
+
+    store: CheckpointStore
+    stem: str
+    every_events: int
+    slice_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every_events < 1:
+            raise ValueError(
+                f"every_events must be >= 1, got {self.every_events}"
+            )
+        if self.slice_instructions < 0:
+            raise ValueError(
+                "slice_instructions must be >= 0 (0 = auto), got "
+                f"{self.slice_instructions}"
+            )
+        if self.slice_instructions == 0:
+            object.__setattr__(
+                self, "slice_instructions",
+                slice_for_cadence(self.every_events),
+            )
+
+
+@dataclass
+class SimulationOutcome:
+    """One job's run result plus its checkpoint/resume provenance."""
+
+    result: RunResult
+    checkpoints_written: int = 0
+    resumed_from_checkpoint: bool = False
+    resumed_events: int = 0
+    resumed_instructions: int = 0
+    corrupt_checkpoints: int = 0
+
+
+def _run_result(sim: Simulator) -> RunResult:
+    return RunResult(
+        instructions=sim.executor.instruction_count,
+        conditional_branches=sim.executor.conditional_branch_count,
+        taken_branches=sim.executor.taken_branch_count,
+        halted=sim.state.halted,
+        exit_code=sim.state.exit_code,
+        output=bytes(sim.environment.output),
+    )
+
+
+def run_simulation(
+    built: BuiltWorkload,
+    bus: Any,
+    config: Optional[CheckpointConfig] = None,
+    max_instructions: int = 0,
+    fault_plan: Optional[Any] = None,
+    benchmark: str = "",
+    in_worker: bool = False,
+) -> SimulationOutcome:
+    """Simulate *built* through *bus*, checkpointing and resuming.
+
+    Args:
+        built: the assembled workload.
+        bus: the simulator branch hook (normally a
+            :class:`~repro.pipeline.bus.BranchEventBus`); the caller
+            finishes it and reads consumer results afterwards.
+        config: checkpoint store/stem/cadence; None disables
+            checkpointing entirely (single executor slice, exactly the
+            historical ``run_workload`` behaviour).
+        max_instructions: fuel limit; 0 uses the spec's budget.
+        fault_plan: optional fault-injection plan; its ``on_events``
+            hook fires after every slice with the bus's live event
+            count (the ``worker_kill`` fault mode).
+        benchmark: benchmark tag passed to fault hooks.
+        in_worker: whether this runs in a sacrificial worker process.
+
+    Truncation by fuel is normal (mirrors ``run_workload``): the outcome
+    result reports ``halted=False`` rather than raising.
+    """
+    fuel = max_instructions or built.spec.fuel
+    sim = Simulator(
+        built.program,
+        input_data=built.input_data,
+        branch_hook=bus,
+        random_seed=built.spec.random_seed,
+    )
+    outcome = SimulationOutcome(result=_run_result(sim))
+    next_seq = 1
+    last_checkpoint_events = 0
+
+    if config is not None:
+        loaded = config.store.load_latest(config.stem)
+        outcome.corrupt_checkpoints = len(config.store.corrupt_events)
+        if loaded is not None:
+            header, payload = loaded
+            try:
+                restore_simulator(sim, payload["sim"])
+                restore_bus(bus, payload["bus"])
+            except Exception as exc:
+                # Verified container but unrestorable content (e.g. the
+                # bus consumer set changed): quarantine and cold-start.
+                config.store.quarantine(
+                    config.stem,
+                    int(header["seq"]),
+                    f"restore failed: {type(exc).__name__}: {exc}",
+                )
+                outcome.corrupt_checkpoints += 1
+                sim = Simulator(
+                    built.program,
+                    input_data=built.input_data,
+                    branch_hook=bus,
+                    random_seed=built.spec.random_seed,
+                )
+            else:
+                outcome.resumed_from_checkpoint = True
+                outcome.resumed_events = bus.stats.events
+                outcome.resumed_instructions = sim.executor.instruction_count
+                next_seq = int(header["seq"]) + 1
+                last_checkpoint_events = bus.stats.events
+
+    slice_budget = (
+        config.slice_instructions if config is not None else fuel
+    )
+    remaining = fuel - sim.executor.instruction_count
+    while not sim.state.halted and remaining > 0:
+        try:
+            sim.executor.run(min(slice_budget, remaining))
+        except FuelExhausted:
+            pass  # slice budget spent; the loop decides whether to go on
+        remaining = fuel - sim.executor.instruction_count
+        if fault_plan is not None:
+            fault_plan.on_events(benchmark, bus.stats.events, in_worker)
+        if (
+            config is not None
+            and not sim.state.halted
+            and remaining > 0
+            and bus.stats.events - last_checkpoint_events
+            >= config.every_events
+        ):
+            payload = {
+                "sim": snapshot_simulator(sim),
+                "bus": snapshot_bus(bus),
+            }
+            meta: Dict[str, object] = {
+                "benchmark": benchmark,
+                "events": bus.stats.events,
+                "instructions": sim.executor.instruction_count,
+            }
+            config.store.put(config.stem, next_seq, payload, meta)
+            next_seq += 1
+            outcome.checkpoints_written += 1
+            last_checkpoint_events = bus.stats.events
+
+    outcome.result = _run_result(sim)
+    return outcome
+
+
+__all__ = [
+    "CheckpointConfig",
+    "DEFAULT_SLICE_INSTRUCTIONS",
+    "SimulationOutcome",
+    "run_simulation",
+]

@@ -1,0 +1,250 @@
+"""Versioned, checksummed, crash-safe checkpoint files.
+
+One checkpoint file holds the complete mid-run state of one simulation
+job (machine, environment, bus, consumers) at a quiesced point.  The
+on-disk format is a self-describing container::
+
+    RPROCKPT\\n                         magic (8 bytes + newline)
+    {"version": 1, "seq": 3, ...}\\n    JSON header line
+    <pickle payload>                   the snapshot object
+
+The header carries the format version, the job stem, the sequence
+number, provenance counters (events/instructions) and the SHA-256 and
+length of the payload, so a reader can reject a truncated, torn or
+bit-flipped file before unpickling a single byte.
+
+Robustness mirrors :class:`~repro.eval.engine.ArtifactStore`:
+
+* writes stage to a private temp file, fsync, then commit with one
+  ``os.replace`` — a killed writer can never leave a torn checkpoint
+  under the final name;
+* reads verify magic, version, stem, length and checksum; *any* defect
+  moves the file to ``<root>/quarantine/`` (bounded — old entries are
+  pruned) and the loader falls back to the previous sequence number,
+  then to a cold start;
+* retention keeps only the newest ``keep`` sequence numbers per job, so
+  long runs cannot fill the disk with history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CheckpointCorrupt
+
+#: Format magic; the trailing newline keeps the header greppable.
+CHECKPOINT_MAGIC = b"RPROCKPT\n"
+
+#: Bump on any backwards-incompatible change to the container or to the
+#: snapshot payload layout.  Old-version files read as corrupt (they are
+#: quarantined and the run cold-starts) rather than mis-restoring.
+CHECKPOINT_VERSION = 1
+
+#: Pickle protocol for payloads (stable, supports large numpy buffers).
+_PICKLE_PROTOCOL = 4
+
+
+def prune_directory(root: Path, keep: int) -> int:
+    """Delete all but the newest *keep* regular files under *root*.
+
+    Newness is (mtime, name); removal errors are ignored (another
+    process may prune concurrently).  Returns the number of files
+    removed.  Shared by the checkpoint and artifact quarantines so no
+    quarantine directory grows without bound.
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be non-negative, got {keep}")
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    entries = [p for p in root.iterdir() if p.is_file()]
+    entries.sort(key=lambda p: (p.stat().st_mtime, p.name), reverse=True)
+    removed = 0
+    for stale in entries[keep:]:
+        try:
+            stale.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+class CheckpointStore:
+    """Sequence-numbered checkpoint files for simulation jobs.
+
+    Files are named ``<stem>.<seq:08d>.ckpt`` under one root directory;
+    *stem* is the owning job's artifact stem (benchmark tag + content
+    digest), so checkpoints invalidate with the same discipline as
+    artifacts: a kernel edit changes the digest and orphans old
+    checkpoints instead of resuming from the wrong program.
+    """
+
+    SUFFIX = ".ckpt"
+
+    #: checkpoints kept per job (the newest one plus a fallback).
+    KEEP = 2
+
+    #: subdirectory corrupt checkpoints are moved to.
+    QUARANTINE_DIR = "quarantine"
+
+    #: bound on quarantined checkpoint files kept for post-mortem.
+    QUARANTINE_KEEP = 16
+
+    def __init__(self, root: Path, keep: int = KEEP) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.root = Path(root)
+        self.keep = keep
+        #: corruption events observed by this store instance.
+        self.corrupt_events: List[CheckpointCorrupt] = []
+
+    def path(self, stem: str, seq: int) -> Path:
+        return self.root / f"{stem}.{seq:08d}{self.SUFFIX}"
+
+    def sequences(self, stem: str) -> List[int]:
+        """Existing sequence numbers for *stem*, ascending."""
+        prefix = f"{stem}."
+        found = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.glob(f"{stem}.*{self.SUFFIX}"):
+            tail = path.name[len(prefix):-len(self.SUFFIX)]
+            if tail.isdigit():
+                found.append(int(tail))
+        return sorted(found)
+
+    # -- writing -------------------------------------------------------------
+
+    def put(
+        self,
+        stem: str,
+        seq: int,
+        payload: object,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Serialise and commit one checkpoint atomically.
+
+        The payload is pickled immediately (snapshot views over live
+        state are therefore safe to pass), checksummed into the header,
+        staged to a temp file, fsynced, and moved into place with
+        ``os.replace``.  Older sequence numbers beyond the retention
+        window are pruned after the commit.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path(stem, seq)
+        blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "stem": stem,
+            "seq": seq,
+            "payload_bytes": len(blob),
+            "payload_sha256": hashlib.sha256(blob).hexdigest(),
+            **(meta or {}),
+        }
+        stage = self.root / f".stage-{os.getpid()}-{final.name}"
+        with open(stage, "wb") as fh:
+            fh.write(CHECKPOINT_MAGIC)
+            fh.write(json.dumps(header).encode("utf-8"))
+            fh.write(b"\n")
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(stage, final)
+        self._prune(stem)
+        return final
+
+    def _prune(self, stem: str) -> None:
+        for seq in self.sequences(stem)[: -self.keep]:
+            try:
+                self.path(stem, seq).unlink()
+            except OSError:
+                continue
+
+    # -- reading -------------------------------------------------------------
+
+    def _read_verified(
+        self, stem: str, seq: int
+    ) -> Tuple[Dict[str, object], object]:
+        """(header, payload) for one file; raises on any defect."""
+        raw = self.path(stem, seq).read_bytes()
+        if not raw.startswith(CHECKPOINT_MAGIC):
+            raise ValueError("bad checkpoint magic")
+        newline = raw.find(b"\n", len(CHECKPOINT_MAGIC))
+        if newline < 0:
+            raise ValueError("truncated checkpoint header")
+        header = json.loads(raw[len(CHECKPOINT_MAGIC):newline])
+        if int(header["version"]) != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {header['version']} "
+                f"!= {CHECKPOINT_VERSION}"
+            )
+        if header["stem"] != stem:
+            raise ValueError("checkpoint stem does not match its filename")
+        blob = raw[newline + 1:]
+        if len(blob) != int(header["payload_bytes"]):
+            raise ValueError(
+                f"payload is {len(blob)} bytes, header promises "
+                f"{header['payload_bytes']} (truncated write?)"
+            )
+        if hashlib.sha256(blob).hexdigest() != header["payload_sha256"]:
+            raise ValueError("payload checksum mismatch")
+        return header, pickle.loads(blob)
+
+    def quarantine(self, stem: str, seq: int, reason: str) -> None:
+        """Move one bad checkpoint aside and record the event."""
+        path = self.path(stem, seq)
+        quarantine_root = self.root / self.QUARANTINE_DIR
+        moved = []
+        if path.exists():
+            quarantine_root.mkdir(parents=True, exist_ok=True)
+            target = quarantine_root / path.name
+            os.replace(path, target)
+            moved.append(str(target))
+            prune_directory(quarantine_root, self.QUARANTINE_KEEP)
+        self.corrupt_events.append(
+            CheckpointCorrupt(
+                f"corrupt checkpoint {path.name}: {reason}",
+                stem=stem,
+                seq=seq,
+                quarantined=moved,
+            )
+        )
+
+    def load_latest(
+        self, stem: str
+    ) -> Optional[Tuple[Dict[str, object], object]]:
+        """The newest checkpoint for *stem* that verifies, or None.
+
+        Tries sequence numbers newest-first; each corrupt file is
+        quarantined and the previous one is tried, so a torn final
+        checkpoint degrades to the one before it, and a job whose every
+        checkpoint is damaged degrades to a cold start — corruption is
+        *reported* via :attr:`corrupt_events`, never raised.
+        """
+        for seq in reversed(self.sequences(stem)):
+            try:
+                return self._read_verified(stem, seq)
+            except Exception as exc:
+                self.quarantine(stem, seq, f"{type(exc).__name__}: {exc}")
+        return None
+
+    def clear(self, stem: str) -> None:
+        """Drop every checkpoint for *stem* (the job completed)."""
+        for seq in self.sequences(stem):
+            try:
+                self.path(stem, seq).unlink()
+            except OSError:
+                continue
+
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "prune_directory",
+]

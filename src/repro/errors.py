@@ -9,6 +9,7 @@ Layers::
 
     ReproError                      — root; carries a message + context dict
     ├── ArtifactCorrupt             — cache entry failed verification/load
+    ├── CheckpointCorrupt           — checkpoint file failed verification
     ├── JobFailed                   — one engine job exhausted its retries
     │   └── JobTimeout              — ... by exceeding its wall-clock budget
     ├── SuiteDegraded               — *every* benchmark of a run failed
@@ -69,6 +70,17 @@ class ArtifactCorrupt(ReproError):
     """
 
     code = "artifact_corrupt"
+
+
+class CheckpointCorrupt(ReproError):
+    """A simulation checkpoint failed magic/version/checksum verification.
+
+    The checkpoint store reports these as misses (quarantining the bad
+    file) so a damaged checkpoint costs falling back to the previous
+    sequence number — or, at worst, a cold start — never an aborted run.
+    """
+
+    code = "checkpoint_corrupt"
 
 
 class JobFailed(ReproError):
@@ -142,6 +154,7 @@ def error_to_dict(exc: BaseException) -> Dict[str, Any]:
 __all__ = [
     "ArtifactCorrupt",
     "AsmSyntaxError",
+    "CheckpointCorrupt",
     "EncodingError",
     "FuelExhausted",
     "JobFailed",

@@ -45,6 +45,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    RunJournal,
+    prune_directory,
+    run_simulation,
+)
 from ..errors import (
     ArtifactCorrupt,
     JobFailed,
@@ -169,7 +176,7 @@ class JobResult:
 
     spec: JobSpec
     digest: str
-    source: str  # "store" | "simulated" | "resimulated" | "failed"
+    source: str  # "store" | "simulated" | "resimulated" | "journal" | "failed"
     seconds: float
     artifacts: Optional[RunArtifacts] = None
     error: Optional[ReproError] = None
@@ -178,6 +185,13 @@ class JobResult:
     #: per-consumer observability counters when the job simulated
     #: through the event bus (None on store hits and failures).
     pipeline: Optional[PipelineStats] = None
+    #: checkpoint files written during this job's simulation.
+    checkpoints_written: int = 0
+    #: True when the simulation restored from a checkpoint instead of
+    #: starting from instruction zero.
+    resumed: bool = False
+    #: quarantine files age-pruned by the artifact store during the job.
+    quarantine_pruned: int = 0
 
 
 class ArtifactStore:
@@ -212,10 +226,17 @@ class ArtifactStore:
     #: subdirectory corrupt entries are moved to.
     QUARANTINE_DIR = "quarantine"
 
+    #: bound on quarantined files kept for post-mortem; older ones are
+    #: pruned whenever a new entry is quarantined, so the directory can
+    #: never grow without limit across long suite runs.
+    QUARANTINE_KEEP = 24
+
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
         #: corruption events observed by this store instance.
         self.corrupt_events: List[ArtifactCorrupt] = []
+        #: quarantined files pruned (age-bound) by this store instance.
+        self.pruned_entries: int = 0
 
     def stem(self, spec: JobSpec, digest: str) -> str:
         return f"{spec.tag()}-{digest[: self.DIGEST_CHARS]}"
@@ -252,6 +273,10 @@ class ArtifactStore:
             target = quarantine_root / path.name
             os.replace(path, target)
             moved.append(str(target))
+        if moved:
+            self.pruned_entries += prune_directory(
+                quarantine_root, self.QUARANTINE_KEEP
+            )
         error = ArtifactCorrupt(
             f"corrupt cache entry for {spec.name}: {reason}",
             benchmark=spec.name,
@@ -367,8 +392,12 @@ class ArtifactStore:
             stage.rmdir()
 
 
+#: subdirectory of the cache root holding simulation checkpoints.
+CHECKPOINT_SUBDIR = "checkpoints"
+
+
 def _execute_job(
-    payload: Tuple[JobSpec, Optional[str], bool]
+    payload: Tuple[JobSpec, Optional[str], bool, Optional[int]]
 ) -> JobResult:
     """Run one job end to end (pool worker; must stay module-level).
 
@@ -376,11 +405,20 @@ def _execute_job(
     stores.  With a store the result carries no arrays — the parent
     reloads them by digest — so the pickle pipe stays small.
 
+    With a checkpoint cadence (``checkpoint_every`` events) and a store,
+    the simulation runs through the sliced checkpoint runner: it resumes
+    from the latest valid checkpoint for this job's stem, writes new
+    ones as it goes, and clears them once the artifacts are safely in
+    the store.  A retried/killed job therefore continues where the
+    previous attempt stopped instead of restarting from instruction
+    zero.
+
     An installed :class:`~repro.eval.faults.FaultPlan` is honoured here:
-    crash/hang/flaky faults fire before the build, corruption faults
-    right after the artifacts are stored.
+    crash/hang/flaky faults fire before the build, ``worker_kill`` fires
+    from the checkpointed runner's slice loop, corruption faults right
+    after the artifacts are stored.
     """
-    spec, cache_root, in_worker = payload
+    spec, cache_root, in_worker, checkpoint_every = payload
     started = time.perf_counter()
     plan = faults.active_plan()
     if plan is not None:
@@ -388,20 +426,49 @@ def _execute_job(
     built = build_workload(get_benchmark(spec.name, scale=spec.scale))
     digest = artifact_digest(built, trace_limit=spec.trace_limit)
     store = ArtifactStore(Path(cache_root)) if cache_root else None
+    ckpt_store = None
+    stem = ""
+    if checkpoint_every is not None and store is not None:
+        stem = store.stem(spec, digest)
+        ckpt_store = CheckpointStore(Path(cache_root) / CHECKPOINT_SUBDIR)
     if store is not None and store.verify(spec, digest):
+        if ckpt_store is not None:
+            ckpt_store.clear(stem)  # artifacts exist; drop stale state
         return JobResult(
             spec=spec,
             digest=digest,
             source="store",
             seconds=time.perf_counter() - started,
             quarantined=len(store.corrupt_events),
+            quarantine_pruned=store.pruned_entries,
         )
     # one pass: the bus fans each branch event to the profiler and the
     # chunked trace builder together (no capture-then-replay)
     profiler = InterleaveConsumer(label=spec.name)
     builder = TraceBuilder(label=spec.name)
     bus = BranchEventBus([profiler, builder], limit=spec.trace_limit)
-    result = run_workload(built, branch_hook=bus)
+    checkpoints_written = 0
+    resumed = False
+    checkpoint_quarantined = 0
+    if ckpt_store is not None:
+        outcome = run_simulation(
+            built,
+            bus,
+            config=CheckpointConfig(
+                store=ckpt_store,
+                stem=stem,
+                every_events=checkpoint_every,
+            ),
+            fault_plan=plan,
+            benchmark=spec.name,
+            in_worker=in_worker,
+        )
+        result = outcome.result
+        checkpoints_written = outcome.checkpoints_written
+        resumed = outcome.resumed_from_checkpoint
+        checkpoint_quarantined = len(ckpt_store.corrupt_events)
+    else:
+        result = run_workload(built, branch_hook=bus)
     pipeline = bus.finish()
     trace = builder.result
     profile = profiler.result
@@ -415,6 +482,8 @@ def _execute_job(
     )
     if store is not None:
         store.put(spec, digest, artifacts)
+        if ckpt_store is not None:
+            ckpt_store.clear(stem)  # the artifacts are the durable state now
         if plan is not None:
             trace_path, _, meta_path = store.paths(spec, digest)
             plan.on_artifacts_stored(spec.name, trace_path, meta_path)
@@ -425,8 +494,14 @@ def _execute_job(
         source="simulated",
         seconds=time.perf_counter() - started,
         artifacts=artifacts,
-        quarantined=len(store.corrupt_events) if store is not None else 0,
+        quarantined=(
+            len(store.corrupt_events) if store is not None else 0
+        )
+        + checkpoint_quarantined,
         pipeline=pipeline,
+        checkpoints_written=checkpoints_written,
+        resumed=resumed,
+        quarantine_pruned=store.pruned_entries if store is not None else 0,
     )
 
 
@@ -459,6 +534,13 @@ class EngineStats:
     retried: int = 0
     timeouts: int = 0
     quarantined: int = 0
+    #: checkpoint/resume counters (schema v4).
+    checkpoints_written: int = 0
+    resumed_from_checkpoint: int = 0
+    #: benchmarks loaded straight from the run journal (--resume).
+    journal_skips: int = 0
+    #: quarantine files age-pruned to keep the directory bounded.
+    quarantine_pruned: int = 0
     #: fused one-pass profile+predict runs vs replays of a cached trace.
     fused_runs: int = 0
     replayed_runs: int = 0
@@ -471,6 +553,10 @@ class EngineStats:
 
     def record(self, result: JobResult) -> None:
         self.quarantined += result.quarantined
+        self.quarantine_pruned += result.quarantine_pruned
+        self.checkpoints_written += result.checkpoints_written
+        if result.resumed:
+            self.resumed_from_checkpoint += 1
         self.retried += max(0, result.attempts - 1)
         if result.pipeline is not None:
             self.pipeline.merge(result.pipeline)
@@ -483,6 +569,8 @@ class EngineStats:
             )
         elif result.source == "store":
             self.store_hits += 1
+        elif result.source == "journal":
+            self.journal_skips += 1
         else:
             self.simulated += 1
         self.job_seconds[result.spec.name] = result.seconds
@@ -504,6 +592,10 @@ class EngineStats:
             "retried": self.retried,
             "timeouts": self.timeouts,
             "quarantined": self.quarantined,
+            "checkpoints_written": self.checkpoints_written,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            "journal_skips": self.journal_skips,
+            "quarantine_pruned": self.quarantine_pruned,
             "fused_runs": self.fused_runs,
             "replayed_runs": self.replayed_runs,
             "pipeline": self.pipeline.as_dict(),
@@ -533,6 +625,12 @@ class EngineStats:
         lines.append(
             f"  faults: {self.failed} failed, {self.retried} retried, "
             f"{self.timeouts} timed out, {self.quarantined} quarantined"
+        )
+        lines.append(
+            f"  resume: {self.checkpoints_written} checkpoint(s) written, "
+            f"{self.resumed_from_checkpoint} resumed, "
+            f"{self.journal_skips} journal skip(s), "
+            f"{self.quarantine_pruned} quarantine file(s) pruned"
         )
         for failure in self.failures:
             lines.append(
@@ -564,6 +662,13 @@ class ExecutionEngine:
         retries: extra attempts per failed job before it is recorded as
             a failure.
         retry_backoff: base delay between attempts, doubled per retry.
+        checkpoint_every_events: write a simulation checkpoint whenever
+            this many new branch events have accumulated, so retried,
+            timed-out or killed jobs resume mid-run instead of
+            restarting (requires ``cache_dir``; None disables).
+        resume: consult the cache's run journal first and skip
+            benchmarks whose completion it records (requires
+            ``cache_dir``).
     """
 
     def __init__(
@@ -575,11 +680,29 @@ class ExecutionEngine:
         timeout: Optional[float] = None,
         retries: int = 1,
         retry_backoff: float = 0.05,
+        checkpoint_every_events: Optional[int] = None,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if checkpoint_every_events is not None:
+            if checkpoint_every_events < 1:
+                raise ValueError(
+                    "checkpoint_every_events must be >= 1, got "
+                    f"{checkpoint_every_events}"
+                )
+            if cache_dir is None:
+                raise ValueError(
+                    "checkpoint_every_events requires a cache_dir "
+                    "(checkpoints live under the cache root)"
+                )
+        if resume and cache_dir is None:
+            raise ValueError(
+                "resume requires a cache_dir (the run journal lives "
+                "under the cache root)"
+            )
         self.scale = scale
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.trace_limit = trace_limit
@@ -587,8 +710,15 @@ class ExecutionEngine:
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.checkpoint_every_events = checkpoint_every_events
+        self.resume = resume
         self.store = (
             ArtifactStore(self.cache_dir)
+            if self.cache_dir is not None
+            else None
+        )
+        self.journal = (
+            RunJournal(self.cache_dir)
             if self.cache_dir is not None
             else None
         )
@@ -790,6 +920,28 @@ class ExecutionEngine:
             n for n in wanted
             if n not in self._memo and n not in self.failures
         ]
+        if self.resume and self.journal is not None and missing:
+            # Replay the run journal first: benchmarks it records as
+            # completed load straight from the store (in-process — no
+            # worker spawn) and drop out of the pool pass.  A journaled
+            # entry whose artifacts turn out damaged falls back to a
+            # resimulation inside _absorb.
+            completed = self.journal.completed(self.scale, self.trace_limit)
+            remaining = []
+            for name in missing:
+                digest = completed.get(name)
+                if digest is None:
+                    remaining.append(name)
+                    continue
+                self._absorb(
+                    JobResult(
+                        spec=self.job(name),
+                        digest=digest,
+                        source="journal",
+                        seconds=0.0,
+                    )
+                )
+            missing = remaining
         if self.jobs > 1 and len(missing) > 1:
             self._run_parallel(missing)
         else:
@@ -826,10 +978,31 @@ class ExecutionEngine:
         so the first retry — attempt 2 — waits one base interval)."""
         return self.retry_backoff * (2 ** (attempt - 2))
 
+    def _journal_digest(self, name: str) -> Optional[str]:
+        """The journal-recorded artifact digest for *name*, if resuming."""
+        if not self.resume or self.journal is None:
+            return None
+        return self.journal.completed(self.scale, self.trace_limit).get(
+            name
+        )
+
     def _run_sequential_job(self, name: str) -> JobResult:
         """Run one job in-process with the retry policy, then absorb it."""
         spec = self.job(name)
-        payload = (spec, self._cache_root(), False)
+        journal_digest = self._journal_digest(name)
+        if journal_digest is not None:
+            # Recorded as completed: load straight from the store by the
+            # journaled digest.  _absorb's load path falls back to a
+            # resimulation if the artifacts turn out to be damaged.
+            return self._absorb(
+                JobResult(
+                    spec=spec,
+                    digest=journal_digest,
+                    source="journal",
+                    seconds=0.0,
+                )
+            )
+        payload = (spec, self._cache_root(), False, self.checkpoint_every_events)
         started = time.perf_counter()
         attempt = 0
         while True:
@@ -922,7 +1095,15 @@ class ExecutionEngine:
                 receiver, sender = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_worker_entry,
-                    args=(sender, (spec, cache_root, True)),
+                    args=(
+                        sender,
+                        (
+                            spec,
+                            cache_root,
+                            True,
+                            self.checkpoint_every_events,
+                        ),
+                    ),
                     daemon=True,
                 )
                 process.start()
@@ -997,10 +1178,11 @@ class ExecutionEngine:
                 time.sleep(_POLL_SECONDS)
 
     def _absorb(self, result: JobResult) -> JobResult:
-        """Fold one job outcome into memo/failures and the stats."""
+        """Fold one job outcome into memo/failures, stats and the journal."""
         if result.error is not None:
             self.failures[result.spec.name] = result.error
             self.stats.record(result)
+            self._journal_outcome(result)
             return result
         artifacts = result.artifacts
         if artifacts is None:
@@ -1011,6 +1193,7 @@ class ExecutionEngine:
                     benchmark=result.spec.name,
                 )
             before = len(self.store.corrupt_events)
+            before_pruned = self.store.pruned_entries
             try:
                 artifacts, result = self._load_or_resimulate(result)
             except ArtifactCorrupt as exc:
@@ -1022,14 +1205,46 @@ class ExecutionEngine:
                     error=exc,
                     quarantined=result.quarantined
                     + len(self.store.corrupt_events) - before,
+                    quarantine_pruned=result.quarantine_pruned
+                    + self.store.pruned_entries - before_pruned,
                 )
                 self.failures[result.spec.name] = exc
                 self.stats.record(result)
+                self._journal_outcome(result)
                 return result
         self._memo[result.spec.name] = artifacts
         self._digests[result.spec.name] = result.digest
         self.stats.record(result)
+        self._journal_outcome(result)
         return result
+
+    def _journal_outcome(self, result: JobResult) -> None:
+        """Append one finished job to the run journal (durable record).
+
+        Journal hits are not re-journaled (the completion is already on
+        record); journal writes never fail the job they describe.
+        """
+        if self.journal is None or result.source == "journal":
+            return
+        try:
+            if result.error is not None:
+                self.journal.record_failed(
+                    result.spec.name,
+                    self.scale,
+                    self.trace_limit,
+                    error_to_dict(result.error),
+                )
+            else:
+                self.journal.record_completed(
+                    result.spec.name,
+                    result.digest,
+                    self.scale,
+                    self.trace_limit,
+                    source=result.source,
+                    resumed=result.resumed,
+                )
+        except OSError:
+            pass  # a full/readonly disk must not fail a finished job
 
     def _load_or_resimulate(
         self, result: JobResult
@@ -1048,13 +1263,24 @@ class ExecutionEngine:
         """
         store = self.store
         before = len(store.corrupt_events)
+        before_pruned = store.pruned_entries
         artifacts = store.load(result.spec, result.digest)
         quarantined = len(store.corrupt_events) - before
+        pruned = store.pruned_entries - before_pruned
         if artifacts is not None:
             return artifacts, dataclasses.replace(
-                result, quarantined=result.quarantined + quarantined
+                result,
+                quarantined=result.quarantined + quarantined,
+                quarantine_pruned=result.quarantine_pruned + pruned,
             )
-        rerun = _execute_job((result.spec, self._cache_root(), False))
+        rerun = _execute_job(
+            (
+                result.spec,
+                self._cache_root(),
+                False,
+                self.checkpoint_every_events,
+            )
+        )
         artifacts = rerun.artifacts
         if artifacts is None:
             artifacts = store.load(rerun.spec, rerun.digest)
@@ -1071,6 +1297,12 @@ class ExecutionEngine:
             digest=rerun.digest,
             seconds=result.seconds + rerun.seconds,
             quarantined=result.quarantined + quarantined + rerun.quarantined,
+            quarantine_pruned=result.quarantine_pruned
+            + pruned
+            + rerun.quarantine_pruned,
+            checkpoints_written=result.checkpoints_written
+            + rerun.checkpoints_written,
+            resumed=result.resumed or rerun.resumed,
         )
 
 
@@ -1101,6 +1333,7 @@ def surviving_benchmarks(runner, names: Iterable[str]) -> List[str]:
 
 __all__ = [
     "ArtifactStore",
+    "CHECKPOINT_SUBDIR",
     "DIGEST_VERSION",
     "EngineStats",
     "ExecutionEngine",

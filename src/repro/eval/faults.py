@@ -14,6 +14,13 @@ faults the engine must survive:
 * ``corrupt_trace`` / ``corrupt_meta`` — the job's stored ``.trace.npz``
   / ``.meta.json`` is corrupted on disk right after it is written,
   exercising verification, quarantine and resimulation.
+* ``worker_kill`` — the worker SIGKILLs itself mid-simulation once the
+  bus has seen a given number of branch events (in-process runs raise
+  instead), exercising checkpoint/resume: the retried attempt must
+  restore the dead worker's last checkpoint and continue, producing
+  artifacts byte-identical to an uninterrupted run.  Fires once per
+  benchmark (kill-once markers under ``state_dir``), so the resumed
+  attempt is not killed again at the same threshold.
 
 Plans cross the process boundary via the ``REPRO_FAULTS`` environment
 variable (JSON), so pool workers inherit them automatically; ``flaky``
@@ -67,9 +74,12 @@ class FaultPlan:
         flaky: benchmark -> number of leading attempts that must fail.
         corrupt_trace: benchmarks whose stored trace is corrupted on put.
         corrupt_meta: benchmarks whose meta sidecar is corrupted on put.
+        worker_kill: benchmark -> branch-event count at which the worker
+            SIGKILLs itself mid-simulation (once; needs ``state_dir``).
         hang_seconds: sleep length for ``worker_hang``.
-        state_dir: directory for cross-process flaky attempt counters
-            (required when ``flaky`` is non-empty).
+        state_dir: directory for cross-process flaky attempt counters and
+            kill-once markers (required when ``flaky`` or ``worker_kill``
+            is non-empty).
     """
 
     worker_crash: Tuple[str, ...] = ()
@@ -77,12 +87,17 @@ class FaultPlan:
     flaky: Dict[str, int] = field(default_factory=dict)
     corrupt_trace: Tuple[str, ...] = ()
     corrupt_meta: Tuple[str, ...] = ()
+    worker_kill: Dict[str, int] = field(default_factory=dict)
     hang_seconds: float = DEFAULT_HANG_SECONDS
     state_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.flaky and not self.state_dir:
             raise ValueError("flaky faults need state_dir for counters")
+        if self.worker_kill and not self.state_dir:
+            raise ValueError(
+                "worker_kill faults need state_dir for kill-once markers"
+            )
 
     # -- serialisation ------------------------------------------------------
 
@@ -94,6 +109,7 @@ class FaultPlan:
                 "flaky": dict(self.flaky),
                 "corrupt_trace": list(self.corrupt_trace),
                 "corrupt_meta": list(self.corrupt_meta),
+                "worker_kill": dict(self.worker_kill),
                 "hang_seconds": self.hang_seconds,
                 "state_dir": self.state_dir,
             }
@@ -110,6 +126,10 @@ class FaultPlan:
             },
             corrupt_trace=tuple(payload.get("corrupt_trace", ())),
             corrupt_meta=tuple(payload.get("corrupt_meta", ())),
+            worker_kill={
+                str(k): int(v)
+                for k, v in payload.get("worker_kill", {}).items()
+            },
             hang_seconds=float(
                 payload.get("hang_seconds", DEFAULT_HANG_SECONDS)
             ),
@@ -166,6 +186,45 @@ class FaultPlan:
                 continue
             return True
         return False
+
+    def on_events(
+        self, benchmark: str, events: int, in_worker: bool
+    ) -> None:
+        """Fire the ``worker_kill`` fault once *events* reach its threshold.
+
+        Called by the checkpointed simulation loop between executor
+        slices with the bus's live branch-event count.  The kill is
+        deterministic in event time (not wall-clock) and fires at most
+        once per benchmark: a marker file under ``state_dir`` is claimed
+        atomically before dying, so the retried attempt — which resumes
+        past the threshold — is not killed again.
+
+        Raises:
+            InjectedFault: in-process runs, where SIGKILLing the current
+                process would take down the caller itself.
+        """
+        threshold = self.worker_kill.get(benchmark)
+        if threshold is None or events < threshold:
+            return
+        if not self._claim_kill(benchmark):
+            return
+        if in_worker:
+            os.kill(os.getpid(), 9)  # SIGKILL: no cleanup, no atexit
+        raise InjectedFault(
+            f"injected worker kill for {benchmark} at {events} events",
+            benchmark=benchmark, fault="worker_kill", events=events,
+        )
+
+    def _claim_kill(self, benchmark: str) -> bool:
+        """Atomically claim the one allowed kill for *benchmark*."""
+        state = Path(self.state_dir)  # validated in __post_init__
+        state.mkdir(parents=True, exist_ok=True)
+        marker = state / f"kill-{benchmark}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
 
     def on_artifacts_stored(
         self, benchmark: str, trace_path: Path, meta_path: Path

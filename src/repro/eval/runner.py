@@ -42,6 +42,8 @@ class BenchmarkRunner:
         timeout: Optional[float] = None,
         retries: int = 1,
         retry_backoff: float = 0.05,
+        checkpoint_every_events: Optional[int] = None,
+        resume: bool = False,
     ) -> None:
         """
         Args:
@@ -57,6 +59,11 @@ class BenchmarkRunner:
             retries: extra attempts per failed job before it is recorded
                 as a failure.
             retry_backoff: base delay between attempts, doubled per retry.
+            checkpoint_every_events: write a simulation checkpoint every
+                this many branch events so interrupted jobs resume
+                mid-run (requires ``cache_dir``; None disables).
+            resume: skip benchmarks the cache's run journal records as
+                completed (requires ``cache_dir``).
         """
         self._engine = ExecutionEngine(
             scale=scale,
@@ -66,6 +73,8 @@ class BenchmarkRunner:
             timeout=timeout,
             retries=retries,
             retry_backoff=retry_backoff,
+            checkpoint_every_events=checkpoint_every_events,
+            resume=resume,
         )
 
     # -- engine passthroughs ---------------------------------------------------

@@ -50,6 +50,12 @@ class EventConsumer(Protocol):
     Consumers see every chunk in program order via :meth:`on_chunk` and
     produce their artifact in :meth:`finish`.  They must not mutate the
     chunk (its arrays may be views into a shared trace).
+
+    Consumers may additionally implement the optional checkpoint hook
+    pair ``snapshot_state() -> object`` / ``restore_state(state)`` so
+    mid-run state survives a worker kill (see
+    :mod:`repro.checkpoint.snapshot`); consumers without the hooks are
+    snapshotted via their instance ``__dict__``.
     """
 
     def on_chunk(self, chunk: "EventChunk") -> None:

@@ -61,6 +61,15 @@ class InterleaveConsumer:
         self.result = self._analyzer.finish()
         return self.result
 
+    # -- checkpoint hooks (see repro.checkpoint.snapshot) --------------------
+
+    def snapshot_state(self) -> object:
+        return self._analyzer
+
+    def restore_state(self, state: object) -> None:
+        self._analyzer = state  # type: ignore[assignment]
+        self.result = None
+
 
 class PredictorConsumer:
     """Feeds one predictor and accumulates its prediction statistics.
@@ -128,6 +137,24 @@ class PredictorConsumer:
         self.result = self._stats
         return self.result
 
+    # -- checkpoint hooks (see repro.checkpoint.snapshot) --------------------
+
+    def snapshot_state(self) -> object:
+        # The predictor object itself is snapshotted: its tables are
+        # arbitrary per-implementation attributes (numpy arrays, ints)
+        # that the checkpoint store pickles wholesale.
+        return {
+            "predictor": self.predictor,
+            "stats": self._stats,
+            "offset": self._offset,
+        }
+
+    def restore_state(self, state: object) -> None:
+        self.predictor = state["predictor"]  # type: ignore[index]
+        self._stats = state["stats"]  # type: ignore[index]
+        self._offset = state["offset"]  # type: ignore[index]
+        self.result = None
+
 
 class TraceBuilder:
     """The chunked trace writer: columnar blocks, concatenated at finish.
@@ -172,6 +199,26 @@ class TraceBuilder:
             name=name,
         )
         return self.result
+
+    # -- checkpoint hooks (see repro.checkpoint.snapshot) --------------------
+
+    def snapshot_state(self) -> object:
+        # Column arrays, not EventChunk objects: the chunk is a lazy
+        # dual-representation cache, the arrays are the actual state.
+        return {
+            "label": self.label,
+            "events": self._events,
+            "columns": [block.arrays() for block in self._blocks],
+        }
+
+    def restore_state(self, state: object) -> None:
+        self.label = state["label"]  # type: ignore[index]
+        self._events = state["events"]  # type: ignore[index]
+        self._blocks = [
+            EventChunk.from_arrays(*cols)
+            for cols in state["columns"]  # type: ignore[index]
+        ]
+        self.result = None
 
 
 @dataclass(frozen=True)
@@ -236,6 +283,27 @@ class TraceStatsConsumer:
             last_timestamp=self._last_ts,
         )
         return self.result
+
+    # -- checkpoint hooks (see repro.checkpoint.snapshot) --------------------
+
+    def snapshot_state(self) -> object:
+        return {
+            "label": self.label,
+            "events": self._events,
+            "taken": self._taken,
+            "statics": set(self._statics),
+            "first_ts": self._first_ts,
+            "last_ts": self._last_ts,
+        }
+
+    def restore_state(self, state: object) -> None:
+        self.label = state["label"]  # type: ignore[index]
+        self._events = state["events"]  # type: ignore[index]
+        self._taken = state["taken"]  # type: ignore[index]
+        self._statics = set(state["statics"])  # type: ignore[index]
+        self._first_ts = state["first_ts"]  # type: ignore[index]
+        self._last_ts = state["last_ts"]  # type: ignore[index]
+        self.result = None
 
 
 def replay_bank(

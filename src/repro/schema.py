@@ -30,6 +30,13 @@ Version history:
   ``truncated``, and per-consumer ``consumers`` entries with
   ``chunks``/``events``/``seconds``/``events_per_second``); the new
   ``--version`` flag reports ``{"version": ..., "schema_version": ...}``.
+* **4** — checkpoint/resume: the embedded ``engine`` stats gain
+  ``checkpoints_written``/``resumed_from_checkpoint`` (simulations that
+  restored a mid-run checkpoint instead of cold-starting),
+  ``journal_skips`` (benchmarks satisfied from the run journal by
+  ``experiment --resume``) and ``quarantine_pruned`` (quarantine files
+  age-pruned to keep the directory bounded) counters; ``experiment``
+  params gain ``resume``/``checkpoint_every``.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def envelope(

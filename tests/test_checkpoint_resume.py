@@ -1,0 +1,546 @@
+"""Checkpoint/resume: crash-safe snapshots must restore bit-exactly.
+
+Three layers are exercised:
+
+* the :class:`~repro.checkpoint.CheckpointStore` file format — atomic
+  writes, retention, corruption quarantine and fallback;
+* the sliced simulation runner — a run killed at an arbitrary slice
+  boundary and resumed must produce artifacts byte-identical to an
+  uninterrupted run (the property test draws the kill point);
+* the :class:`~repro.eval.engine.ExecutionEngine` — retries restore the
+  dead attempt's checkpoint, the run journal lets ``--resume`` skip
+  finished benchmarks, and both are visible in the engine stats.
+
+The simulation-heavy tests are marked ``faults`` alongside the rest of
+the injection suite; the store/journal unit tests run everywhere.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CheckpointConfig,
+    CheckpointStore,
+    DEFAULT_SLICE_INSTRUCTIONS,
+    MIN_SLICE_INSTRUCTIONS,
+    RunJournal,
+    prune_directory,
+    run_simulation,
+    slice_for_cadence,
+)
+from repro.errors import CheckpointCorrupt
+from repro.eval.engine import CHECKPOINT_SUBDIR, ExecutionEngine
+from repro.eval.faults import FaultPlan, InjectedFault
+from repro.pipeline.bus import BranchEventBus
+from repro.pipeline.consumers import InterleaveConsumer, TraceBuilder
+from repro.trace.io import save_trace
+from repro.workloads import build_workload, get_benchmark, run_workload
+
+#: Small enough to keep each simulation around a second.
+SCALE = 0.05
+
+#: Fast retry backoff so retry tests don't sleep for real.
+BACKOFF = 0.01
+
+
+# -- checkpoint store: format, retention, corruption -------------------------
+
+
+def make_store(tmp_path, **kwargs):
+    return CheckpointStore(tmp_path / "checkpoints", **kwargs)
+
+
+def test_put_load_round_trip(tmp_path):
+    store = make_store(tmp_path)
+    payload = {"sim": {"pc": 4096, "pages": {0: b"\x01" * 16}}, "n": [1, 2]}
+    store.put("plot-s1-abcd", 1, payload, meta={"events": 500})
+    loaded = store.load_latest("plot-s1-abcd")
+    assert loaded is not None
+    header, restored = loaded
+    assert header["stem"] == "plot-s1-abcd"
+    assert header["seq"] == 1
+    assert header["events"] == 500  # meta keys flatten into the header
+    assert restored == payload
+    assert not store.corrupt_events
+
+
+def test_retention_keeps_newest_sequences(tmp_path):
+    store = make_store(tmp_path, keep=2)
+    for seq in range(1, 6):
+        store.put("stem", seq, {"seq": seq})
+    assert store.sequences("stem") == [4, 5]
+    _, payload = store.load_latest("stem")
+    assert payload == {"seq": 5}
+
+
+def test_no_stage_files_left_behind(tmp_path):
+    store = make_store(tmp_path)
+    store.put("stem", 1, {"x": 1})
+    leftovers = [p.name for p in store.root.iterdir() if ".stage-" in p.name]
+    assert leftovers == []
+
+
+def test_corrupt_latest_falls_back_to_previous(tmp_path):
+    store = make_store(tmp_path)
+    store.put("stem", 1, {"seq": 1})
+    store.put("stem", 2, {"seq": 2})
+    latest = store.path("stem", 2)
+    raw = bytearray(latest.read_bytes())
+    raw[-8:] = b"\x00" * 8  # damage the pickle payload
+    latest.write_bytes(bytes(raw))
+
+    loaded = store.load_latest("stem")
+    assert loaded is not None
+    header, payload = loaded
+    assert header["seq"] == 1 and payload == {"seq": 1}
+    # the damaged file was quarantined, not deleted, and the event recorded
+    assert not latest.exists()
+    quarantined = list((store.root / store.QUARANTINE_DIR).iterdir())
+    assert [p.name for p in quarantined] == [latest.name]
+    assert len(store.corrupt_events) == 1
+    assert isinstance(store.corrupt_events[0], CheckpointCorrupt)
+
+
+def test_truncated_checkpoint_falls_back(tmp_path):
+    store = make_store(tmp_path)
+    store.put("stem", 1, {"seq": 1})
+    store.put("stem", 2, {"seq": 2})
+    latest = store.path("stem", 2)
+    raw = latest.read_bytes()
+    latest.write_bytes(raw[: len(raw) // 2])
+    _, payload = store.load_latest("stem")
+    assert payload == {"seq": 1}
+
+
+def test_all_checkpoints_corrupt_returns_none(tmp_path):
+    store = make_store(tmp_path)
+    store.put("stem", 1, {"seq": 1})
+    store.put("stem", 2, {"seq": 2})
+    for seq in (1, 2):
+        store.path("stem", seq).write_bytes(b"garbage")
+    assert store.load_latest("stem") is None
+    assert len(store.corrupt_events) == 2
+    assert store.sequences("stem") == []
+
+
+def test_header_stem_mismatch_is_corruption(tmp_path):
+    """A checkpoint renamed onto another stem must not restore."""
+    store = make_store(tmp_path)
+    store.put("other", 1, {"seq": 1})
+    store.path("other", 1).rename(store.path("stem", 1))
+    assert store.load_latest("stem") is None
+    assert len(store.corrupt_events) == 1
+
+
+def test_magic_prefix_is_stable(tmp_path):
+    store = make_store(tmp_path)
+    store.put("stem", 1, {"x": 1})
+    raw = store.path("stem", 1).read_bytes()
+    assert raw.startswith(CHECKPOINT_MAGIC)
+    # header line is plain JSON: inspectable without unpickling anything
+    header = json.loads(raw[len(CHECKPOINT_MAGIC):].split(b"\n", 1)[0])
+    assert header["payload_sha256"]
+    assert header["payload_bytes"] > 0
+
+
+def test_clear_removes_only_that_stem(tmp_path):
+    store = make_store(tmp_path)
+    store.put("a", 1, {"x": 1})
+    store.put("b", 1, {"x": 2})
+    store.clear("a")
+    assert store.sequences("a") == []
+    assert store.sequences("b") == [1]
+
+
+def test_prune_directory_keeps_newest(tmp_path):
+    root = tmp_path / "quarantine"
+    root.mkdir()
+    for i in range(20):
+        (root / f"f{i:02d}").write_bytes(b"x")
+    pruned = prune_directory(root, keep=5)
+    assert pruned == 15
+    assert len(list(root.iterdir())) == 5
+    assert prune_directory(tmp_path / "missing", keep=5) == 0
+
+
+def test_quarantine_is_bounded(tmp_path):
+    store = make_store(tmp_path)
+    for i in range(store.QUARANTINE_KEEP + 8):
+        store.put("stem", i, {"seq": i}, )
+        store.path("stem", i).write_bytes(b"garbage")
+        assert store.load_latest("stem") is None
+    quarantine = store.root / store.QUARANTINE_DIR
+    assert len(list(quarantine.iterdir())) <= store.QUARANTINE_KEEP
+
+
+def test_slice_for_cadence_bounds():
+    assert slice_for_cadence(1) == MIN_SLICE_INSTRUCTIONS
+    assert slice_for_cadence(2000) == 8000
+    assert slice_for_cadence(10**9) == DEFAULT_SLICE_INSTRUCTIONS
+    config = CheckpointConfig(
+        store=CheckpointStore.__new__(CheckpointStore), stem="s",
+        every_events=2000,
+    )
+    assert config.slice_instructions == slice_for_cadence(2000)
+
+
+# -- run journal -------------------------------------------------------------
+
+
+def test_journal_records_round_trip(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record_completed("plot", "a" * 64, scale=0.05, trace_limit=0)
+    journal.record_completed("pgp", "b" * 64, scale=0.05, trace_limit=0)
+    assert journal.completed(scale=0.05, trace_limit=0) == {
+        "plot": "a" * 64, "pgp": "b" * 64,
+    }
+
+
+def test_journal_latest_record_wins(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record_completed("plot", "a" * 64, scale=0.05, trace_limit=0)
+    journal.record_failed("plot", scale=0.05, trace_limit=0,
+                          error={"code": "job_failed"})
+    assert journal.completed(scale=0.05, trace_limit=0) == {}
+    journal.record_completed("plot", "c" * 64, scale=0.05, trace_limit=0)
+    assert journal.completed(scale=0.05, trace_limit=0) == {"plot": "c" * 64}
+
+
+def test_journal_ignores_other_parameters(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record_completed("plot", "a" * 64, scale=0.05, trace_limit=0)
+    journal.record_failed("plot", scale=0.30, trace_limit=0,
+                          error={"code": "job_failed"})
+    # the failure at another scale neither completes nor invalidates
+    assert journal.completed(scale=0.30, trace_limit=0) == {}
+    assert journal.completed(scale=0.05, trace_limit=0) == {"plot": "a" * 64}
+
+
+def test_journal_tolerates_torn_lines(tmp_path):
+    journal = RunJournal(tmp_path)
+    journal.record_completed("plot", "a" * 64, scale=0.05, trace_limit=0)
+    with journal.path.open("a") as handle:
+        handle.write('{"benchmark": "pgp", "status": "comp')  # torn write
+    journal.record_completed("compress", "b" * 64, scale=0.05, trace_limit=0)
+    assert journal.completed(scale=0.05, trace_limit=0) == {
+        "plot": "a" * 64, "compress": "b" * 64,
+    }
+
+
+# -- sliced runner: kill anywhere, resume bit-exactly ------------------------
+
+
+def _fingerprint(tmp_path, tag, profiler, builder, bus):
+    """Byte-level fingerprint of everything a job would persist."""
+    trace_path = tmp_path / f"{tag}.trace.npz"
+    save_trace(builder.result, trace_path)
+    profile = profiler.result
+    profile_doc = json.dumps(
+        {
+            "branches": {
+                pc: [s.executions, s.taken]
+                for pc, s in sorted(profile.branches.items())
+            },
+            "pairs": {
+                f"{a}:{b}": count
+                for (a, b), count in sorted(profile.pairs.items())
+            },
+        },
+        sort_keys=True,
+    )
+    stats = bus.stats
+    return (
+        trace_path.read_bytes(),
+        profile_doc,
+        (stats.events, stats.delivered, stats.chunk_flushes),
+    )
+
+
+def _run_to_completion(built, config=None, fault_plan=None, benchmark=""):
+    # fixed labels: the fingerprint embeds them, and fault plans key on
+    # the *benchmark* argument independently of the display label
+    profiler = InterleaveConsumer(label="plot")
+    builder = TraceBuilder(label="plot")
+    bus = BranchEventBus([profiler, builder])
+    outcome = run_simulation(
+        built, bus, config=config, fault_plan=fault_plan,
+        benchmark=benchmark,
+    )
+    bus.finish()
+    return outcome, profiler, builder, bus
+
+
+@pytest.fixture(scope="module")
+def built_plot():
+    return build_workload(get_benchmark("plot", scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def plot_baseline(built_plot, tmp_path_factory):
+    """Uninterrupted run of plot: the ground truth for byte-identity."""
+    tmp = tmp_path_factory.mktemp("baseline")
+    outcome, profiler, builder, bus = _run_to_completion(built_plot)
+    return (
+        _fingerprint(tmp, "base", profiler, builder, bus),
+        bus.stats.events,
+    )
+
+
+@pytest.mark.faults
+def test_sliced_run_matches_unsliced(built_plot, plot_baseline, tmp_path):
+    """Checkpointing itself must not perturb results."""
+    baseline, _ = plot_baseline
+    config = CheckpointConfig(
+        store=make_store(tmp_path), stem="plot-stem", every_events=2_000,
+    )
+    outcome, profiler, builder, bus = _run_to_completion(
+        built_plot, config=config,
+    )
+    assert outcome.checkpoints_written > 0
+    assert not outcome.resumed_from_checkpoint
+    assert _fingerprint(tmp_path, "sliced", profiler, builder, bus) == baseline
+
+
+@pytest.mark.faults
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(kill_fraction=st.integers(min_value=5, max_value=95))
+def test_kill_anywhere_resume_is_byte_identical(
+    built_plot, plot_baseline, tmp_path, kill_fraction
+):
+    """Interrupt at an arbitrary slice boundary; the resumed run must
+    reproduce the uninterrupted artifacts byte for byte — warmup state,
+    staged chunks and consumer internals all restore exactly."""
+    baseline, total_events = plot_baseline
+    threshold = max(1, total_events * kill_fraction // 100)
+    workdir = tmp_path / f"kill-{kill_fraction}"
+    workdir.mkdir()
+    store = CheckpointStore(workdir / "checkpoints")
+    config = CheckpointConfig(
+        store=store, stem="plot-stem", every_events=1_000,
+    )
+    plan = FaultPlan(
+        worker_kill={"plot": threshold}, state_dir=str(workdir / "state"),
+    )
+    with pytest.raises(InjectedFault):
+        _run_to_completion(
+            built_plot, config=config, fault_plan=plan, benchmark="plot",
+        )
+    # retry: the kill-once marker is claimed, so the plan stays inert
+    outcome, profiler, builder, bus = _run_to_completion(
+        built_plot, config=config, fault_plan=plan, benchmark="plot",
+    )
+    if threshold > config.every_events:
+        assert outcome.resumed_from_checkpoint
+        assert outcome.resumed_events > 0
+    assert _fingerprint(workdir, "resumed", profiler, builder, bus) == baseline
+
+
+@pytest.mark.faults
+def test_corrupt_checkpoint_falls_back_then_cold_starts(
+    built_plot, plot_baseline, tmp_path
+):
+    """Every checkpoint damaged: the runner quarantines them all and the
+    run still completes, bit-exact, from instruction zero."""
+    baseline, total_events = plot_baseline
+    store = make_store(tmp_path)
+    config = CheckpointConfig(
+        store=store, stem="plot-stem", every_events=2_000,
+    )
+    plan = FaultPlan(
+        worker_kill={"plot": max(1, total_events // 2)},
+        state_dir=str(tmp_path / "state"),
+    )
+    with pytest.raises(InjectedFault):
+        _run_to_completion(
+            built_plot, config=config, fault_plan=plan, benchmark="plot",
+        )
+    for seq in store.sequences("plot-stem"):
+        store.path("plot-stem", seq).write_bytes(b"garbage")
+    outcome, profiler, builder, bus = _run_to_completion(
+        built_plot, config=config, fault_plan=plan, benchmark="plot",
+    )
+    assert not outcome.resumed_from_checkpoint
+    assert outcome.corrupt_checkpoints > 0
+    assert _fingerprint(tmp_path, "cold", profiler, builder, bus) == baseline
+
+
+@pytest.mark.faults
+def test_restorable_but_stale_payload_quarantines(built_plot, tmp_path):
+    """A checkpoint whose payload unpickles but cannot restore (wrong
+    consumer set) is quarantined and the run cold-starts."""
+    store = make_store(tmp_path)
+    store.put(
+        "plot-stem", 1,
+        {"sim": {"bogus": True}, "bus": {"staged": {}, "stats": {},
+                                         "consumers": {}}},
+        meta={"events": 1},
+    )
+    config = CheckpointConfig(
+        store=store, stem="plot-stem", every_events=100_000,
+    )
+    outcome, _, _, _ = _run_to_completion(built_plot, config=config)
+    assert not outcome.resumed_from_checkpoint
+    assert outcome.corrupt_checkpoints > 0
+    assert outcome.result.instructions > 0
+
+
+# -- engine integration: retries resume, journal skips -----------------------
+
+
+def make_engine(tmp_path, **kwargs):
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("retry_backoff", BACKOFF)
+    return ExecutionEngine(cache_dir=tmp_path / "cache", **kwargs)
+
+
+def _artifact_bytes(cache_dir, name):
+    """Every stored artifact byte for *name* (trace, profile, meta)."""
+    files = {
+        path.name: path.read_bytes()
+        for path in cache_dir.glob(f"{name}-*")
+        if path.is_file()
+    }
+    assert files, f"no stored artifacts for {name}"
+    return files
+
+
+def test_checkpoint_flags_require_cache():
+    with pytest.raises(ValueError):
+        ExecutionEngine(scale=SCALE, checkpoint_every_events=1_000)
+    with pytest.raises(ValueError):
+        ExecutionEngine(scale=SCALE, resume=True)
+    with pytest.raises(ValueError):
+        ExecutionEngine(
+            scale=SCALE, cache_dir="/tmp/x", checkpoint_every_events=0,
+        )
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_worker_kill_resumes_and_matches_baseline(tmp_path, jobs):
+    """The acceptance criterion: a worker SIGKILLed mid-chunk is retried,
+    the retry restores the checkpoint (``resumed_from_checkpoint`` > 0)
+    and the final artifacts are byte-identical to an undisturbed run."""
+    baseline = make_engine(tmp_path / "clean")
+    baseline.prefetch(["plot"])
+    clean = _artifact_bytes(tmp_path / "clean" / "cache", "plot")
+
+    plan = FaultPlan(
+        worker_kill={"plot": 12_000}, state_dir=str(tmp_path / "state"),
+    )
+    with plan.installed():
+        engine = make_engine(
+            tmp_path / "faulty", jobs=jobs, retries=2,
+            checkpoint_every_events=4_000,
+        )
+        results = engine.prefetch(["plot"])
+    assert set(results) == {"plot"}
+    assert engine.failures == {}
+    assert engine.stats.retried == 1
+    assert engine.stats.resumed_from_checkpoint == 1
+    assert engine.stats.checkpoints_written > 0
+    assert _artifact_bytes(tmp_path / "faulty" / "cache", "plot") == clean
+    # checkpoints are cleared once the artifacts are durable
+    ckpt_dir = tmp_path / "faulty" / "cache" / CHECKPOINT_SUBDIR
+    assert not list(ckpt_dir.glob("*.ckpt"))
+
+
+@pytest.mark.faults
+def test_journal_resume_skips_completed_benchmarks(tmp_path):
+    first = make_engine(tmp_path)
+    first.prefetch(["plot", "pgp"])
+    assert (tmp_path / "cache" / "journal.jsonl").exists()
+
+    second = make_engine(tmp_path, resume=True)
+    results = second.prefetch(["plot", "pgp"])
+    assert set(results) == {"plot", "pgp"}
+    assert second.stats.journal_skips == 2
+    assert second.stats.simulated == 0
+
+
+@pytest.mark.faults
+def test_journal_resume_survives_missing_artifacts(tmp_path):
+    first = make_engine(tmp_path)
+    first.prefetch(["plot"])
+    for stale in (tmp_path / "cache").glob("plot-*"):
+        stale.unlink()
+
+    second = make_engine(tmp_path, resume=True)
+    results = second.prefetch(["plot"])
+    assert set(results) == {"plot"}
+    # journal said done, store said gone: the engine resimulates and the
+    # skip is re-counted as honest work, not a journal hit
+    assert second.stats.job_source["plot"] == "resimulated"
+    assert second.stats.journal_skips == 0
+    assert second.failures == {}
+
+
+@pytest.mark.faults
+def test_stats_surface_checkpoint_counters(tmp_path):
+    plan = FaultPlan(
+        worker_kill={"plot": 12_000}, state_dir=str(tmp_path / "state"),
+    )
+    with plan.installed():
+        engine = make_engine(
+            tmp_path, retries=2, checkpoint_every_events=4_000,
+        )
+        engine.prefetch(["plot"])
+    payload = engine.stats.as_dict()
+    for key in (
+        "checkpoints_written", "resumed_from_checkpoint",
+        "journal_skips", "quarantine_pruned",
+    ):
+        assert key in payload
+    assert payload["resumed_from_checkpoint"] == 1
+    rendered = engine.stats.render()
+    assert "resumed" in rendered and "journal skip" in rendered
+
+
+@pytest.mark.faults
+def test_cli_experiment_checkpoint_resume(tmp_path, capsys):
+    from repro.__main__ import main
+
+    cache = str(tmp_path / "cache")
+    code = main([
+        "experiment", "table2", "--scale", str(SCALE), "--cache", cache,
+        "--checkpoint-every", "50000", "--json",
+    ])
+    assert code == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["params"]["checkpoint_every"] == 50000
+    assert first["params"]["resume"] is False
+
+    code = main([
+        "experiment", "table2", "--scale", str(SCALE), "--cache", cache,
+        "--resume", "--json",
+    ])
+    assert code == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["params"]["resume"] is True
+    assert second["results"]["engine"]["journal_skips"] > 0
+    assert second["results"]["output"] == first["results"]["output"]
+
+
+def test_cli_resume_without_cache_exits_2(capsys):
+    from repro.__main__ import main
+
+    assert main(["experiment", "table2", "--resume"]) == 2
+    assert "--cache" in capsys.readouterr().err
+
+
+def test_checkpoint_payloads_use_protocol_4(tmp_path):
+    """Snapshot payloads stay loadable by any modern interpreter."""
+    store = make_store(tmp_path)
+    store.put("stem", 1, {"x": 1})
+    raw = store.path("stem", 1).read_bytes()
+    blob = raw[len(CHECKPOINT_MAGIC):].split(b"\n", 1)[1]
+    assert pickle.loads(blob) == {"x": 1}

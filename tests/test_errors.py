@@ -1,5 +1,6 @@
 """The typed error taxonomy: hierarchy, serialisation, historical bases."""
 
+import json
 import pickle
 
 import pytest
@@ -7,6 +8,7 @@ import pytest
 from repro import errors
 from repro.errors import (
     ArtifactCorrupt,
+    CheckpointCorrupt,
     JobFailed,
     JobTimeout,
     MemAccessError,
@@ -20,8 +22,8 @@ from repro.errors import (
 
 
 def test_taxonomy_roots():
-    for cls in (ArtifactCorrupt, JobFailed, JobTimeout, SuiteDegraded,
-                MemAccessError):
+    for cls in (ArtifactCorrupt, CheckpointCorrupt, JobFailed, JobTimeout,
+                SuiteDegraded, MemAccessError):
         assert issubclass(cls, ReproError)
     assert issubclass(JobTimeout, JobFailed)
 
@@ -46,13 +48,24 @@ def test_unknown_attribute_raises():
 
 
 def test_mem_access_error_replaces_legacy_alias():
-    from repro.sim.memory import MemoryError_
+    with pytest.warns(DeprecationWarning, match="MemoryError_ is deprecated"):
+        from repro.sim.memory import MemoryError_
 
     assert MemoryError_ is MemAccessError
     assert issubclass(MemAccessError, RuntimeError)
     # historical except clauses keep working
     with pytest.raises(MemoryError_):
         raise MemAccessError("unmapped", address=0xDEAD)
+
+
+def test_legacy_alias_warns_on_attribute_access():
+    import repro.sim.memory as memory_module
+
+    with pytest.warns(DeprecationWarning):
+        assert memory_module.MemoryError_ is MemAccessError
+    # unknown names still raise AttributeError, not a warning
+    with pytest.raises(AttributeError):
+        memory_module.NotAThing
 
 
 def test_asm_syntax_error_keeps_line_formatting():
@@ -82,10 +95,10 @@ def test_to_dict_carries_code_and_context():
 def test_error_codes_are_distinct():
     codes = {
         cls.code
-        for cls in (ReproError, ArtifactCorrupt, JobFailed, JobTimeout,
-                    SuiteDegraded, MemAccessError)
+        for cls in (ReproError, ArtifactCorrupt, CheckpointCorrupt,
+                    JobFailed, JobTimeout, SuiteDegraded, MemAccessError)
     }
-    assert len(codes) == 6
+    assert len(codes) == 7
 
 
 def test_error_to_dict_wraps_foreign_exceptions():
@@ -98,6 +111,42 @@ def test_error_to_dict_wraps_foreign_exceptions():
     typed = error_to_dict(ArtifactCorrupt("bad entry", digest="abcd"))
     assert typed["code"] == "artifact_corrupt"
     assert typed["digest"] == "abcd"
+
+
+def test_all_error_payloads_round_trip_through_json():
+    """Every taxonomy member's to_dict() must survive json.dumps/loads —
+    the CLI envelope and the run journal both persist these payloads."""
+    from repro.eval.faults import InjectedFault
+
+    samples = [
+        ReproError("root", detail="context"),
+        ArtifactCorrupt("bad entry", benchmark="gcc", digest="abcd",
+                        quarantined=["a.trace.npz"]),
+        CheckpointCorrupt("bad checkpoint", stem="gcc-s1-abcd", seq=3,
+                          quarantined=[]),
+        JobFailed("died", benchmark="gcc", attempts=2,
+                  cause={"code": "unexpected_error"}),
+        JobTimeout("slow", benchmark="gcc", timeout_seconds=1.5),
+        SuiteDegraded("all failed", benchmarks=["a", "b"]),
+        MemAccessError("unmapped", address=0xDEAD),
+        InjectedFault("boom", benchmark="plot", fault="worker_kill",
+                      events=15000),
+        errors.SimulationError("pc left text"),
+        errors.FuelExhausted("out of fuel"),
+        errors.SyscallError("unknown syscall 99"),
+    ]
+    for exc in samples:
+        payload = exc.to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+        assert round_tripped["code"] == type(exc).code
+        assert round_tripped["error"] == type(exc).__name__
+
+
+def test_checkpoint_corrupt_code():
+    exc = CheckpointCorrupt("torn file", stem="x", seq=1)
+    assert exc.code == "checkpoint_corrupt"
+    assert error_to_dict(exc)["seq"] == 1
 
 
 def test_repro_errors_pickle_round_trip():

@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.memory import PAGE_SIZE, Memory, MemoryError_
+from repro.errors import MemAccessError
+from repro.sim.memory import PAGE_SIZE, Memory
 
 
 def test_uninitialised_memory_reads_zero():
@@ -62,7 +63,7 @@ def test_cstring_load():
 def test_unterminated_cstring_raises():
     memory = Memory()
     memory.store_bytes(0, b"\x01" * 16)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(MemAccessError):
         memory.load_cstring(0, limit=8)
 
 
