@@ -5,10 +5,21 @@ export PYTHONPATH := src
 SMOKE_CACHE := .smoke-cache
 SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
 
-.PHONY: test faults smoke bench clean
+.PHONY: test lint faults smoke bench clean
 
 test:
 	$(PY) -m pytest -x -q tests
+
+## Static gate: every benchmark analog must lint clean under --strict
+## (warnings fail too).  The ruff error-class pass (config in
+## pyproject.toml) runs only when ruff is installed; CI always has it.
+lint:
+	$(PY) -m repro lint --all --strict
+	@if $(PY) -c "import ruff" 2>/dev/null; then \
+		$(PY) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style checks"; \
+	fi
 
 ## Only the fault-injection and recovery tests (crashed/hung/flaky
 ## workers, corrupted cache entries, degraded experiments).

@@ -9,7 +9,13 @@ Commands
                   ``--static`` allocates from the static conflict-graph
                   estimate instead, with no profiling or simulation step.
 ``cfg``         — static control-flow summary (blocks, loops, functions).
-``lint``        — static verifier diagnostics for one benchmark or --all.
+``lint``        — static verifier diagnostics for one benchmark or --all;
+                  ``--strict`` fails on warnings too and ``--waive
+                  BENCH:CODE`` suppresses known findings.
+``verify-static`` — score the Ball–Larus direction heuristics and the
+                  estimated conflict graphs against measured profiles
+                  (dynamic-weighted hit rate, per-heuristic breakdown,
+                  working-set shape, edge precision/recall).
 ``experiment``  — run a registered experiment (table1..figure4, ablations);
                   ``--jobs N`` fans the benchmark simulations across a
                   process pool and ``--cache DIR`` enables the
@@ -25,7 +31,8 @@ Commands
                   quarantined entries are resimulated.
 ``disasm``      — assemble a workload and print its program listing.
 
-``run``, ``profile``, ``allocate``, ``experiment`` and ``faults`` accept
+``run``, ``profile``, ``allocate``, ``lint``, ``verify-static``,
+``experiment`` and ``faults`` accept
 ``--json`` and then emit one versioned envelope
 (``{schema_version, command, params, results}`` — see
 :mod:`repro.schema`) instead of the human-readable prints.
@@ -279,6 +286,23 @@ def cmd_cfg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_waivers(specs) -> set:
+    """``--waive BENCH:CODE`` pairs -> {(benchmark, code)}.
+
+    Raises:
+        SystemExit-friendly ValueError via the caller on a malformed spec.
+    """
+    waived = set()
+    for spec in specs or ():
+        bench, sep, code = spec.partition(":")
+        if not sep or not bench or not code:
+            raise ValueError(
+                f"malformed --waive {spec!r} (expected BENCH:CODE)"
+            )
+        waived.add((bench, code))
+    return waived
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.all:
         names = sorted(benchmark_suite())
@@ -287,16 +311,99 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print("error: give a benchmark name or --all", file=sys.stderr)
         return 2
+    try:
+        waivers = _parse_waivers(args.waive)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     failed = False
+    waived_count = 0
+    reports = []
     for name in names:
         built = build_workload(get_benchmark(name, scale=args.scale))
         report = lint_program(built.program)
+        reports.append(report)
+        live = [
+            d for d in report.diagnostics if (name, d.code) not in waivers
+        ]
+        waived_count += len(report.diagnostics) - len(live)
+        if args.strict:
+            failed = failed or bool(live)
+        else:
+            failed = failed or any(d.severity == "error" for d in live)
+        if args.json:
+            continue
         if report.clean and args.all:
             print(f"{name}: clean")
         else:
             print(report.render())
-        failed = failed or not report.ok
+    if args.json:
+        _emit(
+            args,
+            "lint",
+            {
+                "benchmark": args.benchmark or None,
+                "all": args.all,
+                "scale": args.scale,
+                "strict": args.strict,
+                "waive": sorted(f"{b}:{c}" for b, c in waivers),
+            },
+            {
+                "reports": [r.as_dict() for r in reports],
+                "failed": failed,
+                "waived": waived_count,
+            },
+        )
     return 1 if failed else 0
+
+
+def cmd_verify_static(args: argparse.Namespace) -> int:
+    from .eval.static_compare import (
+        format_verify_static,
+        run_verify_static,
+    )
+    from .workloads.suite import ALL_BENCHMARKS
+
+    runner = BenchmarkRunner(
+        scale=args.scale, cache_dir=args.cache or None, jobs=args.jobs
+    )
+    benchmarks = args.benchmarks or None
+    if benchmarks:
+        for name in benchmarks:
+            get_benchmark(name)  # unknown names exit 2 via the KeyError hook
+    rows = run_verify_static(
+        runner,
+        benchmarks=benchmarks or list(ALL_BENCHMARKS),
+        threshold=args.threshold or None,
+    )
+    if args.json:
+        total_exec = sum(r.executions for r in rows)
+        total_hits = sum(r.hits for r in rows)
+        _emit(
+            args,
+            "verify-static",
+            {
+                "benchmarks": list(benchmarks or ()),
+                "scale": args.scale,
+                "threshold": args.threshold or None,
+                "cache": args.cache or None,
+                "jobs": args.jobs,
+            },
+            {
+                "rows": [r.as_dict() for r in rows],
+                "suite": {
+                    "executions": total_exec,
+                    "hits": total_hits,
+                    "hit_rate": (
+                        total_hits / total_exec if total_exec else None
+                    ),
+                },
+                "failures": _failures_payload(runner),
+            },
+        )
+        return 0 if rows else 1
+    print(format_verify_static(rows))
+    return 0 if rows else 1
 
 
 def _failures_payload(runner: BenchmarkRunner) -> list:
@@ -554,6 +661,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--all", action="store_true",
                         help="lint every registered benchmark analog")
     p_lint.add_argument("--scale", type=float, default=1.0)
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit 1 on any unwaived diagnostic, "
+                        "warnings included")
+    p_lint.add_argument("--waive", action="append", default=[],
+                        metavar="BENCH:CODE",
+                        help="suppress one diagnostic code for one "
+                        "benchmark (repeatable)")
+    add_json(p_lint)
+
+    p_verify = sub.add_parser(
+        "verify-static",
+        help="score static heuristics and graph estimates vs profiles",
+    )
+    p_verify.add_argument("benchmarks", nargs="*",
+                          help="benchmark analogs (default: full suite)")
+    p_verify.add_argument("--scale", type=float, default=1.0)
+    p_verify.add_argument("--cache", default="",
+                          help="trace cache directory")
+    p_verify.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the profiling runs")
+    p_verify.add_argument("--threshold", type=int, default=0,
+                          help="edge threshold (0 = auto for scale)")
+    add_json(p_verify)
 
     def add_fault_tolerance(p: argparse.ArgumentParser) -> None:
         p.add_argument("--timeout", type=float, default=0.0,
@@ -632,6 +762,7 @@ _HANDLERS = {
     "allocate": cmd_allocate,
     "cfg": cmd_cfg,
     "lint": cmd_lint,
+    "verify-static": cmd_verify_static,
     "experiment": cmd_experiment,
     "faults": cmd_faults,
     "disasm": cmd_disasm,

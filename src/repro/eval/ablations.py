@@ -183,12 +183,23 @@ def run_predictor_family(
     benchmarks: Sequence[str],
     history_bits: int = HISTORY_BITS,
 ) -> Dict[str, Dict[str, float]]:
-    """Misprediction rates of the predictor family per benchmark."""
+    """Misprediction rates of the predictor family per benchmark.
+
+    The whole bank — including the profile-free ``static-heur``
+    heuristic predictor — replays each trace in one chunked pass via
+    :func:`~repro.pipeline.consumers.replay_bank`.
+    """
+    from ..pipeline.consumers import replay_bank
+    from ..predictors.static_pred import StaticHeuristicPredictor
+    from ..workloads.build import build_workload
+    from ..workloads.suite import get_benchmark
+
     prefetch_artifacts(runner, benchmarks)
     results: Dict[str, Dict[str, float]] = {}
     for name in benchmarks:
         trace = runner.trace(name)
         profile = runner.profile(name)
+        built = build_workload(get_benchmark(name, scale=runner.scale))
         predictors = [
             PAgPredictor.conventional(1024, history_bits),
             GAgPredictor(history_bits),
@@ -201,14 +212,13 @@ def run_predictor_family(
             BiasFilteredPredictor(
                 PAgPredictor.conventional(1024, history_bits), profile
             ),
+            StaticHeuristicPredictor.from_program(built.program),
         ]
-        per_bench: Dict[str, float] = {}
-        for predictor in predictors:
-            stats = simulate_predictor(
-                predictor, trace, track_per_branch=False
-            )
-            per_bench[predictor.name] = stats.misprediction_rate
-        results[name] = per_bench
+        stats = replay_bank(trace, predictors)
+        results[name] = {
+            predictor_name: s.misprediction_rate
+            for predictor_name, s in stats.items()
+        }
     return results
 
 

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from ..errors import ReproError, SuiteDegraded
 from ..workloads.suite import (
+    ALL_BENCHMARKS,
     FIGURE_BENCHMARKS,
     TABLE2_BENCHMARKS,
     TABLE34_BENCHMARKS,
@@ -186,6 +187,14 @@ def _ablation_cliques(
     return ablations.format_clique_definition(rows)
 
 
+def _verify_static(
+    runner: BenchmarkRunner, benchmarks: Sequence[str]
+) -> str:
+    from .static_compare import format_verify_static, run_verify_static
+
+    return format_verify_static(run_verify_static(runner, benchmarks))
+
+
 def _static_compare_benchmarks() -> Tuple[str, ...]:
     from .static_compare import DEFAULT_BENCHMARKS
 
@@ -240,6 +249,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("static_compare", "§5 extension",
                    "static-estimated vs profiled allocation quality",
                    _static_compare, _static_compare_benchmarks()),
+        Experiment("verify_static", "§4/§5 verification",
+                   "static heuristics and graph estimates vs profiles",
+                   _verify_static, tuple(ALL_BENCHMARKS)),
     ]
 }
 

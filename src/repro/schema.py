@@ -37,6 +37,15 @@ Version history:
   ``experiment --resume``) and ``quarantine_pruned`` (quarantine files
   age-pruned to keep the directory bounded) counters; ``experiment``
   params gain ``resume``/``checkpoint_every``.
+* **5** — static verification: ``lint`` gains ``--json`` and emits the
+  envelope (``results`` = ``{reports: [{name, ok, clean, errors,
+  warnings, diagnostics: [{severity, code, message, address}]}],
+  failed, waived}``); the new ``verify-static`` command emits
+  ``results`` = ``{rows: [...], suite: {executions, hits, hit_rate}}``
+  where each row carries the dynamic-weighted heuristic hit rate, a
+  per-heuristic breakdown, and predicted-vs-measured working-set and
+  conflict-edge scores (see
+  :mod:`repro.eval.static_compare.VerifyStaticRow`).
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def envelope(

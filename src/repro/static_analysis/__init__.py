@@ -9,15 +9,35 @@ will interleave.  This package supplies that static view over assembled
   conservatism via assembler-recorded jump tables);
 * :mod:`.dominators` — immediate dominators (Cooper–Harvey–Kennedy);
 * :mod:`.loops` — natural loops and the loop nesting forest;
+* :mod:`.dataflow` — a generic worklist solver (forward/backward, any
+  lattice) with shipped instances: must-defined registers, liveness,
+  reaching definitions, constant and interval propagation;
+* :mod:`.superblocks` — single-entry straight-line region formation with
+  side-exit metadata and a structural verifier;
+* :mod:`.heuristics` — Ball–Larus static branch-direction predictions
+  and counted-loop trip estimates;
 * :mod:`.estimator` — a predicted
   :class:`~repro.analysis.conflict_graph.ConflictGraph` from shared-loop
-  structure, letting :class:`~repro.allocation.allocator.BranchAllocator`
-  run with **no profiling or simulation step**;
+  structure weighted by trip products, letting
+  :class:`~repro.allocation.allocator.BranchAllocator` run with **no
+  profiling or simulation step**;
 * :mod:`.lint` — structured diagnostics (unreachable code, branch-to-data,
-  fallthrough off text, use-before-def).
+  use-before-def, dead stores, loop-invariant branches, jump-table
+  conflicts) built on the dataflow instances.
 """
 
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import (
+    ConstantPropagation,
+    DataflowProblem,
+    DataflowResult,
+    Direction,
+    IntervalPropagation,
+    LiveRegisters,
+    MustDefinedRegisters,
+    ReachingDefinitions,
+    solve,
+)
 from .dominators import VIRTUAL_ROOT, DominatorTree, compute_dominators
 from .estimator import (
     DEFAULT_LOOP_ITERS,
@@ -25,25 +45,58 @@ from .estimator import (
     StaticConflictEstimator,
     estimate_conflict_graph,
 )
+from .heuristics import (
+    BranchPrediction,
+    LoopTripEstimate,
+    estimate_edge_frequencies,
+    estimate_loop_trips,
+    predict_branches,
+)
 from .lint import Diagnostic, LintReport, lint_program, lint_source
 from .loops import LoopForest, NaturalLoop, find_loops
+from .superblocks import (
+    Superblock,
+    SuperblockCover,
+    SuperblockInvariantError,
+    form_superblocks,
+    verify_cover,
+)
 
 __all__ = [
     "BasicBlock",
+    "BranchPrediction",
+    "ConstantPropagation",
     "ControlFlowGraph",
     "DEFAULT_LOOP_ITERS",
+    "DataflowProblem",
+    "DataflowResult",
     "Diagnostic",
+    "Direction",
     "DominatorTree",
+    "IntervalPropagation",
     "LintReport",
+    "LiveRegisters",
     "LoopForest",
+    "LoopTripEstimate",
+    "MustDefinedRegisters",
     "NaturalLoop",
+    "ReachingDefinitions",
     "StaticConflictEstimate",
     "StaticConflictEstimator",
+    "Superblock",
+    "SuperblockCover",
+    "SuperblockInvariantError",
     "VIRTUAL_ROOT",
     "build_cfg",
     "compute_dominators",
     "estimate_conflict_graph",
+    "estimate_edge_frequencies",
+    "estimate_loop_trips",
     "find_loops",
+    "form_superblocks",
     "lint_program",
     "lint_source",
+    "predict_branches",
+    "solve",
+    "verify_cover",
 ]

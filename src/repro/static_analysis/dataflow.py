@@ -1,0 +1,852 @@
+"""Generic dataflow engine over the control-flow graph.
+
+One worklist solver, many analyses: a :class:`DataflowProblem` supplies
+the lattice (``initial``/``meet``), the per-block monotone transfer
+function, and the direction; :func:`solve` iterates block states to a
+fixpoint.  Because every transfer function is monotone over a
+finite-height lattice, the fixpoint is unique — the solver reaches the
+same states regardless of worklist order (a property the test suite
+pins with shuffled iteration orders).
+
+Shipped problem instances:
+
+* :class:`MustDefinedRegisters` — forward, meet = intersection over a
+  32-bit register mask.  The lint pass's use-before-def check runs on
+  this instance (per-function: call edges are not CFG edges, and block
+  in-states only meet predecessors of the same function).
+* :class:`LiveRegisters` — backward liveness over the same mask; feeds
+  the dead-store lint rule.
+* :class:`ReachingDefinitions` — forward, per-register bitsets over the
+  definition sites of the program; feeds the loop-invariant-branch lint
+  rule.
+* :class:`ConstantPropagation` — forward, per-register constant lattice
+  (``UNKNOWN`` > const > ``VARYING``); feeds the bounded loop-trip
+  estimates in :mod:`.heuristics`.
+* :class:`IntervalPropagation` — forward, per-register signed 32-bit
+  intervals with widening on revisit, for range questions constants
+  cannot answer.
+
+Call conservatism is shared across instances: a call clobbers the
+caller-saved registers (the ``a0`` return value and the ``ra`` link are
+redefined by it), an ``ecall`` reads and redefines ``a0``, and argument
+registers are treated as read by calls so their last writes stay live.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..isa.instructions import Format, Instruction, Opcode
+from ..sim.state import wrap32
+from .cfg import BasicBlock, ControlFlowGraph
+
+#: Register numbers (see repro.isa.registers.ABI_NAMES).
+RA, SP, A0 = 1, 2, 10
+TEMPORARIES = (5, 6, 7, 28, 29, 30, 31)             # t0-t6
+ARGUMENTS = tuple(range(10, 18))                    # a0-a7
+CALLEE_SAVED = (8, 9) + tuple(range(18, 28))        # s0-s11
+CALLER_SAVED = TEMPORARIES + ARGUMENTS
+
+ALL_REGS_MASK = (1 << 32) - 1
+
+
+def mask_of(regs: Iterable[int]) -> int:
+    """Bitmask with one bit per register number."""
+    mask = 0
+    for reg in regs:
+        mask |= 1 << reg
+    return mask
+
+
+TEMP_MASK = mask_of(TEMPORARIES)
+CALLER_MASK = mask_of(CALLER_SAVED)
+#: Defined at a function entry: everything except the temporaries.
+ENTRY_DEFINED_MASK = ALL_REGS_MASK & ~TEMP_MASK
+
+
+def instruction_reads(instr: Instruction) -> Tuple[int, ...]:
+    """Register numbers the instruction reads."""
+    fmt = instr.format
+    if fmt is Format.R or fmt is Format.B or fmt is Format.STORE:
+        return (instr.rs1, instr.rs2)
+    if fmt in (Format.I, Format.LOAD, Format.JR):
+        return (instr.rs1,)
+    if instr.opcode is Opcode.ECALL:
+        return (A0,)
+    return ()
+
+
+def instruction_defs(instr: Instruction) -> Tuple[int, ...]:
+    """Register numbers the instruction writes (never the zero register)."""
+    fmt = instr.format
+    if fmt in (Format.R, Format.I, Format.LOAD, Format.J, Format.JR,
+               Format.U):
+        return (instr.rd,) if instr.rd != 0 else ()
+    if instr.opcode is Opcode.ECALL:
+        return (A0,)
+    return ()
+
+
+class Direction(enum.Enum):
+    """Propagation direction of a dataflow problem."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowProblem(abc.ABC):
+    """Lattice + transfer interface consumed by :func:`solve`.
+
+    A state can be any immutable, equality-comparable value.  ``meet``
+    must be commutative/associative/idempotent and ``transfer`` monotone
+    with respect to the lattice order ``meet`` induces, which is what
+    guarantees a unique fixpoint independent of iteration order.
+    """
+
+    direction: Direction = Direction.FORWARD
+
+    @abc.abstractmethod
+    def initial(self, cfg: ControlFlowGraph, block_id: int) -> Any:
+        """Optimistic starting state for a block (the lattice top)."""
+
+    @abc.abstractmethod
+    def meet(self, a: Any, b: Any) -> Any:
+        """Combine states at a control-flow merge."""
+
+    @abc.abstractmethod
+    def transfer(
+        self, cfg: ControlFlowGraph, block: BasicBlock, state: Any
+    ) -> Any:
+        """Propagate a state through a block (forward: entry->exit state;
+        backward: exit->entry state)."""
+
+    def boundary(self, cfg: ControlFlowGraph, block_id: int) -> Optional[Any]:
+        """Forced input state for boundary blocks, or None.
+
+        Forward problems: a non-None value *replaces* the predecessor
+        meet as the block's in-state (e.g. function entries).  Backward
+        problems: a non-None value replaces the successor meet as the
+        block's out-state (e.g. exit liveness at returns).
+        """
+        return None
+
+    def edges_in(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Sequence[int]:
+        """Predecessors contributing to a forward in-state meet.
+
+        Override to scope an analysis (e.g. per-function: drop
+        predecessors owned by a different function).
+        """
+        return cfg.predecessors.get(block_id, ())
+
+    def edges_out(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Sequence[int]:
+        """Successors contributing to a backward out-state meet."""
+        return cfg.blocks[block_id].successors
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint states of one solved problem.
+
+    Attributes:
+        problem: the solved problem instance.
+        cfg: the analysed graph.
+        in_states: block id -> state at block entry.
+        out_states: block id -> state at block exit.
+        iterations: total block visits until the fixpoint.
+    """
+
+    problem: DataflowProblem
+    cfg: ControlFlowGraph
+    in_states: Dict[int, Any] = field(default_factory=dict)
+    out_states: Dict[int, Any] = field(default_factory=dict)
+    iterations: int = 0
+
+    def state_before(self, block_id: int) -> Any:
+        """State holding at block entry (execution order, both directions)."""
+        return self.in_states[block_id]
+
+    def state_after(self, block_id: int) -> Any:
+        """State holding at block exit (execution order, both directions)."""
+        return self.out_states[block_id]
+
+
+#: Safety valve: no monotone problem over our lattices needs anywhere
+#: near this many visits; a non-monotone transfer function would loop
+#: forever without it.
+_MAX_VISITS_FACTOR = 4096
+
+
+def solve(
+    cfg: ControlFlowGraph,
+    problem: DataflowProblem,
+    order: Optional[Sequence[int]] = None,
+) -> DataflowResult:
+    """Run *problem* to a fixpoint over the reachable blocks of *cfg*.
+
+    Args:
+        cfg: the control-flow graph.
+        problem: lattice + transfer functions.
+        order: optional initial worklist order over the reachable blocks
+            (defaults to ascending block id for forward problems and
+            descending for backward ones).  The fixpoint is independent
+            of this order; tests exploit that to shuffle it.
+
+    Returns:
+        The fixpoint :class:`DataflowResult`.
+
+    Raises:
+        RuntimeError: if the visit budget is exhausted (a non-monotone
+            transfer function).
+    """
+    reachable = cfg.reachable_blocks()
+    if order is None:
+        ascending = problem.direction is Direction.FORWARD
+        worklist = sorted(reachable, reverse=not ascending)
+    else:
+        worklist = [b for b in order if b in reachable]
+        worklist.extend(b for b in sorted(reachable) if b not in set(order))
+
+    forward = problem.direction is Direction.FORWARD
+    result = DataflowResult(problem=problem, cfg=cfg)
+    computed: Dict[int, Any] = {}  # out (forward) / in (backward)
+
+    from collections import deque
+
+    queue = deque(worklist)
+    queued = set(queue)
+    budget = _MAX_VISITS_FACTOR * max(1, len(reachable))
+    visits = 0
+    while queue:
+        visits += 1
+        if visits > budget:
+            raise RuntimeError(
+                "dataflow solver exceeded its visit budget: "
+                "non-monotone transfer function?"
+            )
+        block_id = queue.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+
+        boundary = problem.boundary(cfg, block_id)
+        if boundary is not None:
+            joined = boundary
+        else:
+            if forward:
+                feeders = [
+                    p for p in problem.edges_in(cfg, block_id)
+                    if p in reachable
+                ]
+            else:
+                feeders = [
+                    s for s in problem.edges_out(cfg, block_id)
+                    if s in reachable
+                ]
+            joined = None
+            for feeder in feeders:
+                contribution = computed.get(feeder)
+                if contribution is None:
+                    continue
+                joined = (
+                    contribution if joined is None
+                    else problem.meet(joined, contribution)
+                )
+            if joined is None:
+                joined = problem.initial(cfg, block_id)
+
+        new_state = problem.transfer(cfg, block, joined)
+        if forward:
+            result.in_states[block_id] = joined
+            result.out_states[block_id] = new_state
+        else:
+            result.out_states[block_id] = joined
+            result.in_states[block_id] = new_state
+        if computed.get(block_id) == new_state and block_id in computed:
+            continue
+        computed[block_id] = new_state
+        dependents = (
+            cfg.blocks[block_id].successors if forward
+            else cfg.predecessors.get(block_id, ())
+        )
+        for dep in dependents:
+            if dep in reachable and dep not in queued:
+                queue.append(dep)
+                queued.add(dep)
+    result.iterations = visits
+    return result
+
+
+def function_attribution(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Block id -> owning function entry, by address-extent attribution.
+
+    Shared by every per-function analysis: a block belongs to the nearest
+    function entry at or before it in address order.
+    """
+    entries = sorted(cfg.function_entries | {cfg.entry})
+    function_of: Dict[int, int] = {}
+    for block in cfg.blocks:
+        pos = bisect_right(entries, block.index)
+        function_of[block.index] = entries[pos - 1] if pos else cfg.entry
+    return function_of
+
+
+# --------------------------------------------------------------------------- #
+# Instance: must-defined registers (forward, intersection over a mask)
+# --------------------------------------------------------------------------- #
+
+
+class MustDefinedRegisters(DataflowProblem):
+    """Registers guaranteed written on *every* path from the function entry.
+
+    Per-function: block in-states only meet predecessors of the same
+    function, and function entries are boundary blocks starting from
+    :data:`ENTRY_DEFINED_MASK` (everything but the temporaries).  The
+    lint pass reports temporary reads that can see an undefined bit.
+    """
+
+    direction = Direction.FORWARD
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self._function_of = function_attribution(cfg)
+
+    def initial(self, cfg: ControlFlowGraph, block_id: int) -> int:
+        return ALL_REGS_MASK  # top: optimistically all defined
+
+    def meet(self, a: int, b: int) -> int:
+        return a & b
+
+    def boundary(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Optional[int]:
+        if block_id == cfg.entry or block_id in cfg.function_entries:
+            return ENTRY_DEFINED_MASK
+        return None
+
+    def edges_in(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Sequence[int]:
+        fn = self._function_of[block_id]
+        return [
+            p for p in cfg.predecessors.get(block_id, ())
+            if self._function_of[p] == fn
+        ]
+
+    def transfer(
+        self, cfg: ControlFlowGraph, block: BasicBlock, state: int
+    ) -> int:
+        for i in range(block.start, block.end):
+            instr = cfg.program.instructions[i]
+            for reg in instruction_defs(instr):
+                state |= 1 << reg
+            if instr.is_call:
+                # the callee clobbers caller-saved registers; a0 returns
+                # a value and ra holds the link
+                state &= ~CALLER_MASK
+                state |= (1 << A0) | (1 << RA)
+        return state
+
+
+# --------------------------------------------------------------------------- #
+# Instance: live registers (backward, union over a mask)
+# --------------------------------------------------------------------------- #
+
+#: Conservatively live when control leaves a function: the return value,
+#: everything the caller expects preserved, and the stack/link plumbing.
+EXIT_LIVE_MASK = mask_of((A0, 11, RA, SP, 3, 4) + CALLEE_SAVED)
+
+
+class LiveRegisters(DataflowProblem):
+    """Backward liveness over a 32-bit register mask.
+
+    Calls read the argument registers (a write to ``a0``–``a7`` before a
+    call is live) and define the caller-saved set; blocks without
+    successors (returns, halts) start from :data:`EXIT_LIVE_MASK` so
+    values with post-function consumers are never reported dead.
+    """
+
+    direction = Direction.BACKWARD
+
+    def initial(self, cfg: ControlFlowGraph, block_id: int) -> int:
+        return 0  # top for a union problem: nothing live yet
+
+    def meet(self, a: int, b: int) -> int:
+        return a | b
+
+    def boundary(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Optional[int]:
+        if not cfg.blocks[block_id].successors:
+            return EXIT_LIVE_MASK
+        return None
+
+    def transfer(
+        self, cfg: ControlFlowGraph, block: BasicBlock, state: int
+    ) -> int:
+        return self.through_block(cfg, block, state, None)
+
+    @staticmethod
+    def through_instruction(
+        instr: Instruction, live: int
+    ) -> int:
+        """Liveness immediately before *instr* given liveness after it."""
+        if instr.is_call:
+            # callee may read arguments and clobbers caller-saved regs
+            live &= ~(CALLER_MASK | (1 << instr.rd if instr.rd else 0))
+            live |= mask_of(ARGUMENTS)
+            if instr.format is Format.JR:
+                live |= 1 << instr.rs1
+            return live
+        for reg in instruction_defs(instr):
+            live &= ~(1 << reg)
+        for reg in instruction_reads(instr):
+            live |= 1 << reg
+        return live
+
+    @classmethod
+    def through_block(
+        cls,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        live_out: int,
+        observe=None,
+    ) -> int:
+        """Walk *block* backwards; ``observe(instr_index, live_after)`` is
+        called per instruction with the liveness *after* it (the dead-store
+        rule hooks in here)."""
+        live = live_out
+        for i in range(block.end - 1, block.start - 1, -1):
+            instr = cfg.program.instructions[i]
+            if observe is not None:
+                observe(i, live)
+            live = cls.through_instruction(instr, live)
+        return live
+
+
+# --------------------------------------------------------------------------- #
+# Instance: reaching definitions (forward, union over per-register bitsets)
+# --------------------------------------------------------------------------- #
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Which definition sites can reach each point, per register.
+
+    States are tuples of 32 ints; bit *k* of entry *r* is set when the
+    *k*-th definition site of register *r* (see :attr:`def_sites`) can
+    reach the program point.  Calls define every caller-saved register
+    (plus ``ra``) at the call instruction, ``ecall`` defines ``a0``.
+    Bit 0 of every entry is the synthetic boundary definition (the value
+    the register had when the function was entered).
+    """
+
+    direction = Direction.FORWARD
+
+    #: Synthetic "defined at entry" site, bit 0 of every register.
+    ENTRY_SITE = -1
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        #: per register: ordered list of defining instruction indices
+        self.def_sites: List[List[int]] = [[] for _ in range(32)]
+        self._site_bit: Dict[Tuple[int, int], int] = {}
+        for i, instr in enumerate(cfg.program.instructions):
+            for reg in self._defined_regs(instr):
+                bit = len(self.def_sites[reg]) + 1  # bit 0 = entry
+                self.def_sites[reg].append(i)
+                self._site_bit[(reg, i)] = bit
+        self._entry_state = tuple(1 for _ in range(32))
+
+    @staticmethod
+    def _defined_regs(instr: Instruction) -> Tuple[int, ...]:
+        defs = instruction_defs(instr)
+        if instr.is_call:
+            extra = tuple(
+                r for r in CALLER_SAVED + (RA,) if r not in defs
+            )
+            return defs + extra
+        return defs
+
+    def sites_reaching(
+        self, state: Tuple[int, ...], reg: int
+    ) -> List[int]:
+        """Definition instruction indices encoded in *state* for *reg*
+        (:data:`ENTRY_SITE` for the synthetic entry definition)."""
+        bits = state[reg]
+        sites: List[int] = []
+        if bits & 1:
+            sites.append(self.ENTRY_SITE)
+        for k, site in enumerate(self.def_sites[reg]):
+            if bits & (1 << (k + 1)):
+                sites.append(site)
+        return sites
+
+    def initial(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Tuple[int, ...]:
+        return tuple(0 for _ in range(32))
+
+    def boundary(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Optional[Tuple[int, ...]]:
+        if block_id == cfg.entry or block_id in cfg.function_entries:
+            return self._entry_state
+        return None
+
+    def meet(
+        self, a: Tuple[int, ...], b: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        return tuple(x | y for x, y in zip(a, b))
+
+    def transfer(
+        self, cfg: ControlFlowGraph, block: BasicBlock, state: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        regs = list(state)
+        for i in range(block.start, block.end):
+            instr = cfg.program.instructions[i]
+            for reg in self._defined_regs(instr):
+                regs[reg] = 1 << self._site_bit[(reg, i)]
+        return tuple(regs)
+
+
+# --------------------------------------------------------------------------- #
+# Instance: constant propagation (forward, flat constant lattice)
+# --------------------------------------------------------------------------- #
+
+
+class _Unknown:
+    """Lattice top: no path has written the register yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UNKNOWN"
+
+
+class _Varying:
+    """Lattice bottom: the register holds different values on
+    different paths (or a value the analysis cannot model)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "VARYING"
+
+
+UNKNOWN = _Unknown()
+VARYING = _Varying()
+
+ConstValue = Any  # UNKNOWN | VARYING | int
+
+
+class ConstantPropagation(DataflowProblem):
+    """Per-register constant values over the flat lattice
+    ``UNKNOWN > const > VARYING``.
+
+    ALU operations fold when every operand is constant (with the
+    simulator's wrap-to-32-bit semantics); loads, calls and ``ecall``
+    results are :data:`VARYING`.  Register ``zero`` is the constant 0
+    everywhere.  Function entries treat every other register as
+    :data:`VARYING` (inputs are arbitrary).
+    """
+
+    direction = Direction.FORWARD
+
+    def __init__(self) -> None:
+        entry = [VARYING] * 32
+        entry[0] = 0
+        self._entry_state = tuple(entry)
+
+    def initial(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Tuple[ConstValue, ...]:
+        state = [UNKNOWN] * 32
+        state[0] = 0
+        return tuple(state)
+
+    def boundary(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Optional[Tuple[ConstValue, ...]]:
+        if block_id == cfg.entry or block_id in cfg.function_entries:
+            return self._entry_state
+        return None
+
+    @staticmethod
+    def meet_values(a: ConstValue, b: ConstValue) -> ConstValue:
+        if a is UNKNOWN:
+            return b
+        if b is UNKNOWN:
+            return a
+        if a is VARYING or b is VARYING:
+            return VARYING
+        return a if a == b else VARYING
+
+    def meet(
+        self, a: Tuple[ConstValue, ...], b: Tuple[ConstValue, ...]
+    ) -> Tuple[ConstValue, ...]:
+        return tuple(
+            self.meet_values(x, y) for x, y in zip(a, b)
+        )
+
+    def transfer(
+        self,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        state: Tuple[ConstValue, ...],
+    ) -> Tuple[ConstValue, ...]:
+        regs = list(state)
+        for i in range(block.start, block.end):
+            self.step(cfg.program.instructions[i], regs)
+        return tuple(regs)
+
+    @classmethod
+    def step(cls, instr: Instruction, regs: List[ConstValue]) -> None:
+        """Apply one instruction to a mutable 32-entry value list."""
+        if instr.is_call:
+            for reg in CALLER_SAVED + (RA,):
+                regs[reg] = VARYING
+            return
+        if instr.opcode is Opcode.ECALL:
+            regs[A0] = VARYING
+            return
+        defs = instruction_defs(instr)
+        if not defs:
+            return
+        rd = defs[0]
+        regs[rd] = cls._evaluate(instr, regs)
+        regs[0] = 0  # the zero register never changes
+
+    @staticmethod
+    def _evaluate(
+        instr: Instruction, regs: Sequence[ConstValue]
+    ) -> ConstValue:
+        op = instr.opcode
+        fmt = instr.format
+        if fmt is Format.LOAD or fmt is Format.JR:
+            return VARYING  # memory / link values are out of model
+        if fmt is Format.J:
+            return VARYING  # link address: representable but unused
+        if fmt is Format.U:
+            return wrap32(instr.imm << 16)
+        a = regs[instr.rs1]
+        if a is UNKNOWN or a is VARYING:
+            if fmt is Format.I:
+                return VARYING if a is VARYING else UNKNOWN
+            b_probe = regs[instr.rs2]
+            if a is VARYING or b_probe is VARYING:
+                return VARYING
+            return UNKNOWN
+        if fmt is Format.I:
+            b: ConstValue = instr.imm
+        else:
+            b = regs[instr.rs2]
+            if b is UNKNOWN or b is VARYING:
+                return b
+        return _fold(op, a, b)
+
+
+def _fold(op: Opcode, a: int, b: int) -> ConstValue:
+    """Constant-fold one ALU operation with simulator semantics."""
+    from ..sim.state import unsigned32
+
+    if op in (Opcode.ADD, Opcode.ADDI):
+        return wrap32(a + b)
+    if op is Opcode.SUB:
+        return wrap32(a - b)
+    if op is Opcode.MUL:
+        return wrap32(a * b)
+    if op is Opcode.DIV:
+        if b == 0:
+            return -1
+        q = abs(a) // abs(b)
+        return wrap32(-q if (a < 0) != (b < 0) else q)
+    if op is Opcode.REM:
+        if b == 0:
+            return a
+        r = abs(a) % abs(b)
+        return wrap32(-r if a < 0 else r)
+    if op in (Opcode.AND, Opcode.ANDI):
+        return a & b
+    if op in (Opcode.OR, Opcode.ORI):
+        return a | b
+    if op in (Opcode.XOR, Opcode.XORI):
+        return a ^ b
+    if op in (Opcode.SLL, Opcode.SLLI):
+        return wrap32(a << (b & 31))
+    if op in (Opcode.SRL, Opcode.SRLI):
+        return wrap32(unsigned32(a) >> (b & 31))
+    if op in (Opcode.SRA, Opcode.SRAI):
+        return a >> (b & 31)
+    if op in (Opcode.SLT, Opcode.SLTI):
+        return 1 if a < b else 0
+    if op is Opcode.SLTU:
+        return 1 if unsigned32(a) < unsigned32(b) else 0
+    return VARYING
+
+
+# --------------------------------------------------------------------------- #
+# Instance: interval propagation (forward, widened signed ranges)
+# --------------------------------------------------------------------------- #
+
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+#: (lo, hi) covering every representable value.
+FULL_RANGE = (INT32_MIN, INT32_MAX)
+
+Interval = Optional[Tuple[int, int]]  # None = unknown-yet (lattice top)
+
+
+class IntervalPropagation(DataflowProblem):
+    """Per-register signed 32-bit ranges with widening.
+
+    The value lattice is ``None`` (no path yet) above ``(lo, hi)``
+    intervals ordered by containment, with :data:`FULL_RANGE` at the
+    bottom.  To keep the chain finite, a bound that grows when a block
+    is re-met widens straight to the respective extreme — the classic
+    jump-to-infinity widening, which converges in at most two visits
+    per edge.
+    """
+
+    direction = Direction.FORWARD
+
+    def __init__(self) -> None:
+        entry: List[Interval] = [FULL_RANGE] * 32
+        entry[0] = (0, 0)
+        self._entry_state = tuple(entry)
+
+    def initial(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Tuple[Interval, ...]:
+        state: List[Interval] = [None] * 32
+        state[0] = (0, 0)
+        return tuple(state)
+
+    def boundary(
+        self, cfg: ControlFlowGraph, block_id: int
+    ) -> Optional[Tuple[Interval, ...]]:
+        if block_id == cfg.entry or block_id in cfg.function_entries:
+            return self._entry_state
+        return None
+
+    @staticmethod
+    def meet_values(a: Interval, b: Interval) -> Interval:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a == b:
+            return a
+        # widening: any bound that moved jumps to its extreme
+        lo = a[0] if b[0] >= a[0] else INT32_MIN
+        hi = a[1] if b[1] <= a[1] else INT32_MAX
+        return (lo, hi)
+
+    def meet(
+        self, a: Tuple[Interval, ...], b: Tuple[Interval, ...]
+    ) -> Tuple[Interval, ...]:
+        return tuple(self.meet_values(x, y) for x, y in zip(a, b))
+
+    def transfer(
+        self,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        state: Tuple[Interval, ...],
+    ) -> Tuple[Interval, ...]:
+        regs = list(state)
+        for i in range(block.start, block.end):
+            instr = cfg.program.instructions[i]
+            if instr.is_call:
+                for reg in CALLER_SAVED + (RA,):
+                    regs[reg] = FULL_RANGE
+                continue
+            if instr.opcode is Opcode.ECALL:
+                regs[A0] = FULL_RANGE
+                continue
+            defs = instruction_defs(instr)
+            if not defs:
+                continue
+            regs[defs[0]] = self._evaluate(instr, regs)
+            regs[0] = (0, 0)
+        return tuple(regs)
+
+    @staticmethod
+    def _evaluate(
+        instr: Instruction, regs: Sequence[Interval]
+    ) -> Interval:
+        op = instr.opcode
+        fmt = instr.format
+        if fmt is Format.U:
+            value = wrap32(instr.imm << 16)
+            return (value, value)
+        if fmt in (Format.LOAD, Format.J, Format.JR):
+            return FULL_RANGE
+        a = regs[instr.rs1]
+        if a is None:
+            return None
+        if fmt is Format.I:
+            b: Interval = (instr.imm, instr.imm)
+        else:
+            b = regs[instr.rs2]
+            if b is None:
+                return None
+        if op in (Opcode.ADD, Opcode.ADDI):
+            lo, hi = a[0] + b[0], a[1] + b[1]
+            if lo < INT32_MIN or hi > INT32_MAX:
+                return FULL_RANGE
+            return (lo, hi)
+        if op is Opcode.SUB:
+            lo, hi = a[0] - b[1], a[1] - b[0]
+            if lo < INT32_MIN or hi > INT32_MAX:
+                return FULL_RANGE
+            return (lo, hi)
+        if op in (Opcode.SLT, Opcode.SLTI, Opcode.SLTU):
+            return (0, 1)
+        if op in (Opcode.AND, Opcode.ANDI):
+            if b[0] == b[1] and b[0] >= 0:
+                return (0, b[0])
+            if a[0] == a[1] and a[0] >= 0:
+                return (0, a[0])
+            return FULL_RANGE
+        return FULL_RANGE
+
+
+__all__ = [
+    "ALL_REGS_MASK",
+    "ARGUMENTS",
+    "CALLEE_SAVED",
+    "CALLER_SAVED",
+    "ConstantPropagation",
+    "DataflowProblem",
+    "DataflowResult",
+    "Direction",
+    "ENTRY_DEFINED_MASK",
+    "EXIT_LIVE_MASK",
+    "FULL_RANGE",
+    "INT32_MAX",
+    "INT32_MIN",
+    "IntervalPropagation",
+    "LiveRegisters",
+    "MustDefinedRegisters",
+    "ReachingDefinitions",
+    "TEMPORARIES",
+    "UNKNOWN",
+    "VARYING",
+    "function_attribution",
+    "instruction_defs",
+    "instruction_reads",
+    "mask_of",
+    "solve",
+]

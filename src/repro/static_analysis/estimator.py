@@ -7,13 +7,16 @@ program structure alone:
 
 * two branches interleave when they execute repeatedly in alternation,
   which statically means they share an enclosing loop;
-* the deeper the shared loop, the more alternations — so the predicted
-  interleave weight is ``loop_iters ** depth`` of the deepest *common*
-  loop, decaying geometrically across nesting levels;
+* the predicted interleave weight of a loop is the **product of the
+  trip estimates along its nesting chain** — counted loops contribute
+  their exact bound, unbounded loops a depth-weighted default (see
+  :func:`~repro.static_analysis.heuristics.estimate_loop_trips`), so an
+  inner 5-iteration loop under a 3-iteration outer loop predicts 15
+  executions, not the old flat ``iters ** depth`` guess;
 * loop membership is **interprocedural**: a branch inside a kernel called
   from a phase loop executes under that loop, so callee branches inherit
-  the loop context of their call sites (propagated transitively through
-  the call graph).
+  the loop context — and the trip-product weight — of their call sites
+  (propagated transitively through the call graph).
 
 The result is emitted as the same :class:`~repro.analysis.conflict_graph.
 ConflictGraph` the profiled pipeline produces, so
@@ -24,20 +27,23 @@ consumer run unchanged — without any simulation.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..analysis.conflict_graph import DEFAULT_THRESHOLD, ConflictGraph
 from ..isa.program import Program
 from .cfg import ControlFlowGraph, build_cfg
 from .dominators import DominatorTree, compute_dominators
+from .heuristics import (
+    DEFAULT_LOOP_ITERS,
+    LoopTripEstimate,
+    estimate_loop_trips,
+)
 from .loops import LoopForest, find_loops
 
-#: Assumed iteration count per loop level (the geometric decay base).
-DEFAULT_LOOP_ITERS = 10
-
-#: Effective-depth cap: keeps weights bounded even for pathological
-#: nesting or recursive call chains.
+#: Cap exponent: no weight exceeds ``loop_iters ** MAX_EFFECTIVE_DEPTH``,
+#: keeping products bounded even for pathological nesting or recursive
+#: call chains.
 MAX_EFFECTIVE_DEPTH = 12
 
 
@@ -52,9 +58,11 @@ class StaticConflictEstimate:
         loops: the loop nesting forest.
         branch_loops: branch PC -> loop ids in its (interprocedural)
             context.
-        effective_depth: loop id -> nesting depth including inherited
-            call-site context.
-        loop_iters: the decay base used.
+        trip_estimates: loop id -> per-entry trip estimate.
+        loop_weights: loop id -> predicted executions of the loop body
+            (trip products along the nesting chain, times the inherited
+            call-site context).
+        loop_iters: the fallback iteration base used.
         threshold: minimum predicted weight for an edge to survive.
     """
 
@@ -63,7 +71,8 @@ class StaticConflictEstimate:
     dominators: DominatorTree
     loops: LoopForest
     branch_loops: Dict[int, FrozenSet[int]]
-    effective_depth: Dict[int, int]
+    trip_estimates: Dict[int, LoopTripEstimate]
+    loop_weights: Dict[int, int]
     loop_iters: int
     threshold: int
 
@@ -89,7 +98,8 @@ class StaticConflictEstimator:
     ) -> None:
         """
         Args:
-            loop_iters: assumed iterations per loop nesting level.
+            loop_iters: fallback iteration base for unbounded loops
+                (counted loops use their derived trip counts).
             threshold: prune predicted edges below this weight (matches
                 the profiled pipeline's edge threshold).
 
@@ -112,13 +122,30 @@ class StaticConflictEstimator:
         forest = find_loops(cfg, dom)
 
         function_of = _function_attribution(cfg)
-        ctx_depth, inherited = _call_contexts(cfg, forest, function_of)
+        trips = estimate_loop_trips(cfg, forest, base_iters=self.loop_iters)
+        cap = self.loop_iters ** MAX_EFFECTIVE_DEPTH
 
-        effective_depth: Dict[int, int] = {}
+        # intra-procedural chain products: a loop body runs once per
+        # iteration of every enclosing loop
+        chain_weight: Dict[int, int] = {}
         for loop in forest.loops:
-            base = ctx_depth.get(function_of[loop.header], 0)
-            effective_depth[loop.index] = min(
-                loop.depth + base, MAX_EFFECTIVE_DEPTH
+            weight, node = 1, loop
+            while True:
+                weight = min(cap, weight * trips[node.index].trips)
+                if node.parent is None:
+                    break
+                node = forest.loops[node.parent]
+            chain_weight[loop.index] = weight
+
+        ctx_weight, inherited = _call_contexts(
+            cfg, forest, function_of, chain_weight, cap
+        )
+
+        loop_weights: Dict[int, int] = {}
+        for loop in forest.loops:
+            context = ctx_weight.get(function_of[loop.header], 1)
+            loop_weights[loop.index] = min(
+                cap, chain_weight[loop.index] * context
             )
 
         # per-branch interprocedural loop context
@@ -128,14 +155,15 @@ class StaticConflictEstimator:
             local |= inherited.get(function_of[block_id], frozenset())
             branch_loops[pc] = frozenset(local)
 
-        graph = self._build_graph(branch_loops, effective_depth)
+        graph = self._build_graph(branch_loops, loop_weights)
         return StaticConflictEstimate(
             graph=graph,
             cfg=cfg,
             dominators=dom,
             loops=forest,
             branch_loops=branch_loops,
-            effective_depth=effective_depth,
+            trip_estimates=trips,
+            loop_weights=loop_weights,
             loop_iters=self.loop_iters,
             threshold=self.threshold,
         )
@@ -143,38 +171,29 @@ class StaticConflictEstimator:
     def _build_graph(
         self,
         branch_loops: Dict[int, FrozenSet[int]],
-        effective_depth: Dict[int, int],
+        loop_weights: Dict[int, int],
     ) -> ConflictGraph:
         graph = ConflictGraph()
         for pc, loops in branch_loops.items():
-            depth = max(
-                (effective_depth[l] for l in loops), default=0
+            graph.add_node(
+                pc, max((loop_weights[l] for l in loops), default=1)
             )
-            graph.add_node(pc, self.loop_iters ** depth)
 
-        # minimum depth whose predicted weight survives the prune: loops
-        # shallower than this cannot contribute a kept edge, which keeps
-        # the all-pairs work off the huge outermost loops
-        min_depth = 0
-        while (
-            self.threshold > 0
-            and self.loop_iters ** min_depth < self.threshold
-        ):
-            min_depth += 1
-
+        # only loops whose weight survives the prune can contribute a
+        # kept edge, which keeps the all-pairs work off the light loops
         members: Dict[int, List[int]] = {}
         for pc, loops in branch_loops.items():
             for loop_id in loops:
-                if effective_depth[loop_id] >= min_depth:
+                if loop_weights[loop_id] >= self.threshold:
                     members.setdefault(loop_id, []).append(pc)
 
-        # deepest loops first: the first loop that covers a pair is its
-        # deepest common loop, which fixes the pair's weight
+        # heaviest loops first: the first loop that covers a pair is its
+        # heaviest (deepest) common loop, which fixes the pair's weight
         assigned: Set[Tuple[int, int]] = set()
         for loop_id in sorted(
-            members, key=lambda l: (-effective_depth[l], l)
+            members, key=lambda l: (-loop_weights[l], l)
         ):
-            weight = self.loop_iters ** effective_depth[loop_id]
+            weight = loop_weights[loop_id]
             pcs = sorted(members[loop_id])
             for i, a in enumerate(pcs):
                 for b in pcs[i + 1 :]:
@@ -215,52 +234,65 @@ def _call_contexts(
     cfg: ControlFlowGraph,
     forest: LoopForest,
     function_of: Dict[int, int],
+    chain_weight: Dict[int, int],
+    cap: int,
 ) -> Tuple[Dict[int, int], Dict[int, FrozenSet[int]]]:
     """Propagate loop context through the call graph.
 
     Returns:
-        (ctx_depth, inherited): per function entry, the maximum loop depth
-        its call sites sit under, and the set of loop ids a call to it
-        executes beneath — both transitive through callers, fixpointed,
-        with depth capped so recursion terminates.
+        (ctx_weight, inherited): per function entry, the heaviest
+        trip-product weight its call sites execute under, and the set of
+        loop ids a call to it executes beneath — both transitive through
+        callers, fixpointed, with weights capped so recursion terminates.
     """
     # call sites grouped by callee function
     sites: Dict[int, List[int]] = {}
     for caller_block, callee_entry in cfg.call_sites:
         sites.setdefault(callee_entry, []).append(caller_block)
 
-    ctx_depth: Dict[int, int] = {}
+    ctx_weight: Dict[int, int] = {}
     inherited: Dict[int, Set[int]] = {}
     changed = True
     rounds = 0
-    while changed and rounds <= MAX_EFFECTIVE_DEPTH:
+    # weights are monotone and capped: each productive round at least
+    # doubles some entry, so log2(cap) rounds suffice — the bound only
+    # guards against a non-terminating corner
+    max_rounds = max(8, cap.bit_length() + len(sites))
+    while changed and rounds <= max_rounds:
         changed = False
         rounds += 1
         for callee, callers in sites.items():
-            depth = ctx_depth.get(callee, 0)
+            weight = ctx_weight.get(callee, 1)
             loops: Set[int] = set(inherited.get(callee, ()))
             for caller_block in callers:
                 caller_fn = function_of[caller_block]
                 local = forest.by_block.get(caller_block, [])
-                local_depth = (
-                    forest.loops[local[0]].depth if local else 0
-                )
-                depth = max(
-                    depth,
+                local_weight = chain_weight[local[0]] if local else 1
+                weight = max(
+                    weight,
                     min(
-                        local_depth + ctx_depth.get(caller_fn, 0),
-                        MAX_EFFECTIVE_DEPTH,
+                        local_weight * ctx_weight.get(caller_fn, 1),
+                        cap,
                     ),
                 )
                 loops.update(local)
                 loops.update(inherited.get(caller_fn, ()))
-            if depth != ctx_depth.get(callee, 0) or loops != inherited.get(
+            if weight != ctx_weight.get(callee, 1) or loops != inherited.get(
                 callee, set()
             ):
-                ctx_depth[callee] = depth
+                ctx_weight[callee] = weight
                 inherited[callee] = loops
                 changed = True
 
-    return ctx_depth, {
+    return ctx_weight, {
         fn: frozenset(loops) for fn, loops in inherited.items()
     }
+
+
+__all__ = [
+    "DEFAULT_LOOP_ITERS",
+    "MAX_EFFECTIVE_DEPTH",
+    "StaticConflictEstimate",
+    "StaticConflictEstimator",
+    "estimate_conflict_graph",
+]

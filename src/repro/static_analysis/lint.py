@@ -1,24 +1,55 @@
 """Static lint/verifier pass over assembled programs.
 
 Structured diagnostics for the defects the assembler cannot (or does not)
-reject:
+reject.  The register rules all run on the generic dataflow engine in
+:mod:`.dataflow` — must-defined for use-before-def, liveness for dead
+stores, reaching definitions for loop-invariant branch conditions.
 
-====================  ========  =============================================
-code                  severity  meaning
-====================  ========  =============================================
-``asm-error``         error     source failed to assemble (undefined or
-                                duplicate label, syntax error) — only
-                                produced by :func:`lint_source`
-``branch-to-data``    error     branch/jump target outside the text segment
-``fallthrough-end``   error     a reachable path runs off the end of text
-``unreachable``       warning   basic block no control path reaches (the
-                                assembler's ``.skip`` scatter padding is
-                                recognised and suppressed)
-``use-before-def``    warning   a caller-saved temporary read before any
-                                write on some path from the function entry
-                                (including clobbers across calls)
-``empty-program``     warning   the text segment holds no instructions
-====================  ========  =============================================
+=================================  ========  ================================
+code                               severity  meaning
+=================================  ========  ================================
+``asm-error``                      error     source failed to assemble
+                                             (undefined or duplicate label,
+                                             syntax error) — only produced
+                                             by :func:`lint_source`
+``branch-to-data``                 error     branch/jump target outside the
+                                             text segment
+``fallthrough-end``                error     a reachable path runs off the
+                                             end of text
+``unreachable``                    warning   basic block no control path
+                                             reaches, entered by fallthrough
+                                             from other dead code
+``unreachable-after-unconditional``  warning  basic block no control path
+                                             reaches, sitting right after an
+                                             unconditional transfer (jump,
+                                             return, halt) — the common
+                                             orphaned-label shape (the
+                                             assembler's ``.skip`` scatter
+                                             padding is recognised and
+                                             suppressed)
+``use-before-def``                 warning   a caller-saved temporary read
+                                             before any write on some path
+                                             from the function entry
+                                             (including clobbers across
+                                             calls)
+``dead-store``                     warning   a write to a temporary register
+                                             that no path reads before it is
+                                             overwritten, clobbered by a
+                                             call, or control leaves the
+                                             function
+``loop-invariant-branch``          warning   a conditional branch inside a
+                                             loop whose condition registers
+                                             have no reaching definition in
+                                             the loop body — it decides the
+                                             same way every iteration
+``jump-table-conflict``            warning   an address-taken (jump-table)
+                                             label that ordinary control
+                                             flow also enters — the block
+                                             has both indirect-jump and
+                                             direct/fallthrough predecessors
+``empty-program``                  warning   the text segment holds no
+                                             instructions
+=================================  ========  ================================
 
 Register discipline: at a function entry ``zero``/``ra``/``sp``/``gp``/
 ``tp``, the arguments ``a0``–``a7`` and the callee-saved ``s0``–``s11``
@@ -29,32 +60,29 @@ clobbers every caller-saved register except the ``a0`` return value; an
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..asm.lexer import AsmSyntaxError
-from ..isa.instructions import Format, Instruction, Opcode
 from ..isa.program import Program
 from ..isa.registers import register_name
 from .cfg import ControlFlowGraph, build_cfg
+from .dataflow import (
+    A0 as _A0,
+    CALLER_SAVED,
+    RA as _RA,
+    TEMPORARIES,
+    LiveRegisters,
+    MustDefinedRegisters,
+    ReachingDefinitions,
+    instruction_defs,
+    instruction_reads,
+    mask_of,
+    solve,
+)
 
-#: Register numbers (see repro.isa.registers.ABI_NAMES).
-_RA, _A0 = 1, 10
-_TEMPORARIES = (5, 6, 7, 28, 29, 30, 31)            # t0-t6
-_ARGUMENTS = tuple(range(10, 18))                   # a0-a7
-_CALLER_SAVED = _TEMPORARIES + _ARGUMENTS
-
-_ALL_MASK = (1 << 32) - 1
-_TEMP_MASK = 0
-for _r in _TEMPORARIES:
-    _TEMP_MASK |= 1 << _r
-_CALLER_MASK = 0
-for _r in _CALLER_SAVED:
-    _CALLER_MASK |= 1 << _r
-#: Defined at function entry: everything except the temporaries.
-_ENTRY_MASK = _ALL_MASK & ~_TEMP_MASK
+_CALLER_MASK = mask_of(CALLER_SAVED)
+from .loops import LoopForest, find_loops
 
 
 @dataclass(frozen=True)
@@ -77,6 +105,15 @@ class Diagnostic:
     def render(self) -> str:
         where = f"0x{self.address:08x}: " if self.address is not None else ""
         return f"{self.severity}: {where}{self.message} [{self.code}]"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (for the CLI envelope)."""
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+            "address": self.address,
+        }
 
 
 @dataclass
@@ -112,6 +149,17 @@ class LintReport:
         lines.extend(f"  {d.render()}" for d in self.diagnostics)
         return "\n".join(lines)
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (for the CLI envelope)."""
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "clean": self.clean,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
 
 def lint_program(
     program: Program, check_registers: bool = True
@@ -120,8 +168,9 @@ def lint_program(
 
     Args:
         program: an assembled program.
-        check_registers: include the use-before-def dataflow (the one
-            check whose cost grows with program size).
+        check_registers: include the dataflow-backed register checks
+            (use-before-def, dead-store, loop-invariant-branch — the
+            checks whose cost grows with program size).
     """
     diagnostics: List[Diagnostic] = []
     if not program.instructions:
@@ -135,8 +184,11 @@ def lint_program(
     diagnostics.extend(_check_branch_targets(program))
     diagnostics.extend(_check_fallthrough(cfg))
     diagnostics.extend(_check_unreachable(cfg))
+    diagnostics.extend(_check_jump_table_conflicts(cfg))
     if check_registers:
         diagnostics.extend(_check_use_before_def(cfg))
+        diagnostics.extend(_check_dead_stores(cfg))
+        diagnostics.extend(_check_loop_invariant_branches(cfg))
     diagnostics.sort(
         key=lambda d: (d.address if d.address is not None else -1, d.code)
     )
@@ -209,127 +261,179 @@ def _check_unreachable(cfg: ControlFlowGraph) -> List[Diagnostic]:
     for block in cfg.blocks:
         if block.index in reachable or block.is_padding or len(block) == 0:
             continue
+        # orphaned label right after a jump/return/halt, or dead code only
+        # entered by fallthrough from other dead code?
+        preceding = (
+            cfg.program.instructions[block.start - 1]
+            if block.start > 0 else None
+        )
+        after_unconditional = (
+            preceding is None or not preceding.falls_through
+        )
         found.append(
             Diagnostic(
-                "warning", "unreachable",
-                f"unreachable block of {len(block)} instruction(s)",
+                "warning",
+                "unreachable-after-unconditional" if after_unconditional
+                else "unreachable",
+                f"unreachable block of {len(block)} instruction(s)"
+                + (" after an unconditional transfer"
+                   if after_unconditional else ""),
                 address=cfg.address_of(block),
             )
         )
     return found
 
 
-def _instruction_reads(instr: Instruction) -> Tuple[int, ...]:
-    fmt = instr.format
-    if fmt is Format.R or fmt is Format.B:
-        return (instr.rs1, instr.rs2)
-    if fmt is Format.STORE:
-        return (instr.rs1, instr.rs2)
-    if fmt in (Format.I, Format.LOAD, Format.JR):
-        return (instr.rs1,)
-    if instr.opcode is Opcode.ECALL:
-        return (_A0,)
-    return ()
+def _check_jump_table_conflicts(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """Address-taken labels that ordinary control flow also enters.
 
-
-def _instruction_defs(instr: Instruction) -> Tuple[int, ...]:
-    fmt = instr.format
-    if fmt in (Format.R, Format.I, Format.LOAD, Format.J, Format.JR,
-               Format.U):
-        return (instr.rd,) if instr.rd != 0 else ()
-    if instr.opcode is Opcode.ECALL:
-        return (_A0,)
-    return ()
+    Such a block has two kinds of predecessors — indirect jumps (via the
+    jump table) and direct branches or fallthrough — which defeats any
+    single-entry region assumption (superblock formation must end a
+    region at it) and usually signals a label doing double duty."""
+    found: List[Diagnostic] = []
+    for block_id in sorted(cfg.indirect_targets):
+        direct = [
+            p for p in cfg.predecessors.get(block_id, ())
+            if not cfg.terminator(cfg.blocks[p]).is_indirect_jump
+        ]
+        if direct:
+            found.append(
+                Diagnostic(
+                    "warning", "jump-table-conflict",
+                    "jump-table target is also entered by direct control "
+                    f"flow from {len(direct)} block(s)",
+                    address=cfg.address_of(cfg.blocks[block_id]),
+                )
+            )
+    return found
 
 
 def _check_use_before_def(cfg: ControlFlowGraph) -> List[Diagnostic]:
     """Must-defined dataflow per function; warn on temporary reads that
     can see an undefined (or call-clobbered) register."""
     program = cfg.program
-    entries = sorted(cfg.function_entries)
+    result = solve(cfg, MustDefinedRegisters(cfg))
 
-    def function_of(block_id: int) -> int:
-        pos = bisect_right(entries, block_id)
-        return entries[pos - 1] if pos else cfg.entry
-
-    # out-state per block, initialised to TOP (all defined); the transfer
-    # function is monotone decreasing, so the worklist terminates
-    out_state: Dict[int, int] = {b.index: _ALL_MASK for b in cfg.blocks}
-    in_state: Dict[int, int] = {}
-    reachable = cfg.reachable_blocks()
-    worklist = deque(sorted(reachable))
-    queued = set(worklist)
-    while worklist:
-        block_id = worklist.popleft()
-        queued.discard(block_id)
-        block = cfg.blocks[block_id]
-        if block_id in cfg.function_entries or block_id == cfg.entry:
-            state = _ENTRY_MASK
-        else:
-            fn = function_of(block_id)
-            preds = [
-                p for p in cfg.predecessors.get(block_id, ())
-                if function_of(p) == fn
-            ]
-            if preds:
-                state = _ALL_MASK
-                for p in preds:
-                    state &= out_state[p]
-            else:
-                state = _ALL_MASK  # no in-function path: stay silent
-        in_state[block_id] = state
-        new_out = _transfer(program, block, state, None)
-        if new_out != out_state[block_id]:
-            out_state[block_id] = new_out
-            for succ in block.successors:
-                if succ in reachable and succ not in queued:
-                    worklist.append(succ)
-                    queued.add(succ)
-
-    # reporting pass over the fixpoint states
     seen: Set[Tuple[int, int]] = set()
     found: List[Diagnostic] = []
-
-    def report(pc: int, reg: int) -> None:
-        if (pc, reg) in seen:
-            return
-        seen.add((pc, reg))
-        found.append(
-            Diagnostic(
-                "warning", "use-before-def",
-                f"register {register_name(reg)} may be read before it is "
-                "written in this function",
-                address=pc,
-            )
-        )
-
-    for block_id in sorted(reachable):
+    for block_id in sorted(cfg.reachable_blocks()):
         block = cfg.blocks[block_id]
-        _transfer(
-            program, block, in_state.get(block_id, _ALL_MASK), report
-        )
+        state = result.in_states[block_id]
+        for i in range(block.start, block.end):
+            instr = program.instructions[i]
+            for reg in instruction_reads(instr):
+                if (
+                    reg in TEMPORARIES
+                    and not (state >> reg) & 1
+                    and (program.address_of(i), reg) not in seen
+                ):
+                    seen.add((program.address_of(i), reg))
+                    found.append(
+                        Diagnostic(
+                            "warning", "use-before-def",
+                            f"register {register_name(reg)} may be read "
+                            "before it is written in this function",
+                            address=program.address_of(i),
+                        )
+                    )
+            for reg in instruction_defs(instr):
+                state |= 1 << reg
+            if instr.is_call:
+                # mirror MustDefinedRegisters.transfer: the callee
+                # clobbers caller-saved registers, a0/ra come back defined
+                state &= ~_CALLER_MASK
+                state |= (1 << _A0) | (1 << _RA)
     return found
 
 
-def _transfer(
-    program: Program,
-    block,
-    state: int,
-    report,
-) -> int:
-    """Walk a block, updating the defined-register mask; optionally report
-    undefined temporary reads via *report(pc, reg)*."""
-    for i in range(block.start, block.end):
-        instr = program.instructions[i]
-        if report is not None:
-            for reg in _instruction_reads(instr):
-                if reg in _TEMPORARIES and not (state >> reg) & 1:
-                    report(program.address_of(i), reg)
-        for reg in _instruction_defs(instr):
-            state |= 1 << reg
-        if instr.is_call:
-            # the callee clobbers caller-saved registers; a0 returns a
-            # value and ra holds the link
-            state &= ~_CALLER_MASK
-            state |= (1 << _A0) | (1 << _RA)
-    return state
+def _check_dead_stores(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """Liveness-backed dead stores to temporaries.
+
+    Only the temporaries are judged: writes to callee-saved registers,
+    arguments and the return value have conventions attached that make
+    "never read again inside this program" a weak signal."""
+    program = cfg.program
+    result = solve(cfg, LiveRegisters())
+    found: List[Diagnostic] = []
+    for block_id in sorted(cfg.reachable_blocks()):
+        block = cfg.blocks[block_id]
+        hits: List[Tuple[int, int]] = []
+
+        def observe(i: int, live_after: int) -> None:
+            instr = program.instructions[i]
+            if instr.is_call:
+                return
+            for reg in instruction_defs(instr):
+                if reg in TEMPORARIES and not (live_after >> reg) & 1:
+                    hits.append((i, reg))
+
+        LiveRegisters.through_block(
+            cfg, block, result.out_states[block_id], observe
+        )
+        for i, reg in sorted(hits):
+            found.append(
+                Diagnostic(
+                    "warning", "dead-store",
+                    f"value written to {register_name(reg)} is never read "
+                    "(overwritten, clobbered by a call, or dead at "
+                    "function exit)",
+                    address=program.address_of(i),
+                )
+            )
+    return found
+
+
+def _check_loop_invariant_branches(
+    cfg: ControlFlowGraph, forest: Optional[LoopForest] = None
+) -> List[Diagnostic]:
+    """Branches inside loops whose condition cannot change across
+    iterations: no reaching definition of any condition register lies in
+    the loop body, so the branch decides identically every time."""
+    forest = forest if forest is not None else find_loops(cfg)
+    if not forest.loops:
+        return []
+    problem = ReachingDefinitions(cfg)
+    result = solve(cfg, problem)
+    program = cfg.program
+    found: List[Diagnostic] = []
+    for pc, block_id in cfg.conditional_branches():
+        loop = forest.innermost(block_id)
+        if loop is None:
+            continue
+        block = cfg.blocks[block_id]
+        # reaching-def state just before the terminator
+        state = list(result.in_states[block_id])
+        for i in range(block.start, block.end - 1):
+            instr = program.instructions[i]
+            for reg in problem._defined_regs(instr):
+                state[reg] = 1 << problem._site_bit[(reg, i)]
+        branch = program.instructions[block.end - 1]
+        condition_regs = [r for r in instruction_reads(branch) if r != 0]
+        if not condition_regs:
+            continue  # compares against zero only: trivially invariant
+        body_blocks = loop.body
+        invariant = True
+        for reg in condition_regs:
+            for site in problem.sites_reaching(tuple(state), reg):
+                if site is problem.ENTRY_SITE:
+                    continue
+                if cfg.block_at(site).index in body_blocks:
+                    invariant = False
+                    break
+            if not invariant:
+                break
+        if invariant:
+            names = ", ".join(
+                register_name(r) for r in sorted(set(condition_regs))
+            )
+            found.append(
+                Diagnostic(
+                    "warning", "loop-invariant-branch",
+                    f"branch condition ({names}) has no definition inside "
+                    "the enclosing loop; it resolves the same way every "
+                    "iteration",
+                    address=pc,
+                )
+            )
+    return found

@@ -1,0 +1,351 @@
+"""Superblock (single-entry trace) formation over the CFG.
+
+A superblock is a straight-line sequence of basic blocks with one entry
+(its head) and no interior join: control can only enter at the top, and
+every non-head block has exactly one reachable predecessor — the block
+above it in the trace.  Side exits (a conditional branch leaving the
+trace mid-way) are allowed and recorded; that asymmetry — one way in,
+many ways out — is what lets a simulator or compiler decode, schedule
+and specialise the whole region as a unit, re-entering the region table
+only at superblock heads (the ROADMAP's superblock-compiled simulation
+core consumes exactly this structure).
+
+Formation is the classic greedy trace-growing over reverse postorder:
+seed at the first uncovered block, then extend through the likeliest
+successor while that successor is uncovered and the trace stays
+single-entry.  The likeliest successor comes from a ``prefer`` map of
+per-branch predicted directions (see :mod:`.heuristics`); without one,
+fallthrough is preferred — the not-taken path, matching the assembler's
+layout intuition.
+
+Every formation ends with :func:`verify_cover`, which asserts the
+structural invariants — the cover is a partition of the reachable
+blocks, every reachable instruction is covered exactly once, each trace
+is single-entry with no interior join, and recorded side exits match the
+CFG — and raises :class:`SuperblockInvariantError` on any violation.
+The verifier is cheap and unconditional: downstream consumers specialise
+code on these invariants, so a silently malformed region would miscompile
+rather than misreport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .cfg import ControlFlowGraph
+
+
+class SuperblockInvariantError(AssertionError):
+    """A formed superblock cover violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """One single-entry straight-line region.
+
+    Attributes:
+        index: region id within the cover.
+        blocks: member basic-block ids, in trace (execution) order.
+        side_exits: ``(block id, successor block id)`` edges that leave
+            the region from a non-terminal trace position.
+        exit_edges: ``(block id, successor block id)`` edges leaving the
+            region from its final block.
+    """
+
+    index: int
+    blocks: Tuple[int, ...]
+    side_exits: Tuple[Tuple[int, int], ...] = ()
+    exit_edges: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def entry(self) -> int:
+        """The unique entry block of the region."""
+        return self.blocks[0]
+
+    @property
+    def tail(self) -> int:
+        """The final block of the trace."""
+        return self.blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.blocks
+
+
+@dataclass
+class SuperblockCover:
+    """All superblocks of a CFG — a partition of its reachable blocks.
+
+    Attributes:
+        cfg: the covered graph.
+        superblocks: regions ordered by formation (entry reverse
+            postorder).
+        by_block: block id -> owning superblock id.
+    """
+
+    cfg: ControlFlowGraph
+    superblocks: List[Superblock]
+    by_block: Dict[int, int]
+
+    @property
+    def region_count(self) -> int:
+        return len(self.superblocks)
+
+    def region_of(self, block_id: int) -> Superblock:
+        """The superblock owning *block_id*."""
+        return self.superblocks[self.by_block[block_id]]
+
+    def instruction_count(self, region: Superblock) -> int:
+        """Instructions covered by *region*."""
+        return sum(
+            len(self.cfg.blocks[b]) for b in region.blocks
+        )
+
+
+def _reverse_postorder(cfg: ControlFlowGraph, reachable: Set[int]) -> List[int]:
+    """Deterministic reverse postorder over the reachable blocks, rooted
+    at the entry, the function entries, and the address-taken labels."""
+    roots = sorted({cfg.entry, *cfg.function_entries, *cfg.indirect_targets})
+    seen: Set[int] = set()
+    postorder: List[int] = []
+    for root in roots:
+        if root in seen or root not in reachable:
+            continue
+        # iterative DFS with an explicit successor cursor
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        seen.add(root)
+        while stack:
+            block_id, cursor = stack[-1]
+            successors = cfg.blocks[block_id].successors
+            if cursor < len(successors):
+                stack[-1] = (block_id, cursor + 1)
+                succ = successors[cursor]
+                if succ not in seen and succ in reachable:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                postorder.append(block_id)
+    return postorder[::-1]
+
+
+def form_superblocks(
+    cfg: ControlFlowGraph,
+    prefer: Optional[Dict[int, bool]] = None,
+) -> SuperblockCover:
+    """Greedily grow single-entry traces covering the reachable blocks.
+
+    Args:
+        cfg: the control-flow graph.
+        prefer: optional branch PC -> predicted-taken map (from the
+            static heuristics) used to pick which successor a trace
+            follows at a conditional branch; fallthrough wins without
+            one.
+
+    Returns:
+        A verified :class:`SuperblockCover`.
+
+    Raises:
+        SuperblockInvariantError: if the formed cover violates a region
+            invariant (a formation bug, not a property of the input).
+    """
+    reachable = cfg.reachable_blocks()
+    rpo = _reverse_postorder(cfg, reachable)
+    # blocks with >1 reachable predecessor (joins) can only head a trace
+    pred_count = {
+        b: sum(1 for p in cfg.predecessors.get(b, ()) if p in reachable)
+        for b in reachable
+    }
+
+    covered: Set[int] = set()
+    traces: List[List[int]] = []
+    for seed in rpo:
+        if seed in covered:
+            continue
+        trace = [seed]
+        covered.add(seed)
+        current = seed
+        while True:
+            chosen = _choose_successor(cfg, current, prefer)
+            if (
+                chosen is None
+                or chosen not in reachable
+                or chosen in covered
+                or pred_count[chosen] != 1
+                or chosen in cfg.indirect_targets
+                or chosen in cfg.function_entries
+                or chosen == cfg.entry
+            ):
+                break
+            trace.append(chosen)
+            covered.add(chosen)
+            current = chosen
+        traces.append(trace)
+
+    superblocks: List[Superblock] = []
+    by_block: Dict[int, int] = {}
+    for index, trace in enumerate(traces):
+        side_exits: List[Tuple[int, int]] = []
+        for position, block_id in enumerate(trace[:-1]):
+            following = trace[position + 1]
+            for succ in cfg.blocks[block_id].successors:
+                if succ != following:
+                    side_exits.append((block_id, succ))
+        exit_edges = tuple(
+            (trace[-1], succ)
+            for succ in cfg.blocks[trace[-1]].successors
+        )
+        superblocks.append(
+            Superblock(
+                index=index,
+                blocks=tuple(trace),
+                side_exits=tuple(side_exits),
+                exit_edges=exit_edges,
+            )
+        )
+        for block_id in trace:
+            by_block[block_id] = index
+
+    cover = SuperblockCover(
+        cfg=cfg, superblocks=superblocks, by_block=by_block
+    )
+    verify_cover(cover)
+    return cover
+
+
+def _choose_successor(
+    cfg: ControlFlowGraph,
+    block_id: int,
+    prefer: Optional[Dict[int, bool]],
+) -> Optional[int]:
+    """The successor a trace would rather continue through."""
+    block = cfg.blocks[block_id]
+    successors = block.successors
+    if not successors:
+        return None
+    if len(successors) == 1:
+        return successors[0]
+    terminator = cfg.terminator(block)
+    if terminator.is_conditional_branch:
+        # successor order from build_cfg: (taken target, fallthrough)
+        taken_succ, fallthrough = successors[0], successors[1]
+        if prefer is not None:
+            pc = cfg.program.address_of(block.end - 1)
+            if prefer.get(pc, False):
+                return taken_succ
+        return fallthrough
+    # indirect jump fanning out to a jump table: no likeliest target
+    return None
+
+
+def verify_cover(cover: SuperblockCover) -> None:
+    """Assert every structural invariant of *cover*.
+
+    Checks, in order: the regions partition the reachable block set;
+    every reachable instruction is covered exactly once; consecutive
+    trace blocks are connected by real CFG edges; every non-head block
+    has exactly one reachable predecessor (single entry, no interior
+    join); recorded side exits and exit edges exactly match the CFG.
+
+    Raises:
+        SuperblockInvariantError: describing the first violated
+            invariant.
+    """
+    cfg = cover.cfg
+    reachable = cfg.reachable_blocks()
+
+    seen_blocks: Set[int] = set()
+    for region in cover.superblocks:
+        if not region.blocks:
+            raise SuperblockInvariantError(
+                f"superblock {region.index} is empty"
+            )
+        for block_id in region.blocks:
+            if block_id in seen_blocks:
+                raise SuperblockInvariantError(
+                    f"block {block_id} is covered twice"
+                )
+            seen_blocks.add(block_id)
+    if seen_blocks != reachable:
+        missing = sorted(reachable - seen_blocks)
+        extra = sorted(seen_blocks - reachable)
+        raise SuperblockInvariantError(
+            f"cover is not a partition of the reachable blocks "
+            f"(missing={missing}, unreachable-covered={extra})"
+        )
+
+    covered_instructions: Set[int] = set()
+    for region in cover.superblocks:
+        for block_id in region.blocks:
+            block = cfg.blocks[block_id]
+            for i in range(block.start, block.end):
+                if i in covered_instructions:
+                    raise SuperblockInvariantError(
+                        f"instruction {i} covered twice"
+                    )
+                covered_instructions.add(i)
+    expected_instructions = {
+        i
+        for b in reachable
+        for i in range(cfg.blocks[b].start, cfg.blocks[b].end)
+    }
+    if covered_instructions != expected_instructions:
+        raise SuperblockInvariantError(
+            "instruction cover does not match the reachable instruction set"
+        )
+
+    for region in cover.superblocks:
+        for position in range(1, len(region.blocks)):
+            above = region.blocks[position - 1]
+            block_id = region.blocks[position]
+            if block_id not in cfg.blocks[above].successors:
+                raise SuperblockInvariantError(
+                    f"trace edge {above}->{block_id} in superblock "
+                    f"{region.index} is not a CFG edge"
+                )
+            preds = [
+                p for p in cfg.predecessors.get(block_id, ())
+                if p in reachable
+            ]
+            if preds != [above]:
+                raise SuperblockInvariantError(
+                    f"block {block_id} in superblock {region.index} has "
+                    f"predecessors {preds}; interior blocks must have "
+                    f"exactly the trace predecessor {above}"
+                )
+
+    for region in cover.superblocks:
+        expected_sides: List[Tuple[int, int]] = []
+        for position, block_id in enumerate(region.blocks[:-1]):
+            following = region.blocks[position + 1]
+            for succ in cfg.blocks[block_id].successors:
+                if succ != following:
+                    expected_sides.append((block_id, succ))
+        if tuple(expected_sides) != region.side_exits:
+            raise SuperblockInvariantError(
+                f"superblock {region.index} side exits "
+                f"{region.side_exits} do not match the CFG "
+                f"({tuple(expected_sides)})"
+            )
+        expected_exits = tuple(
+            (region.tail, succ)
+            for succ in cfg.blocks[region.tail].successors
+        )
+        if expected_exits != region.exit_edges:
+            raise SuperblockInvariantError(
+                f"superblock {region.index} exit edges "
+                f"{region.exit_edges} do not match the CFG "
+                f"({expected_exits})"
+            )
+
+
+__all__ = [
+    "Superblock",
+    "SuperblockCover",
+    "SuperblockInvariantError",
+    "form_superblocks",
+    "verify_cover",
+]

@@ -176,3 +176,71 @@ def test_unknown_benchmark_exits_with_error(argv, capsys):
     assert main(argv) == 2
     err = capsys.readouterr().err
     assert "unknown benchmark 'doom'" in err
+
+
+def test_lint_json_envelope(capsys):
+    assert main(["lint", "plot", "--scale", "0.05", "--json"]) == 0
+    document = _json_out(capsys, "lint")
+    assert document["params"]["strict"] is False
+    [report] = document["results"]["reports"]
+    assert report["name"] == "plot"
+    assert report["clean"] is True
+    assert document["results"]["failed"] is False
+    assert document["results"]["waived"] == 0
+
+
+def test_lint_strict_passes_on_clean_program(capsys):
+    assert main(["lint", "plot", "--scale", "0.05", "--strict"]) == 0
+
+
+def test_lint_rejects_malformed_waiver(capsys):
+    assert main(["lint", "plot", "--waive", "nocolon"]) == 2
+    assert "BENCH:CODE" in capsys.readouterr().err
+
+
+def test_lint_waiver_suppresses_strict_failure(capsys, monkeypatch):
+    from repro.static_analysis.lint import Diagnostic, LintReport
+
+    def fake_lint(program, check_registers=True):
+        return LintReport(
+            name="plot",
+            diagnostics=(
+                Diagnostic("warning", "dead-store", "synthetic", 0x1000),
+            ),
+        )
+
+    monkeypatch.setattr("repro.__main__.lint_program", fake_lint)
+    base = ["lint", "plot", "--scale", "0.05", "--strict"]
+    assert main(base) == 1
+    capsys.readouterr()
+    assert main(base + ["--waive", "plot:dead-store", "--json"]) == 0
+    document = _json_out(capsys, "lint")
+    assert document["results"]["waived"] == 1
+    assert document["results"]["failed"] is False
+
+
+def test_verify_static_command(capsys):
+    assert main(["verify-static", "plot", "--scale", "0.05",
+                 "--threshold", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate" in out and "plot" in out
+    assert "suite dynamic hit rate" in out
+
+
+def test_verify_static_json_envelope(capsys):
+    assert main(["verify-static", "plot", "--scale", "0.05",
+                 "--threshold", "5", "--json"]) == 0
+    document = _json_out(capsys, "verify-static")
+    assert document["params"]["benchmarks"] == ["plot"]
+    [row] = document["results"]["rows"]
+    assert row["benchmark"] == "plot"
+    assert 0.5 < row["hit_rate"] <= 1.0
+    assert row["heuristics"]
+    suite = document["results"]["suite"]
+    assert suite["executions"] > 0
+    assert suite["hit_rate"] == row["hit_rate"]
+
+
+def test_verify_static_unknown_benchmark(capsys):
+    assert main(["verify-static", "doom", "--scale", "0.05"]) == 2
+    assert "unknown benchmark 'doom'" in capsys.readouterr().err

@@ -49,9 +49,13 @@ def test_predictor_family_results(runner):
     rates = results["compress"]
     assert set(rates) == {
         "PAg", "GAg", "gshare", "bimodal", "hybrid", "agree",
-        "bias-filtered"
+        "bias-filtered", "static-heur"
     }
     assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+    # the heuristic predictor is static: it must beat a coin flip but
+    # cannot beat the trained table predictors
+    assert rates["static-heur"] < 0.5
+    assert rates["static-heur"] >= rates["PAg"]
     text = format_predictor_family(results)
     assert "gshare" in text
     assert format_predictor_family({}) == "(no results)"
@@ -74,7 +78,7 @@ def test_experiment_registry_complete():
         "ablation_threshold", "ablation_inputs",
         "ablation_predictors", "ablation_hash", "ablation_groups",
         "ablation_alignment", "ablation_cliques", "ablation_history",
-        "static_compare",
+        "static_compare", "verify_static",
     }
     for experiment in EXPERIMENTS.values():
         assert experiment.description

@@ -267,40 +267,70 @@ skip:
 """
 
 
-def test_estimator_weights_scale_with_loop_depth():
+def test_estimator_weights_are_counted_trip_products():
+    # NESTED counts its own bounds: the outer loop runs s0=3 times, the
+    # inner s1=5 per entry — trip products, not the flat iters**depth
     estimate = StaticConflictEstimator(
         loop_iters=10, threshold=0
     ).estimate(assemble(NESTED))
     graph = estimate.graph
     program = estimate.cfg.program
-    # the inner-loop branches predict 10**2 executions, the outer 10**1
-    inner_pc = program.symbols["inner"]
-    assert estimate.predicted_executions(inner_pc) == 100
-    outer_branch = next(
-        pc for pc in graph.nodes()
-        if estimate.branch_loops[pc]
-        and max(
-            estimate.effective_depth[l] for l in estimate.branch_loops[pc]
-        ) == 1
+    assert all(
+        e.source == "counted" and e.bounded
+        for e in estimate.trip_estimates.values()
     )
-    assert estimate.predicted_executions(outer_branch) == 10
-    # branches sharing the inner loop get the inner-loop weight
+    assert sorted(
+        e.trips for e in estimate.trip_estimates.values()
+    ) == [3, 5]
+    # inner-loop branches predict 3*5 executions, the outer branch 3
+    inner_pc = program.symbols["inner"]
+    assert estimate.predicted_executions(inner_pc) == 15
+    bne_outer = program.symbols["skip"] + 12
+    assert estimate.predicted_executions(bne_outer) == 3
+    # branches sharing the inner loop get the inner-loop weight, and the
+    # conflict ordering follows nesting: inner pair > outer pair
     bne_inner = program.symbols["skip"] + 4
-    assert graph.edge_weight(inner_pc, bne_inner) == 100
+    assert graph.edge_weight(inner_pc, bne_inner) == 15
+    assert graph.edge_weight(bne_inner, bne_outer) == 3
+    assert graph.edge_weight(inner_pc, bne_inner) > graph.edge_weight(
+        inner_pc, bne_outer
+    )
 
 
 def test_estimator_threshold_prunes_shallow_edges():
     shallow = StaticConflictEstimator(
-        loop_iters=10, threshold=101
+        loop_iters=10, threshold=16
     ).estimate(assemble(NESTED))
-    # 10**2 = 100 < 101: every predicted edge is pruned
+    # the heaviest loop predicts 3*5 = 15 < 16: every edge is pruned
     assert shallow.graph.edge_count == 0
     kept = StaticConflictEstimator(
-        loop_iters=10, threshold=100
+        loop_iters=10, threshold=15
     ).estimate(assemble(NESTED))
     assert kept.graph.edge_count > 0
     # nodes survive pruning either way (they are the static branches)
     assert set(shallow.graph.nodes()) == set(kept.graph.nodes())
+
+
+def test_unbounded_loop_falls_back_to_depth_weighted_default():
+    # the loop bound arrives in a0 at runtime: not a counted loop, so
+    # the estimator assumes loop_iters at depth 1
+    estimate = StaticConflictEstimator(
+        loop_iters=10, threshold=0
+    ).estimate(
+        assemble(
+            """
+            main:
+                add s0, a0, zero
+            loop:
+                addi s0, s0, -1
+                bne s0, zero, loop
+                halt
+            """
+        )
+    )
+    [trip] = estimate.trip_estimates.values()
+    assert not trip.bounded and trip.source == "default-depth"
+    assert trip.trips == 10
 
 
 def test_callee_branches_inherit_call_site_loop_context():
@@ -324,10 +354,11 @@ def test_callee_branches_inherit_call_site_loop_context():
     program = estimate.cfg.program
     helper_branch = program.symbols["helper"]
     loop_branch = program.symbols["loop"] + 8
-    # the callee's branch runs under the caller's loop: positive predicted
-    # weight and a conflict edge against the loop's own branch
-    assert estimate.predicted_executions(helper_branch) == 10
-    assert estimate.graph.edge_weight(helper_branch, loop_branch) == 10
+    # the callee's branch runs under the caller's counted loop (s0=5):
+    # positive predicted weight and a conflict edge against the loop's
+    # own branch
+    assert estimate.predicted_executions(helper_branch) == 5
+    assert estimate.graph.edge_weight(helper_branch, loop_branch) == 5
 
 
 def test_estimator_rejects_bad_parameters():

@@ -1,0 +1,298 @@
+"""Dataflow engine tests: solver behaviour and the shipped instances.
+
+The load-bearing property is order independence: every shipped problem
+is monotone over a finite lattice, so the worklist fixpoint must be
+identical under any initial iteration order — pinned here with
+hypothesis-shuffled orders.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.assembler import assemble
+from repro.static_analysis import build_cfg
+from repro.static_analysis.dataflow import (
+    ENTRY_DEFINED_MASK,
+    UNKNOWN,
+    VARYING,
+    ConstantPropagation,
+    DataflowProblem,
+    Direction,
+    IntervalPropagation,
+    LiveRegisters,
+    MustDefinedRegisters,
+    ReachingDefinitions,
+    instruction_defs,
+    instruction_reads,
+    mask_of,
+    solve,
+)
+
+T0, T1, S0, A0 = 5, 6, 8, 10
+
+DIAMOND = """
+main:
+    addi s0, zero, 7
+    beq a0, zero, right
+left:
+    addi t0, zero, 1
+    jal zero, join
+right:
+    addi t1, zero, 2
+join:
+    addi s1, s0, 1
+    halt
+"""
+
+LOOPY = """
+main:
+    addi s0, zero, 3
+outer:
+    addi s1, zero, 5
+inner:
+    beq a0, zero, skip
+    addi t0, zero, 1
+skip:
+    addi s1, s1, -1
+    bne s1, zero, inner
+    call helper
+    addi s0, s0, -1
+    bne s0, zero, outer
+    halt
+helper:
+    beq a1, zero, out
+    addi t1, zero, 9
+out:
+    ret
+"""
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+# --------------------------------------------------------------------------- #
+# instruction helpers
+# --------------------------------------------------------------------------- #
+
+
+def test_instruction_reads_and_defs():
+    program = assemble(
+        """
+        main:
+            addi t0, zero, 1
+            add t1, t0, a0
+            beq t1, t0, main
+            halt
+        """
+    )
+    addi, add, beq, _ = program.instructions
+    assert instruction_reads(addi) == (0,)
+    assert instruction_defs(addi) == (T0,)
+    assert set(instruction_reads(add)) == {T0, A0}
+    assert instruction_defs(add) == (T1,)
+    assert set(instruction_reads(beq)) == {T0, T1}
+    assert instruction_defs(beq) == ()
+
+
+def test_writes_to_zero_register_define_nothing():
+    program = assemble("main:\n    jal zero, main\n")
+    assert instruction_defs(program.instructions[0]) == ()
+
+
+# --------------------------------------------------------------------------- #
+# must-defined registers (forward, intersection)
+# --------------------------------------------------------------------------- #
+
+
+def test_must_defined_intersects_at_joins():
+    cfg = cfg_of(DIAMOND)
+    result = solve(cfg, MustDefinedRegisters(cfg))
+    join = cfg.block_at_address(cfg.program.symbols["join"]).index
+    state = result.state_before(join)
+    # s0 is written before the split: defined on every path
+    assert state & (1 << S0)
+    # t0 and t1 are each written on only one arm: not must-defined
+    assert not state & (1 << T0)
+    assert not state & (1 << T1)
+
+
+def test_entry_block_starts_from_entry_mask():
+    cfg = cfg_of(DIAMOND)
+    result = solve(cfg, MustDefinedRegisters(cfg))
+    assert result.state_before(cfg.entry) == ENTRY_DEFINED_MASK
+
+
+# --------------------------------------------------------------------------- #
+# liveness (backward, union)
+# --------------------------------------------------------------------------- #
+
+
+def test_liveness_carries_use_back_through_both_arms():
+    cfg = cfg_of(DIAMOND)
+    result = solve(cfg, LiveRegisters())
+    # s0 is read at the join, so it is live out of both arms and the
+    # entry block
+    for label in ("left", "right"):
+        block = cfg.block_at_address(cfg.program.symbols[label]).index
+        assert result.state_after(block) & (1 << S0)
+    assert result.state_after(cfg.entry) & (1 << S0)
+
+
+def test_dead_temporary_is_not_live():
+    cfg = cfg_of(
+        """
+        main:
+            addi t0, zero, 1
+            addi s0, zero, 2
+            halt
+        """
+    )
+    result = solve(cfg, LiveRegisters())
+    # nothing ever reads t0: not live anywhere
+    assert not result.state_before(cfg.entry) & (1 << T0)
+
+
+# --------------------------------------------------------------------------- #
+# reaching definitions
+# --------------------------------------------------------------------------- #
+
+
+def test_both_arm_definitions_reach_the_join():
+    source = """
+    main:
+        beq a0, zero, right
+    left:
+        addi t0, zero, 1
+        jal zero, join
+    right:
+        addi t0, zero, 2
+    join:
+        add s0, t0, zero
+        halt
+    """
+    cfg = cfg_of(source)
+    problem = ReachingDefinitions(cfg)
+    result = solve(cfg, problem)
+    join = cfg.block_at_address(cfg.program.symbols["join"]).index
+    sites = problem.sites_reaching(result.state_before(join), T0)
+    # one definition per arm; the entry pseudo-def is killed by both
+    left = cfg.program.symbols["left"]
+    right = cfg.program.symbols["right"]
+    indices = {cfg.program.index_of(left), cfg.program.index_of(right)}
+    assert set(sites) == indices
+
+
+# --------------------------------------------------------------------------- #
+# constant and interval propagation
+# --------------------------------------------------------------------------- #
+
+
+def test_constants_fold_through_straight_line_code():
+    cfg = cfg_of(
+        """
+        main:
+            addi t0, zero, 4
+            addi t0, t0, 3
+            add t1, t0, t0
+            halt
+        """
+    )
+    result = solve(cfg, ConstantPropagation())
+    exit_state = result.state_after(cfg.entry)
+    assert exit_state[T0] == 7
+    assert exit_state[T1] == 14
+
+
+def test_conflicting_constants_meet_to_varying():
+    cfg = cfg_of(DIAMOND)
+    result = solve(cfg, ConstantPropagation())
+    join = cfg.block_at_address(cfg.program.symbols["join"]).index
+    state = result.state_before(join)
+    assert state[S0] == 7          # same on both paths
+    assert state[T0] is VARYING    # written on one arm only
+    assert state[0] == 0           # the zero register is always 0
+
+
+def test_constant_meet_value_lattice():
+    meet = ConstantPropagation.meet_values
+    assert meet(UNKNOWN, 3) == 3
+    assert meet(3, UNKNOWN) == 3
+    assert meet(3, 3) == 3
+    assert meet(3, 4) is VARYING
+    assert meet(VARYING, 3) is VARYING
+
+
+def test_interval_bounds_join_of_two_constants():
+    cfg = cfg_of(DIAMOND)
+    result = solve(cfg, IntervalPropagation())
+    join = cfg.block_at_address(cfg.program.symbols["join"]).index
+    state = result.state_before(join)
+    lo, hi = state[S0]
+    assert (lo, hi) == (7, 7)
+    # t1 is 2 on one arm, undefined-but-entry VARYING on the other path?
+    # no: t1 is a temporary, unknown at entry -> full range after meet
+    # with the defining arm; the bound we can rely on is s0's.
+
+
+# --------------------------------------------------------------------------- #
+# solver behaviour
+# --------------------------------------------------------------------------- #
+
+
+class _Oscillator(DataflowProblem):
+    """Deliberately non-monotone: produces a fresh state every visit, so
+    blocks on a cycle requeue each other forever."""
+
+    direction = Direction.FORWARD
+
+    def __init__(self):
+        self.ticks = 0
+
+    def initial(self, cfg, block_id):
+        return 0
+
+    def meet(self, a, b):
+        return max(a, b)
+
+    def transfer(self, cfg, block, state):
+        self.ticks += 1
+        return self.ticks
+
+
+def test_non_monotone_problem_exhausts_visit_budget():
+    cfg = cfg_of(LOOPY)
+    with pytest.raises(RuntimeError, match="non-monotone"):
+        solve(cfg, _Oscillator())
+
+
+def _states_of(result):
+    return (dict(result.in_states), dict(result.out_states))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_fixpoint_is_independent_of_worklist_order(seed):
+    """The published guarantee: any iteration order, same fixpoint."""
+    cfg = cfg_of(LOOPY)
+    order = sorted(cfg.reachable_blocks())
+    random.Random(seed).shuffle(order)
+    problems = [
+        lambda: MustDefinedRegisters(cfg),
+        LiveRegisters,
+        lambda: ReachingDefinitions(cfg),
+        ConstantPropagation,
+        IntervalPropagation,
+    ]
+    for make in problems:
+        baseline = _states_of(solve(cfg, make()))
+        shuffled = _states_of(solve(cfg, make(), order=order))
+        assert shuffled == baseline
+
+
+def test_mask_of_builds_bitmasks():
+    assert mask_of(()) == 0
+    assert mask_of((0, 1, 5)) == 0b100011

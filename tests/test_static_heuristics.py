@@ -1,0 +1,281 @@
+"""Ball–Larus heuristic catalogue, loop trip estimation, edge
+frequencies, and the static-heur predictor's chunked replay path."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.assembler import assemble
+from repro.predictors.static_pred import StaticHeuristicPredictor
+from repro.static_analysis import build_cfg, find_loops
+from repro.static_analysis.heuristics import (
+    DEFAULT_LOOP_ITERS,
+    estimate_edge_frequencies,
+    estimate_loop_trips,
+    predict_branches,
+)
+
+
+def predictions_of(source):
+    cfg = build_cfg(assemble(source))
+    return cfg, predict_branches(cfg)
+
+
+def at(cfg, label, offset=0):
+    return cfg.program.symbols[label] + offset
+
+
+# --------------------------------------------------------------------------- #
+# the catalogue, rule by rule
+# --------------------------------------------------------------------------- #
+
+
+def test_loop_back_edge_predicts_taken():
+    cfg, preds = predictions_of(
+        """
+        main:
+            addi s0, zero, 3
+        loop:
+            addi s0, s0, -1
+            bne s0, zero, loop
+            halt
+        """
+    )
+    p = preds[at(cfg, "loop", 4)]
+    assert p.taken and p.heuristic == "loop-back"
+    assert p.confidence == 0.88
+
+
+def test_loop_exit_predicts_staying_in_loop():
+    # the beq jumps OUT of the loop: predicted not taken
+    cfg, preds = predictions_of(
+        """
+        main:
+            addi s0, zero, 3
+        loop:
+            beq s0, a0, done
+            addi s0, s0, -1
+            jal zero, loop
+        done:
+            halt
+        """
+    )
+    p = preds[at(cfg, "loop")]
+    assert not p.taken and p.heuristic == "loop-exit"
+    assert p.confidence == 0.80
+
+
+def test_opcode_exact_same_register_compare():
+    cfg, preds = predictions_of(
+        """
+        main:
+            beq s0, s0, target
+            addi t0, zero, 1
+        target:
+            halt
+        """
+    )
+    p = preds[at(cfg, "main")]
+    assert p.taken and p.heuristic == "opcode-exact"
+    assert p.confidence == 1.0
+
+
+def test_opcode_exact_unsigned_against_zero():
+    cfg, preds = predictions_of(
+        """
+        main:
+            bltu a0, zero, target
+            addi t0, zero, 1
+        target:
+            halt
+        """
+    )
+    p = preds[at(cfg, "main")]
+    assert not p.taken and p.heuristic == "opcode-exact"
+
+
+def test_guard_zero_compares():
+    cfg, preds = predictions_of(
+        """
+        main:
+            beq a0, zero, error
+            bne a1, zero, common
+        error:
+            halt
+        common:
+            halt
+        """
+    )
+    beq = preds[at(cfg, "main")]
+    assert not beq.taken and beq.heuristic == "guard"
+    assert beq.confidence == 0.70
+    bne = preds[at(cfg, "main", 4)]
+    assert bne.taken and bne.heuristic == "guard"
+
+
+def test_pointer_equality_predicted_unlikely():
+    cfg, preds = predictions_of(
+        """
+        main:
+            beq a0, a1, same
+            addi t0, zero, 1
+        same:
+            halt
+        """
+    )
+    p = preds[at(cfg, "main")]
+    assert not p.taken and p.heuristic == "pointer"
+    assert p.confidence == 0.60
+
+
+def test_btfnt_fallback_predicts_backward_taken():
+    cfg, preds = predictions_of(
+        """
+        main:
+            addi t0, zero, 1
+        back:
+            addi t0, t0, 1
+            blt t0, a0, back
+            blt a0, t0, fwd
+            addi t1, zero, 2
+        fwd:
+            halt
+        """
+    )
+    backward = preds[at(cfg, "back", 4)]
+    assert backward.taken and backward.heuristic == "loop-back"
+    forward = preds[at(cfg, "back", 8)]
+    # not a loop edge, not a zero compare: falls to btfnt, forward
+    assert not forward.taken and forward.heuristic == "btfnt"
+    assert forward.confidence == 0.55
+
+
+def test_every_conditional_branch_gets_a_prediction():
+    cfg, preds = predictions_of(
+        """
+        main:
+            beq a0, zero, a
+        a:
+            bne a1, a2, b
+        b:
+            blt a3, a4, c
+        c:
+            halt
+        """
+    )
+    assert set(preds) == {pc for pc, _ in cfg.conditional_branches()}
+    assert all(0.5 <= p.confidence <= 1.0 for p in preds.values())
+
+
+# --------------------------------------------------------------------------- #
+# trip estimation and edge frequencies
+# --------------------------------------------------------------------------- #
+
+NESTED = """
+main:
+    addi s0, zero, 3
+outer:
+    addi s1, zero, 5
+inner:
+    addi s1, s1, -1
+    bne s1, zero, inner
+    addi s0, s0, -1
+    bne s0, zero, outer
+    halt
+"""
+
+
+def test_counted_loops_get_exact_trip_counts():
+    cfg = build_cfg(assemble(NESTED))
+    forest = find_loops(cfg)
+    trips = estimate_loop_trips(cfg, forest)
+    assert sorted(e.trips for e in trips.values()) == [3, 5]
+    assert all(e.bounded and e.source == "counted" for e in trips.values())
+
+
+def test_runtime_bound_falls_back_to_depth_default():
+    cfg = build_cfg(
+        assemble(
+            """
+            main:
+                add s0, a0, zero
+            loop:
+                addi s0, s0, -1
+                bne s0, zero, loop
+                halt
+            """
+        )
+    )
+    [estimate] = estimate_loop_trips(cfg).values()
+    assert not estimate.bounded
+    assert estimate.source == "default-depth"
+    assert estimate.trips == DEFAULT_LOOP_ITERS
+
+
+def test_edge_frequencies_weight_inner_loops_heavier():
+    cfg = build_cfg(assemble(NESTED))
+    freqs = estimate_edge_frequencies(cfg)
+    inner = cfg.block_at_address(cfg.program.symbols["inner"]).index
+    outer = cfg.block_at_address(cfg.program.symbols["outer"]).index
+    inner_back = freqs[(inner, inner)]
+    outer_back = next(
+        f for (tail, head), f in freqs.items()
+        if head == outer and tail != outer
+    )
+    assert inner_back > outer_back > 0.0
+    # a conditional branch splits its block frequency, never amplifies it
+    branch_out = [f for (tail, _), f in freqs.items() if tail == inner]
+    assert len(branch_out) == 2
+    assert all(f <= 15.0 for f in branch_out)
+
+
+# --------------------------------------------------------------------------- #
+# the static-heur predictor: scalar and chunked paths agree bit-for-bit
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_chunked_access_matches_scalar_predict(data):
+    n_known = data.draw(st.integers(min_value=0, max_value=12))
+    known_pcs = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20).map(lambda x: x * 4),
+            min_size=n_known, max_size=n_known, unique=True,
+        )
+    )
+    directions = {
+        pc: data.draw(st.booleans()) for pc in known_pcs
+    }
+    predictor = StaticHeuristicPredictor(directions)
+
+    n_events = data.draw(st.integers(min_value=1, max_value=64))
+    universe = known_pcs + [
+        data.draw(st.integers(min_value=0, max_value=1 << 22))
+        for _ in range(4)
+    ]
+    pcs = [data.draw(st.sampled_from(universe)) for _ in range(n_events)]
+    targets = [
+        data.draw(st.integers(min_value=0, max_value=1 << 22))
+        for _ in range(n_events)
+    ]
+
+    chunked = predictor.access_chunk(
+        np.asarray(pcs, dtype=np.int64),
+        np.zeros(n_events, dtype=bool),
+        np.asarray(targets, dtype=np.int64),
+    )
+    scalar = [predictor.predict(pc, t) for pc, t in zip(pcs, targets)]
+    assert chunked.tolist() == scalar
+
+
+def test_from_program_covers_every_branch():
+    program = assemble(NESTED)
+    predictor = StaticHeuristicPredictor.from_program(program)
+    cfg = build_cfg(program)
+    assert set(predictor.directions) == {
+        pc for pc, _ in cfg.conditional_branches()
+    }
+    # loop-back branches predict taken
+    inner_bne = cfg.program.symbols["inner"] + 4
+    assert predictor.predict(inner_bne, cfg.program.symbols["inner"])
