@@ -5,7 +5,7 @@ export PYTHONPATH := src
 SMOKE_CACHE := .smoke-cache
 SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
 
-.PHONY: test lint faults smoke bench clean
+.PHONY: test lint faults smoke bench bench-simcore clean
 
 test:
 	$(PY) -m pytest -x -q tests
@@ -46,6 +46,11 @@ smoke:
 
 bench:
 	$(PY) -m pytest benchmarks -q
+
+## Simulation-core throughput: superblock backend vs interpreter,
+## byte-identity asserted; writes BENCH_simcore.json at the repo root.
+bench-simcore:
+	$(PY) -m pytest benchmarks/bench_simcore.py -q
 
 clean:
 	rm -rf $(SMOKE_CACHE) .pytest_cache

@@ -54,7 +54,6 @@ from .eval import (
     BenchmarkRunner,
     ExecutionEngine,
     RunArtifacts,
-    run_all,
     run_all_experiments,
     run_experiment,
 )
@@ -134,7 +133,6 @@ __all__ = [
     "profile_trace",
     "replay_bank",
     "required_bht_size",
-    "run_all",
     "run_all_experiments",
     "run_experiment",
     "run_workload",

@@ -61,6 +61,7 @@ from .errors import SuiteDegraded
 from .eval import BenchmarkRunner
 from .eval.experiments import EXPERIMENTS, run_experiment
 from .schema import SCHEMA_VERSION, dump, envelope
+from .sim.api import DEFAULT_BACKEND, backend_names
 from .static_analysis import (
     StaticConflictEstimator,
     build_cfg,
@@ -98,13 +99,17 @@ def cmd_list(_: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     spec = get_benchmark(args.benchmark, scale=args.scale)
     built = build_workload(spec)
-    result = run_workload(built)
+    result = run_workload(built, backend=args.backend)
     checksum = result.output.decode().strip()
     if args.json:
         _emit(
             args,
             "run",
-            {"benchmark": args.benchmark, "scale": args.scale},
+            {
+                "benchmark": args.benchmark,
+                "scale": args.scale,
+                "backend": args.backend,
+            },
             {
                 "benchmark": spec.name,
                 "program_instructions": len(built.program),
@@ -128,7 +133,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    runner = BenchmarkRunner(scale=args.scale, cache_dir=args.cache or None)
+    runner = BenchmarkRunner(
+        scale=args.scale,
+        cache_dir=args.cache or None,
+        backend=args.backend,
+    )
     threshold = args.threshold or _threshold_for(args.scale)
     metrics = working_set_metrics(
         runner.profile(args.benchmark), threshold=threshold
@@ -142,6 +151,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 "scale": args.scale,
                 "threshold": threshold,
                 "cache": args.cache or None,
+                "backend": args.backend,
             },
             {
                 "benchmark": metrics.name,
@@ -430,6 +440,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         retries=args.retries,
         checkpoint_every_events=args.checkpoint_every or None,
         resume=args.resume,
+        backend=args.backend,
     )
     experiment = EXPERIMENTS[args.id]
     params = {
@@ -441,6 +452,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "retries": args.retries,
         "resume": args.resume,
         "checkpoint_every": args.checkpoint_every or None,
+        "backend": args.backend,
     }
     try:
         output = run_experiment(args.id, runner)
@@ -626,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the versioned JSON envelope "
                        "(see repro.schema) instead of prints")
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=backend_names(),
+                       default=DEFAULT_BACKEND,
+                       help="simulation backend (superblock = compiled "
+                       "traces, byte-identical artifacts)")
+
     def add_common(p: argparse.ArgumentParser, with_threshold=True) -> None:
         p.add_argument("benchmark", help="benchmark analog name")
         p.add_argument("--scale", type=float, default=1.0)
@@ -638,9 +656,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate a benchmark analog")
     p_run.add_argument("benchmark")
     p_run.add_argument("--scale", type=float, default=1.0)
+    add_backend(p_run)
     add_json(p_run)
 
-    add_common(sub.add_parser("profile", help="Table 2 row"))
+    p_profile = sub.add_parser("profile", help="Table 2 row")
+    add_common(p_profile)
+    add_backend(p_profile)
 
     p_alloc = sub.add_parser("allocate", help="Table 3/4 sizing")
     add_common(p_alloc)
@@ -710,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--resume", action="store_true",
                        help="skip benchmarks the run journal records as "
                        "completed at these parameters (needs --cache)")
+    add_backend(p_exp)
     add_json(p_exp)
 
     p_faults = sub.add_parser(

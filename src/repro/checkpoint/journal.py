@@ -123,14 +123,18 @@ class RunJournal:
         return out
 
     def completed(
-        self, scale: float, trace_limit: Optional[int]
+        self,
+        scale: float,
+        trace_limit: Optional[int],
+        backend: str = "interp",
     ) -> Dict[str, str]:
         """benchmark -> artifact digest for finished work at these params.
 
         The *latest* record per benchmark at these parameters wins, so a
         later ``failed`` entry invalidates an earlier completion.
-        Records at other scales/limits are ignored entirely (they speak
-        about different artifacts).
+        Records at other scales/limits/backends are ignored entirely
+        (they speak about different artifacts); records predating the
+        backend field count as interpreter runs.
         """
         latest: Dict[str, Optional[str]] = {}
         for record in self.records():
@@ -140,6 +144,7 @@ class RunJournal:
             if (
                 record.get("scale") != scale
                 or record.get("trace_limit") != trace_limit
+                or record.get("backend", "interp") != backend
             ):
                 continue
             if record.get("status") == "completed" and isinstance(

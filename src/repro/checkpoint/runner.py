@@ -128,6 +128,7 @@ def run_simulation(
     fault_plan: Optional[Any] = None,
     benchmark: str = "",
     in_worker: bool = False,
+    backend: Optional[Any] = None,
 ) -> SimulationOutcome:
     """Simulate *built* through *bus*, checkpointing and resuming.
 
@@ -145,6 +146,9 @@ def run_simulation(
             count (the ``worker_kill`` fault mode).
         benchmark: benchmark tag passed to fault hooks.
         in_worker: whether this runs in a sacrificial worker process.
+        backend: simulation backend name or instance; backends are
+            byte-compatible, so a checkpoint written by one can be
+            resumed by another.
 
     Truncation by fuel is normal (mirrors ``run_workload``): the outcome
     result reports ``halted=False`` rather than raising.
@@ -155,6 +159,7 @@ def run_simulation(
         input_data=built.input_data,
         branch_hook=bus,
         random_seed=built.spec.random_seed,
+        backend=backend,
     )
     outcome = SimulationOutcome(result=_run_result(sim))
     next_seq = 1
@@ -182,6 +187,7 @@ def run_simulation(
                     input_data=built.input_data,
                     branch_hook=bus,
                     random_seed=built.spec.random_seed,
+                    backend=backend,
                 )
             else:
                 outcome.resumed_from_checkpoint = True

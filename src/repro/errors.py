@@ -109,8 +109,9 @@ class SuiteDegraded(ReproError):
 class MemAccessError(ReproError, RuntimeError):
     """Raised on invalid simulated memory access.
 
-    Replaces the historical ``MemoryError_`` name (kept as a deprecated
-    alias in :mod:`repro.sim.memory`) that shadowed the builtin pattern.
+    Replaces the historical ``MemoryError_`` name, which shadowed the
+    builtin pattern; the deprecated alias was removed from
+    :mod:`repro.sim.memory` after one release of warnings.
     """
 
     code = "mem_access_error"

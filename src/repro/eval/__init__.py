@@ -21,7 +21,6 @@ from .experiments import (
     EXPERIMENTS,
     Experiment,
     format_failure_report,
-    run_all,
     run_all_experiments,
     run_experiment,
 )
@@ -77,7 +76,6 @@ __all__ = [
     "reduction_summary",
     "prefetch_artifacts",
     "render_table",
-    "run_all",
     "run_all_experiments",
     "run_experiment",
     "run_figure3",

@@ -68,6 +68,7 @@ from ..pipeline.consumers import (
 from ..predictors.base import BranchPredictor
 from ..predictors.simulator import PredictionStats
 from ..profiling.profile import InterleaveProfile
+from ..sim.api import get_backend
 from ..trace.events import BranchTrace
 from ..trace.io import load_trace, read_trace_meta, save_trace
 from ..workloads.build import BuiltWorkload, build_workload, run_workload
@@ -75,7 +76,8 @@ from ..workloads.suite import get_benchmark
 from . import faults
 
 #: Bump to invalidate every stored artifact (digest input change).
-DIGEST_VERSION = 1
+#: v2: the simulation backend became a digest component.
+DIGEST_VERSION = 2
 
 #: Scheduler poll interval while parallel jobs are in flight (seconds).
 _POLL_SECONDS = 0.02
@@ -119,24 +121,32 @@ class JobSpec:
     name: str
     scale: float = 1.0
     trace_limit: Optional[int] = None
+    backend: str = "interp"
 
     def tag(self) -> str:
         """Human-readable artifact prefix (the legacy cache tag)."""
         tag = f"{self.name}-s{self.scale:g}"
         if self.trace_limit:
             tag += f"-l{self.trace_limit}"
+        if self.backend != "interp":
+            tag += f"-b{self.backend}"
         return tag
 
 
 def artifact_digest(
-    built: BuiltWorkload, trace_limit: Optional[int] = None
+    built: BuiltWorkload,
+    trace_limit: Optional[int] = None,
+    backend: str = "interp",
 ) -> str:
     """Content digest for one job's artifacts.
 
     Hashes the assembled program image (text + data + entry point), the
     input bytes, and every parameter that changes what a capture run
     records (random seed, fuel budget, trace limit).  Anything that
-    alters the simulated instruction stream alters the digest.
+    alters the simulated instruction stream alters the digest.  The
+    simulation backend is also a component: backends are verified
+    byte-compatible, but artifacts must record exactly how they were
+    produced, so different backends never alias in the store.
     """
     text, data = built.program.to_image()
     hasher = hashlib.sha256()
@@ -146,6 +156,7 @@ def artifact_digest(
         f"seed:{built.spec.random_seed}",
         f"fuel:{built.spec.fuel}",
         f"limit:{trace_limit or 0}",
+        f"backend:{backend}",
     ):
         hasher.update(part.encode("ascii"))
         hasher.update(b"\x00")
@@ -160,7 +171,9 @@ def artifact_digest(
 def compute_job_digest(spec: JobSpec) -> str:
     """Build the workload for *spec* and digest it (no simulation)."""
     built = build_workload(get_benchmark(spec.name, scale=spec.scale))
-    return artifact_digest(built, trace_limit=spec.trace_limit)
+    return artifact_digest(
+        built, trace_limit=spec.trace_limit, backend=spec.backend
+    )
 
 
 @dataclass(frozen=True)
@@ -424,7 +437,9 @@ def _execute_job(
     if plan is not None:
         plan.on_job_start(spec.name, in_worker)
     built = build_workload(get_benchmark(spec.name, scale=spec.scale))
-    digest = artifact_digest(built, trace_limit=spec.trace_limit)
+    digest = artifact_digest(
+        built, trace_limit=spec.trace_limit, backend=spec.backend
+    )
     store = ArtifactStore(Path(cache_root)) if cache_root else None
     ckpt_store = None
     stem = ""
@@ -462,13 +477,14 @@ def _execute_job(
             fault_plan=plan,
             benchmark=spec.name,
             in_worker=in_worker,
+            backend=spec.backend,
         )
         result = outcome.result
         checkpoints_written = outcome.checkpoints_written
         resumed = outcome.resumed_from_checkpoint
         checkpoint_quarantined = len(ckpt_store.corrupt_events)
     else:
-        result = run_workload(built, branch_hook=bus)
+        result = run_workload(built, branch_hook=bus, backend=spec.backend)
     pipeline = bus.finish()
     trace = builder.result
     profile = profiler.result
@@ -669,6 +685,9 @@ class ExecutionEngine:
         resume: consult the cache's run journal first and skip
             benchmarks whose completion it records (requires
             ``cache_dir``).
+        backend: simulation backend name or instance
+            (:mod:`repro.sim.api`); folded into every job spec, digest
+            and journal record this engine produces.
     """
 
     def __init__(
@@ -682,6 +701,7 @@ class ExecutionEngine:
         retry_backoff: float = 0.05,
         checkpoint_every_events: Optional[int] = None,
         resume: bool = False,
+        backend: Optional[object] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -706,6 +726,7 @@ class ExecutionEngine:
         self.scale = scale
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.trace_limit = trace_limit
+        self.backend = get_backend(backend).name
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
@@ -733,7 +754,10 @@ class ExecutionEngine:
     def job(self, name: str) -> JobSpec:
         """The job spec this engine would run for *name*."""
         return JobSpec(
-            name=name, scale=self.scale, trace_limit=self.trace_limit
+            name=name,
+            scale=self.scale,
+            trace_limit=self.trace_limit,
+            backend=self.backend,
         )
 
     def digest(self, name: str) -> str:
@@ -859,7 +883,9 @@ class ExecutionEngine:
             )
         started = time.perf_counter()
         built = build_workload(get_benchmark(name, scale=self.scale))
-        digest = artifact_digest(built, trace_limit=self.trace_limit)
+        digest = artifact_digest(
+            built, trace_limit=self.trace_limit, backend=self.backend
+        )
         profiler = InterleaveConsumer(label=name)
         do_archive = archive if archive is not None else (
             self.store is not None
@@ -869,7 +895,7 @@ class ExecutionEngine:
         if builder is not None:
             consumers.append(builder)
         bus = BranchEventBus(consumers, limit=self.trace_limit)
-        run = run_workload(built, branch_hook=bus)
+        run = run_workload(built, branch_hook=bus, backend=self.backend)
         stats = bus.finish()
         profile = profiler.result
         profile.instructions = run.instructions
@@ -926,7 +952,9 @@ class ExecutionEngine:
             # worker spawn) and drop out of the pool pass.  A journaled
             # entry whose artifacts turn out damaged falls back to a
             # resimulation inside _absorb.
-            completed = self.journal.completed(self.scale, self.trace_limit)
+            completed = self.journal.completed(
+                self.scale, self.trace_limit, backend=self.backend
+            )
             remaining = []
             for name in missing:
                 digest = completed.get(name)
@@ -1233,6 +1261,7 @@ class ExecutionEngine:
                     self.scale,
                     self.trace_limit,
                     error_to_dict(result.error),
+                    backend=self.backend,
                 )
             else:
                 self.journal.record_completed(
@@ -1242,6 +1271,7 @@ class ExecutionEngine:
                     self.trace_limit,
                     source=result.source,
                     resumed=result.resumed,
+                    backend=self.backend,
                 )
         except OSError:
             pass  # a full/readonly disk must not fail a finished job

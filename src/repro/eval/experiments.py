@@ -22,7 +22,6 @@ exit).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
@@ -342,13 +341,3 @@ def run_all_experiments(runner: BenchmarkRunner) -> List[str]:
             )
         blocks.append(f"== {exp.paper_artifact} ({exp.id}) ==\n{body}")
     return blocks
-
-
-def run_all(runner: BenchmarkRunner) -> List[str]:
-    """Deprecated alias for :func:`run_all_experiments`."""
-    warnings.warn(
-        "repro.eval.run_all is deprecated; use run_all_experiments",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run_all_experiments(runner)

@@ -44,6 +44,7 @@ class BenchmarkRunner:
         retry_backoff: float = 0.05,
         checkpoint_every_events: Optional[int] = None,
         resume: bool = False,
+        backend: Optional[object] = None,
     ) -> None:
         """
         Args:
@@ -64,6 +65,8 @@ class BenchmarkRunner:
                 mid-run (requires ``cache_dir``; None disables).
             resume: skip benchmarks the cache's run journal records as
                 completed (requires ``cache_dir``).
+            backend: simulation backend name or instance
+                (:mod:`repro.sim.api`; default interpreter).
         """
         self._engine = ExecutionEngine(
             scale=scale,
@@ -75,6 +78,7 @@ class BenchmarkRunner:
             retry_backoff=retry_backoff,
             checkpoint_every_events=checkpoint_every_events,
             resume=resume,
+            backend=backend,
         )
 
     # -- engine passthroughs ---------------------------------------------------
@@ -99,6 +103,11 @@ class BenchmarkRunner:
     @property
     def jobs(self) -> int:
         return self._engine.jobs
+
+    @property
+    def backend(self) -> str:
+        """Resolved simulation backend name."""
+        return self._engine.backend
 
     @property
     def stats(self):

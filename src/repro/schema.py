@@ -46,6 +46,11 @@ Version history:
   per-heuristic breakdown, and predicted-vs-measured working-set and
   conflict-edge scores (see
   :mod:`repro.eval.static_compare.VerifyStaticRow`).
+* **6** — pluggable simulation backends: ``run``/``profile``/
+  ``experiment`` accept ``--backend {interp,superblock}`` and their
+  ``params`` gain a ``backend`` field (the resolved backend name; the
+  engine folds the same name into artifact digests and journal
+  records, so artifacts from different backends never alias).
 """
 
 from __future__ import annotations
@@ -54,7 +59,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 def envelope(

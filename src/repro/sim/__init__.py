@@ -5,6 +5,16 @@ it executes workload programs and emits the conditional-branch event stream
 consumed by :mod:`repro.profiling`.
 """
 
+from .api import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    InterpBackend,
+    SimulatorBackend,
+    SuperblockBackend,
+    backend_names,
+    get_backend,
+)
+from .compile import SuperblockExecutor, compile_program, compiled_table
 from .debug import SingleStepper, StepRecord, trace_listing
 from .executor import Executor, FuelExhausted, SimulationError
 from .hooks import BranchHook, CompositeBranchHook, NullBranchHook
@@ -24,11 +34,14 @@ from .syscalls import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BranchHook",
     "CompositeBranchHook",
+    "DEFAULT_BACKEND",
     "Environment",
     "Executor",
     "FuelExhausted",
+    "InterpBackend",
     "MachineState",
     "MemAccessError",
     "Memory",
@@ -43,9 +56,16 @@ __all__ = [
     "SYS_SEEK_INPUT",
     "SimulationError",
     "Simulator",
+    "SimulatorBackend",
     "SingleStepper",
     "StepRecord",
+    "SuperblockBackend",
+    "SuperblockExecutor",
     "SyscallError",
+    "backend_names",
+    "compile_program",
+    "compiled_table",
+    "get_backend",
     "trace_listing",
     "unsigned32",
     "wrap32",

@@ -8,10 +8,11 @@ experiment harness consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..isa.program import STACK_TOP, Program
-from .executor import Executor, FuelExhausted
+from .api import SimulatorBackend, get_backend
+from .executor import FuelExhausted
 from .hooks import BranchHook
 from .state import MachineState
 from .syscalls import Environment
@@ -51,6 +52,10 @@ class RunResult:
 class Simulator:
     """Loads a program and runs it with optional branch observation.
 
+    The execution strategy is pluggable: *backend* names a
+    :class:`~repro.sim.api.SimulatorBackend` (``"interp"`` or
+    ``"superblock"``; the interpreter by default).
+
     Example::
 
         sim = Simulator(program, input_data=b"abc")
@@ -63,13 +68,15 @@ class Simulator:
         input_data: bytes = b"",
         branch_hook: Optional[BranchHook] = None,
         random_seed: int = 0x2545F491,
+        backend: Union[str, SimulatorBackend, None] = None,
     ) -> None:
         self.program = program
+        self.backend = get_backend(backend)
         self.state = MachineState()
         self.environment = Environment(
             input_data=input_data, random_seed=random_seed
         )
-        self.executor = Executor(
+        self.executor = self.backend.create_executor(
             program, self.state, self.environment, branch_hook
         )
         self._load()

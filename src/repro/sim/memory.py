@@ -16,24 +16,6 @@ PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 ADDRESS_MASK = 0xFFFF_FFFF
 
-def __getattr__(name: str):
-    """Deprecated alias — ``MemoryError_`` shadowed the ``*Error`` builtin
-    naming pattern; new code should catch
-    :class:`repro.errors.MemAccessError`.  Accessing the old name now
-    warns (module-level ``__getattr__`` so the warning fires on use, not
-    on import of this module)."""
-    if name == "MemoryError_":
-        import warnings
-
-        warnings.warn(
-            "repro.sim.memory.MemoryError_ is deprecated; catch "
-            "repro.errors.MemAccessError instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return MemAccessError
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 
 class Memory:
     """Sparse paged memory with word/byte accessors."""

@@ -311,6 +311,7 @@ def run_workload(
     built: BuiltWorkload,
     max_instructions: int = 0,
     branch_hook: Optional[object] = None,
+    backend: Optional[object] = None,
 ):
     """Simulate a built workload; returns the simulator's RunResult.
 
@@ -318,6 +319,7 @@ def run_workload(
         built: output of :func:`build_workload`.
         max_instructions: fuel limit; 0 uses the spec's recommended budget.
         branch_hook: optional branch observer (trace capture / analyzer).
+        backend: simulation backend name or instance (default interpreter).
     """
     from ..sim.machine import Simulator
 
@@ -326,6 +328,7 @@ def run_workload(
         input_data=built.input_data,
         branch_hook=branch_hook,  # type: ignore[arg-type]
         random_seed=built.spec.random_seed,
+        backend=backend,  # type: ignore[arg-type]
     )
     fuel = max_instructions or built.spec.fuel
     return simulator.run(max_instructions=fuel)

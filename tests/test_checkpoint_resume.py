@@ -261,7 +261,9 @@ def _fingerprint(tmp_path, tag, profiler, builder, bus):
     )
 
 
-def _run_to_completion(built, config=None, fault_plan=None, benchmark=""):
+def _run_to_completion(
+    built, config=None, fault_plan=None, benchmark="", backend=None
+):
     # fixed labels: the fingerprint embeds them, and fault plans key on
     # the *benchmark* argument independently of the display label
     profiler = InterleaveConsumer(label="plot")
@@ -269,7 +271,7 @@ def _run_to_completion(built, config=None, fault_plan=None, benchmark=""):
     bus = BranchEventBus([profiler, builder])
     outcome = run_simulation(
         built, bus, config=config, fault_plan=fault_plan,
-        benchmark=benchmark,
+        benchmark=benchmark, backend=backend,
     )
     bus.finish()
     return outcome, profiler, builder, bus
@@ -342,6 +344,45 @@ def test_kill_anywhere_resume_is_byte_identical(
         assert outcome.resumed_from_checkpoint
         assert outcome.resumed_events > 0
     assert _fingerprint(workdir, "resumed", profiler, builder, bus) == baseline
+
+
+@pytest.mark.faults
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(kill_fraction=st.integers(min_value=5, max_value=95))
+def test_kill_anywhere_superblock_matches_interp_baseline(
+    built_plot, plot_baseline, tmp_path, kill_fraction
+):
+    """Kill-anywhere under the superblock backend: the resumed compiled
+    run must reproduce the *interpreter's* uninterrupted artifacts byte
+    for byte — checkpoints restore mid-trace PCs onto the fallback path
+    and the compiled regions take over from the next trace head."""
+    baseline, total_events = plot_baseline
+    threshold = max(1, total_events * kill_fraction // 100)
+    workdir = tmp_path / f"sbkill-{kill_fraction}"
+    workdir.mkdir()
+    store = CheckpointStore(workdir / "checkpoints")
+    config = CheckpointConfig(
+        store=store, stem="plot-stem", every_events=1_000,
+    )
+    plan = FaultPlan(
+        worker_kill={"plot": threshold}, state_dir=str(workdir / "state"),
+    )
+    with pytest.raises(InjectedFault):
+        _run_to_completion(
+            built_plot, config=config, fault_plan=plan, benchmark="plot",
+            backend="superblock",
+        )
+    outcome, profiler, builder, bus = _run_to_completion(
+        built_plot, config=config, fault_plan=plan, benchmark="plot",
+        backend="superblock",
+    )
+    if threshold > config.every_events:
+        assert outcome.resumed_from_checkpoint
+    assert _fingerprint(workdir, "sb", profiler, builder, bus) == baseline
 
 
 @pytest.mark.faults

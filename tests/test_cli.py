@@ -108,8 +108,43 @@ def test_run_json_envelope(capsys):
     assert main(["run", "plot", "--scale", "0.05", "--json"]) == 0
     document = _json_out(capsys, "run")
     assert document["params"]["benchmark"] == "plot"
+    assert document["params"]["backend"] == "interp"
     assert document["results"]["retired_instructions"] > 0
     assert document["results"]["static_branches"] > 0
+
+
+def test_version_reports_package_and_schema(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out.strip()
+    assert out == f"repro {__version__} (schema {SCHEMA_VERSION})"
+
+
+def test_run_backend_flag_is_equivalent(capsys):
+    assert main(["run", "plot", "--scale", "0.05", "--json"]) == 0
+    interp = _json_out(capsys, "run")
+    assert main(["run", "plot", "--scale", "0.05", "--json",
+                 "--backend", "superblock"]) == 0
+    superblock = _json_out(capsys, "run")
+    assert superblock["params"]["backend"] == "superblock"
+    # identical results; only the params differ (by the backend name)
+    assert superblock["results"] == interp["results"]
+
+
+def test_run_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["run", "plot", "--backend", "jit"])
+
+
+def test_profile_backend_flag(capsys, tmp_path):
+    assert main(["profile", "plot", "--scale", "0.05", "--threshold", "5",
+                 "--backend", "superblock", "--json"]) == 0
+    document = _json_out(capsys, "profile")
+    assert document["params"]["backend"] == "superblock"
+    assert document["results"]["working_sets"] > 0
 
 
 def test_profile_json_envelope(capsys):

@@ -47,25 +47,13 @@ def test_unknown_attribute_raises():
         errors.NotAnError
 
 
-def test_mem_access_error_replaces_legacy_alias():
-    with pytest.warns(DeprecationWarning, match="MemoryError_ is deprecated"):
-        from repro.sim.memory import MemoryError_
-
-    assert MemoryError_ is MemAccessError
-    assert issubclass(MemAccessError, RuntimeError)
-    # historical except clauses keep working
-    with pytest.raises(MemoryError_):
-        raise MemAccessError("unmapped", address=0xDEAD)
-
-
-def test_legacy_alias_warns_on_attribute_access():
+def test_mem_access_error_legacy_alias_is_gone():
+    # the deprecated MemoryError_ alias completed its removal cycle
     import repro.sim.memory as memory_module
 
-    with pytest.warns(DeprecationWarning):
-        assert memory_module.MemoryError_ is MemAccessError
-    # unknown names still raise AttributeError, not a warning
     with pytest.raises(AttributeError):
-        memory_module.NotAThing
+        memory_module.MemoryError_
+    assert issubclass(MemAccessError, RuntimeError)
 
 
 def test_asm_syntax_error_keeps_line_formatting():

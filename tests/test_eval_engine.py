@@ -13,7 +13,7 @@ from repro.eval.engine import (
     compute_job_digest,
     prefetch_artifacts,
 )
-from repro.eval.experiments import run_all, run_experiment
+from repro.eval.experiments import run_experiment
 from repro.eval.runner import BenchmarkRunner
 from repro.eval.tables import format_table2, run_table2
 from repro.trace.io import read_trace_meta
@@ -168,10 +168,9 @@ def test_prefetch_artifacts_tolerates_plain_runner():
     prefetch_artifacts(Stub(), ["plot"])  # no prefetch method: no-op
 
 
-def test_run_all_is_deprecated(monkeypatch):
-    sentinel = object()
-    monkeypatch.setattr(
-        experiments_mod, "run_all_experiments", lambda runner: sentinel
-    )
-    with pytest.warns(DeprecationWarning, match="run_all_experiments"):
-        assert run_all(None) is sentinel
+def test_run_all_shim_is_gone():
+    # the deprecated run_all alias completed its removal cycle
+    assert not hasattr(experiments_mod, "run_all")
+    import repro.eval
+
+    assert not hasattr(repro.eval, "run_all")

@@ -176,14 +176,16 @@ def test_flaky_job_exhausts_retries(tmp_path):
 
 
 def test_hung_worker_times_out(tmp_path):
+    # the budget must comfortably cover pgp's honest run (worker spawn
+    # included) on a loaded machine while staying far below the hang
     plan = FaultPlan(worker_hang=("plot",), hang_seconds=30.0)
     with plan.installed():
-        engine = make_engine(tmp_path, jobs=2, timeout=1.0, retries=0)
+        engine = make_engine(tmp_path, jobs=2, timeout=5.0, retries=0)
         got = engine.prefetch(["plot", "pgp"])
     assert set(got) == {"pgp"}
     failure = engine.failures["plot"]
     assert isinstance(failure, JobTimeout)
-    assert failure.context["timeout_seconds"] == 1.0
+    assert failure.context["timeout_seconds"] == 5.0
     assert engine.stats.timeouts == 1
     assert engine.stats.failed == 1
 
