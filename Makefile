@@ -5,7 +5,7 @@ export PYTHONPATH := src
 SMOKE_CACHE := .smoke-cache
 SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
 
-.PHONY: test lint faults smoke bench bench-simcore clean
+.PHONY: test lint faults smoke bench bench-simcore bench-service clean
 
 test:
 	$(PY) -m pytest -x -q tests
@@ -51,6 +51,13 @@ bench:
 ## byte-identity asserted; writes BENCH_simcore.json at the repo root.
 bench-simcore:
 	$(PY) -m pytest benchmarks/bench_simcore.py -q
+
+## Analysis-service throughput: boots the `repro serve` daemon and
+## drives it with the open-loop load generator (cold simulate path,
+## warm store-hit path, typed shedding at saturation); writes
+## BENCH_service.json at the repo root.
+bench-service:
+	$(PY) -m pytest benchmarks/bench_service.py -q
 
 clean:
 	rm -rf $(SMOKE_CACHE) .pytest_cache

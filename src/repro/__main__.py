@@ -29,10 +29,18 @@ Commands
                   injected worker crashes / hangs / flaky failures /
                   cache corruption, then a clean recovery pass proving
                   quarantined entries are resimulated.
+``serve``       — run the analysis-as-a-service daemon on a unix socket:
+                  bounded admission queue with load shedding, per-tenant
+                  token-bucket quotas, per-job deadlines, SIGTERM drain
+                  and journal-driven crash recovery (docs/SERVICE.md).
+``loadgen``     — open-loop load generator against a running daemon;
+                  reports jobs/sec, p50/p99 latency, cache-hit ratio and
+                  shed rate, with optional slow_client/conn_drop fault
+                  modes.
 ``disasm``      — assemble a workload and print its program listing.
 
 ``run``, ``profile``, ``allocate``, ``lint``, ``verify-static``,
-``experiment`` and ``faults`` accept
+``experiment``, ``faults`` and ``loadgen`` accept
 ``--json`` and then emit one versioned envelope
 (``{schema_version, command, params, results}`` — see
 :mod:`repro.schema`) instead of the human-readable prints.
@@ -59,6 +67,7 @@ from .allocation import (
 from .analysis import working_set_metrics
 from .errors import SuiteDegraded
 from .eval import BenchmarkRunner
+from .eval import interrupt
 from .eval.experiments import EXPERIMENTS, run_experiment
 from .schema import SCHEMA_VERSION, dump, envelope
 from .sim.api import DEFAULT_BACKEND, backend_names
@@ -432,6 +441,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # Constructing the runner validates the run journal when resuming: a
+    # structurally damaged journal raises JournalInvalid (caught in
+    # main(), exit 1) naming the journal path and the offending record.
     runner = BenchmarkRunner(
         scale=args.scale,
         cache_dir=args.cache or None,
@@ -442,6 +454,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         resume=args.resume,
         backend=args.backend,
     )
+    for warning in runner.engine.journal_warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     experiment = EXPERIMENTS[args.id]
     params = {
         "id": args.id,
@@ -455,7 +469,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "backend": args.backend,
     }
     try:
-        output = run_experiment(args.id, runner)
+        # SIGTERM drains instead of killing: workers checkpoint, the
+        # journal records completed work, and the run exits 1 with a
+        # typed suite_interrupted message; rerun --resume to continue.
+        with interrupt.sigterm_drain():
+            output = run_experiment(args.id, runner)
     except SuiteDegraded as exc:
         if args.json:
             _emit(
@@ -604,6 +622,90 @@ def cmd_faults(args: argparse.Namespace) -> int:
         + (", ".join(sorted(recovered)) or "none")
     )
     return 0 if ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon until it drains (SIGTERM) or dies."""
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        cache_dir=args.cache,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retries=args.retries,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        checkpoint_every=args.checkpoint_every,
+        default_deadline_s=args.deadline or None,
+    )
+    print(
+        f"repro serve: socket {args.socket}  cache {args.cache}  "
+        f"workers {args.workers}  queue {args.queue_limit}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return serve(config)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a running daemon."""
+    from .eval.faults import FaultPlan, active_plan
+    from .service import LoadgenConfig, run_loadgen
+
+    benchmarks = tuple(b for b in args.benchmarks.split(",") if b)
+    for name in benchmarks:
+        get_benchmark(name)  # unknown names exit 2 via the KeyError hook
+    config = LoadgenConfig(
+        socket_path=args.socket,
+        rate=args.rate,
+        jobs=args.jobs,
+        benchmarks=benchmarks or ("plot",),
+        tenants=tuple(f"tenant-{i}" for i in range(max(1, args.tenants))),
+        scale=args.scale,
+        backend=args.backend,
+        predictors=tuple(p for p in args.predictors.split(",") if p),
+        deadline_s=args.deadline or None,
+    )
+    plan = active_plan()
+    if args.slow_client or args.conn_drop:
+        plan = FaultPlan(
+            slow_client=args.slow_client, conn_drop=args.conn_drop
+        )
+    report = run_loadgen(config, plan=plan)
+    params = {
+        "socket": args.socket,
+        "rate": args.rate,
+        "jobs": args.jobs,
+        "benchmarks": list(config.benchmarks),
+        "tenants": len(config.tenants),
+        "scale": args.scale,
+        "backend": args.backend,
+        "predictors": list(config.predictors),
+        "deadline_s": args.deadline or None,
+        "slow_client": args.slow_client,
+        "conn_drop": args.conn_drop,
+    }
+    if args.json:
+        _emit(args, "loadgen", params, report)
+    else:
+        print(
+            f"{report['jobs']} job(s) at {report['rate_hz']:g}/s over "
+            f"{report['duration_s']:.2f}s: "
+            f"{report['completed']} completed, "
+            f"{report['rejected']} rejected "
+            f"({report['rejected_overloaded']} shed, "
+            f"{report['rejected_quota']} over quota), "
+            f"{report['failed']} failed, {report['dropped']} dropped"
+        )
+        print(
+            f"throughput {report['jobs_per_sec']:.2f} jobs/s  "
+            f"p50 {report['latency_p50_s']:.3f}s  "
+            f"p99 {report['latency_p99_s']:.3f}s  "
+            f"cache-hit {report['cache_hit_ratio']:.2f}  "
+            f"shed-rate {report['shed_rate']:.2f}"
+        )
+    return 1 if report["failed"] else 0
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -769,6 +871,65 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_tolerance(p_faults)
     add_json(p_faults)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the analysis daemon on a unix socket (SIGTERM drains)",
+    )
+    p_serve.add_argument("--socket", required=True,
+                         help="unix socket path to listen on")
+    p_serve.add_argument("--cache", required=True,
+                         help="artifact store root (journal, checkpoints "
+                         "and the service journal live under it)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="simulation worker processes (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=16,
+                         help="admission queue bound; submits beyond it "
+                         "are shed with a typed rejection (default 16)")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per crashed job (default 1)")
+    p_serve.add_argument("--quota-rate", type=float, default=0.0,
+                         help="per-tenant token refill rate in jobs/s "
+                         "(0 = unlimited)")
+    p_serve.add_argument("--quota-burst", type=float, default=8.0,
+                         help="per-tenant token bucket capacity")
+    p_serve.add_argument("--checkpoint-every", type=int, default=2000,
+                         metavar="EVENTS",
+                         help="checkpoint cadence in branch events — the "
+                         "preemption/recovery granularity (default 2000)")
+    p_serve.add_argument("--deadline", type=float, default=0.0,
+                         help="default per-job deadline in seconds "
+                         "(0 = unbounded; submits may override)")
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator against a running daemon",
+    )
+    p_lg.add_argument("--socket", required=True,
+                      help="daemon unix socket path")
+    p_lg.add_argument("--rate", type=float, default=10.0,
+                      help="open-loop arrival rate in jobs/s (default 10)")
+    p_lg.add_argument("--jobs", type=int, default=20,
+                      help="total requests to send (default 20)")
+    p_lg.add_argument("--benchmarks", default="plot",
+                      help="comma-separated benchmark analogs to cycle "
+                      "through (default plot)")
+    p_lg.add_argument("--tenants", type=int, default=1,
+                      help="number of synthetic tenants to cycle through")
+    p_lg.add_argument("--scale", type=float, default=0.05)
+    p_lg.add_argument("--predictors", default="",
+                      help="comma-separated predictor specs to run per "
+                      "job (e.g. bimodal,gshare:10)")
+    p_lg.add_argument("--deadline", type=float, default=0.0,
+                      help="per-job deadline in seconds (0 = none)")
+    p_lg.add_argument("--slow-client", type=int, default=0, metavar="N",
+                      help="every Nth request trickles its submit frame "
+                      "(service fault mode; 0 = off)")
+    p_lg.add_argument("--conn-drop", type=int, default=0, metavar="N",
+                      help="every Nth request disconnects after its "
+                      "accepted frame (service fault mode; 0 = off)")
+    add_backend(p_lg)
+    add_json(p_lg)
+
     p_dis = sub.add_parser("disasm", help="print a workload's listing")
     p_dis.add_argument("benchmark")
     p_dis.add_argument("--scale", type=float, default=1.0)
@@ -787,6 +948,8 @@ _HANDLERS = {
     "verify-static": cmd_verify_static,
     "experiment": cmd_experiment,
     "faults": cmd_faults,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "disasm": cmd_disasm,
 }
 

@@ -28,7 +28,7 @@ See ``docs/EVAL.md`` ("Checkpoint & resume") for file formats and
 retention, and ``docs/PIPELINE.md`` for the consumer snapshot hooks.
 """
 
-from .journal import RunJournal
+from .journal import JOURNAL_VERSION, RunJournal
 from .runner import (
     DEFAULT_SLICE_INSTRUCTIONS,
     MIN_SLICE_INSTRUCTIONS,
@@ -56,6 +56,7 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointStore",
     "DEFAULT_SLICE_INSTRUCTIONS",
+    "JOURNAL_VERSION",
     "MIN_SLICE_INSTRUCTIONS",
     "RunJournal",
     "SimulationOutcome",

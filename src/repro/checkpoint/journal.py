@@ -14,7 +14,13 @@ turn out to be missing or corrupt, the engine falls back to the normal
 simulate-or-cache path for that benchmark.
 
 Reads are tolerant: a torn trailing line (the driver died mid-append)
-or any unparsable line is skipped, never fatal.
+or any unparsable line is skipped, never fatal.  When a resume run needs
+to *trust* the journal, :meth:`RunJournal.validate` distinguishes the
+tolerated damage (a single torn tail — reported as a warning naming the
+line) from structural damage (garbage mid-file, records written by a
+newer format version) and raises a typed
+:class:`~repro.errors.JournalInvalid` that names the journal path, the
+line number and the offending record.
 """
 
 from __future__ import annotations
@@ -24,6 +30,24 @@ import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+from ..errors import JournalInvalid
+
+#: Format version stamped (as ``"v"``) into every record this writer
+#: appends.  Records without the field read as version 0 (pre-v7
+#: journals); records from a *newer* writer fail :meth:`validate` so a
+#: downgraded repro never silently misreads them.
+JOURNAL_VERSION = 1
+
+#: How many characters of an offending line an error message quotes.
+_SNIPPET_CHARS = 120
+
+
+def _snippet(line: str) -> str:
+    line = line.rstrip("\n")
+    if len(line) > _SNIPPET_CHARS:
+        return line[:_SNIPPET_CHARS] + "..."
+    return line
 
 
 class RunJournal:
@@ -46,6 +70,7 @@ class RunJournal:
         first, so one torn line never costs more than itself.
         """
         self.root.mkdir(parents=True, exist_ok=True)
+        record.setdefault("v", JOURNAL_VERSION)
         line = json.dumps(record, sort_keys=True)
         with open(self.path, "a+b") as fh:
             fh.seek(0, os.SEEK_END)
@@ -104,7 +129,7 @@ class RunJournal:
 
         Unparsable lines (torn tail from a dying writer, manual edits)
         are skipped silently — the journal degrades to fewer skips,
-        never to a crash.
+        never to a crash.  :meth:`validate` is the strict counterpart.
         """
         if not self.path.exists():
             return []
@@ -121,6 +146,84 @@ class RunJournal:
                 if isinstance(record, dict):
                     out.append(record)
         return out
+
+    def validate(self) -> List[str]:
+        """Check the journal structurally; returns tolerated warnings.
+
+        A single unparsable *final* line is the signature of a writer
+        that died mid-append — tolerated (the record it was describing
+        is simply not on record) and reported as a warning naming the
+        journal path and line number.  Everything else raises:
+
+        * an unreadable journal file,
+        * an unparsable or non-object line anywhere *before* the tail
+          (manual edits, interleaved writers without the append lock),
+        * a record stamped with a format version newer than this
+          build's :data:`JOURNAL_VERSION` (written by a newer repro).
+
+        Raises:
+            JournalInvalid: naming ``self.path``, the 1-based line
+                number and a snippet of the offending record.
+        """
+        if not self.path.exists():
+            return []
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise JournalInvalid(
+                f"run journal {self.path} is unreadable: {exc}",
+                path=str(self.path),
+            ) from exc
+        warnings: List[str] = []
+        lines = raw.split("\n")
+        torn_tail = bool(lines and lines[-1] != "")
+        if lines and lines[-1] == "":
+            lines.pop()
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            number = index + 1
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == last_index and torn_tail:
+                    warnings.append(
+                        f"{self.path}:{number}: torn tail "
+                        f"{_snippet(line)!r} — the writer died "
+                        "mid-append; the record is skipped"
+                    )
+                    continue
+                raise JournalInvalid(
+                    f"run journal {self.path} has an unparsable record "
+                    f"at line {number}: {_snippet(line)!r} — delete the "
+                    "line or rerun without --resume",
+                    path=str(self.path),
+                    line=number,
+                    record=_snippet(line),
+                )
+            if not isinstance(record, dict):
+                raise JournalInvalid(
+                    f"run journal {self.path} has a non-object record "
+                    f"at line {number}: {_snippet(line)!r}",
+                    path=str(self.path),
+                    line=number,
+                    record=_snippet(line),
+                )
+            version = record.get("v", 0)
+            if not isinstance(version, int) or version > JOURNAL_VERSION:
+                raise JournalInvalid(
+                    f"run journal {self.path} record at line {number} "
+                    f"has format version {version!r}, but this build "
+                    f"supports <= {JOURNAL_VERSION} — it was written by "
+                    "a newer repro; upgrade, or move the journal aside",
+                    path=str(self.path),
+                    line=number,
+                    record=_snippet(line),
+                    version=version,
+                    supported=JOURNAL_VERSION,
+                )
+        return warnings
 
     def completed(
         self,
@@ -156,4 +259,4 @@ class RunJournal:
         return {b: d for b, d in latest.items() if d is not None}
 
 
-__all__ = ["RunJournal"]
+__all__ = ["JOURNAL_VERSION", "RunJournal"]

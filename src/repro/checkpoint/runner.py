@@ -26,7 +26,7 @@ over" until the overall fuel is spent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..sim.executor import FuelExhausted
 from ..sim.machine import RunResult, Simulator
@@ -107,6 +107,10 @@ class SimulationOutcome:
     resumed_events: int = 0
     resumed_instructions: int = 0
     corrupt_checkpoints: int = 0
+    #: True when ``stop_check`` ended the run early (drain): the result
+    #: is a mid-run state whose progress lives in the final checkpoint,
+    #: not a finished simulation.
+    interrupted: bool = False
 
 
 def _run_result(sim: Simulator) -> RunResult:
@@ -129,6 +133,7 @@ def run_simulation(
     benchmark: str = "",
     in_worker: bool = False,
     backend: Optional[Any] = None,
+    stop_check: Optional[Callable[[], bool]] = None,
 ) -> SimulationOutcome:
     """Simulate *built* through *bus*, checkpointing and resuming.
 
@@ -149,6 +154,11 @@ def run_simulation(
         backend: simulation backend name or instance; backends are
             byte-compatible, so a checkpoint written by one can be
             resumed by another.
+        stop_check: polled between slices (SIGTERM drain); when it
+            returns True the loop writes one final checkpoint —
+            regardless of cadence — and returns with
+            ``outcome.interrupted`` set, so a drained job loses zero
+            progress and the next run resumes exactly here.
 
     Truncation by fuel is normal (mirrors ``run_workload``): the outcome
     result reports ``halted=False`` rather than raising.
@@ -208,12 +218,21 @@ def run_simulation(
         remaining = fuel - sim.executor.instruction_count
         if fault_plan is not None:
             fault_plan.on_events(benchmark, bus.stats.events, in_worker)
+        stopping = (
+            stop_check is not None
+            and not sim.state.halted
+            and remaining > 0
+            and stop_check()
+        )
         if (
             config is not None
             and not sim.state.halted
             and remaining > 0
-            and bus.stats.events - last_checkpoint_events
-            >= config.every_events
+            and (
+                stopping
+                or bus.stats.events - last_checkpoint_events
+                >= config.every_events
+            )
         ):
             payload = {
                 "sim": snapshot_simulator(sim),
@@ -228,6 +247,9 @@ def run_simulation(
             next_seq += 1
             outcome.checkpoints_written += 1
             last_checkpoint_events = bus.stats.events
+        if stopping:
+            outcome.interrupted = True
+            break
 
     outcome.result = _run_result(sim)
     return outcome

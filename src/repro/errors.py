@@ -10,9 +10,15 @@ Layers::
     ReproError                      — root; carries a message + context dict
     ├── ArtifactCorrupt             — cache entry failed verification/load
     ├── CheckpointCorrupt           — checkpoint file failed verification
+    ├── JournalInvalid              — run journal structurally damaged
     ├── JobFailed                   — one engine job exhausted its retries
-    │   └── JobTimeout              — ... by exceeding its wall-clock budget
+    │   ├── JobTimeout              — ... by exceeding its wall-clock budget
+    │   └── JobCancelled            — cancelled by deadline/client, not retried
+    ├── JobInterrupted              — checkpointed + stopped by a drain signal
+    ├── ServiceOverloaded           — admission queue full / daemon draining
+    ├── QuotaExceeded               — tenant token bucket empty
     ├── SuiteDegraded               — *every* benchmark of a run failed
+    ├── SuiteInterrupted            — a suite run drained on SIGTERM
     ├── MemAccessError              — invalid simulated memory access
     ├── SimulationError             — executor left text / decoded garbage
     │   (defined in repro.sim.executor, folded in here)
@@ -83,6 +89,18 @@ class CheckpointCorrupt(ReproError):
     code = "checkpoint_corrupt"
 
 
+class JournalInvalid(ReproError):
+    """The run journal is structurally damaged beyond the tolerated cases.
+
+    Raised by :meth:`repro.checkpoint.journal.RunJournal.validate` with
+    the journal path, the 1-based line number and a snippet of the
+    offending record, so a failed ``experiment --resume`` names exactly
+    what to inspect (or delete) instead of dying with a bare exception.
+    """
+
+    code = "journal_invalid"
+
+
 class JobFailed(ReproError):
     """One engine job failed after exhausting its retry budget."""
 
@@ -95,6 +113,49 @@ class JobTimeout(JobFailed):
     code = "job_timeout"
 
 
+class JobCancelled(JobFailed):
+    """A job was cancelled — deadline expiry or an explicit client cancel.
+
+    Cancellation is a *decision*, not a fault: the job is terminated
+    through the engine's timeout path (checkpointing on the way down when
+    a cadence is configured) and is never retried.
+    """
+
+    code = "job_cancelled"
+
+
+class JobInterrupted(ReproError):
+    """A drain signal (SIGTERM) stopped this job after a checkpoint.
+
+    Not a failure: the job's progress is durable in its checkpoint and a
+    later run (or a restarted daemon) resumes it mid-simulation.  Drain
+    handling must therefore never retry an interrupted job.
+    """
+
+    code = "job_interrupted"
+
+
+class ServiceOverloaded(ReproError):
+    """The analysis service shed this request instead of queueing it.
+
+    Returned (as a typed wire rejection, never a crash) when the
+    admission queue is at capacity or the daemon is draining.  Clients
+    should back off and resubmit.
+    """
+
+    code = "service_overloaded"
+
+
+class QuotaExceeded(ReproError):
+    """The submitting tenant's token bucket had no tokens left.
+
+    Per-tenant rate limiting: the rejection names the tenant and the
+    earliest time a token will be available (``retry_after_s``).
+    """
+
+    code = "quota_exceeded"
+
+
 class SuiteDegraded(ReproError):
     """Every benchmark an experiment needed failed.
 
@@ -104,6 +165,17 @@ class SuiteDegraded(ReproError):
     """
 
     code = "suite_degraded"
+
+
+class SuiteInterrupted(ReproError):
+    """A SIGTERM drained this suite run before it finished.
+
+    Completed benchmarks are journaled and their artifacts durable;
+    in-flight jobs wrote checkpoints on the way down.  Rerunning with
+    ``--resume`` continues from where the drain stopped.
+    """
+
+    code = "suite_interrupted"
 
 
 class MemAccessError(ReproError, RuntimeError):
@@ -158,12 +230,18 @@ __all__ = [
     "CheckpointCorrupt",
     "EncodingError",
     "FuelExhausted",
+    "JobCancelled",
     "JobFailed",
+    "JobInterrupted",
     "JobTimeout",
+    "JournalInvalid",
     "MemAccessError",
+    "QuotaExceeded",
     "ReproError",
+    "ServiceOverloaded",
     "SimulationError",
     "SuiteDegraded",
+    "SuiteInterrupted",
     "SyscallError",
     "error_to_dict",
 ]

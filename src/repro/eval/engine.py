@@ -55,8 +55,10 @@ from ..checkpoint import (
 from ..errors import (
     ArtifactCorrupt,
     JobFailed,
+    JobInterrupted,
     JobTimeout,
     ReproError,
+    SuiteInterrupted,
     error_to_dict,
 )
 from ..pipeline.bus import BranchEventBus, PipelineStats
@@ -73,7 +75,7 @@ from ..trace.events import BranchTrace
 from ..trace.io import load_trace, read_trace_meta, save_trace
 from ..workloads.build import BuiltWorkload, build_workload, run_workload
 from ..workloads.suite import get_benchmark
-from . import faults
+from . import faults, interrupt
 
 #: Bump to invalidate every stored artifact (digest input change).
 #: v2: the simulation backend became a digest component.
@@ -230,7 +232,16 @@ class ArtifactStore:
       JSON, a bad zip member, a missing key, a digest mismatch — as an
       :class:`~repro.errors.ArtifactCorrupt` cache miss: the bad files
       are moved to ``<root>/quarantine/`` (for post-mortem) and the
-      caller resimulates.
+      caller resimulates;
+    * :meth:`try_claim` takes an advisory per-digest claim file
+      (``O_CREAT|O_EXCL``) before simulating, so two engines (or daemon
+      workers) sharing one store never both miss and duplicate the same
+      simulation: exactly one claims and simulates, the other
+      :meth:`wait_for_writer`\\ s for the atomic publish — or proceeds
+      on its own if the claim goes stale (the holder died) or the wait
+      budget runs out.  Claims are *advisory*: correctness never
+      depends on them (``put`` is atomic and idempotent), they only
+      save duplicated work.
     """
 
     #: hex digits of the digest folded into filenames.
@@ -244,12 +255,29 @@ class ArtifactStore:
     #: never grow without limit across long suite runs.
     QUARANTINE_KEEP = 24
 
+    #: suffix of the advisory in-flight claim files.
+    CLAIM_SUFFIX = ".claim"
+
+    #: a claim whose holder cannot be liveness-probed counts as stale
+    #: after this many seconds (holder-death is detected much sooner via
+    #: the pid probe; this is the cross-host / unreadable-claim backstop).
+    CLAIM_STALE_SECONDS = 600.0
+
+    #: how long a second writer waits on a live claim before giving up
+    #: and simulating anyway (duplicated work, never wrong results).
+    CLAIM_WAIT_SECONDS = 600.0
+
+    #: poll interval while waiting on another writer's claim.
+    CLAIM_POLL_SECONDS = 0.05
+
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
         #: corruption events observed by this store instance.
         self.corrupt_events: List[ArtifactCorrupt] = []
         #: quarantined files pruned (age-bound) by this store instance.
         self.pruned_entries: int = 0
+        #: misses served by waiting on another writer's claim.
+        self.claim_waits: int = 0
 
     def stem(self, spec: JobSpec, digest: str) -> str:
         return f"{spec.tag()}-{digest[: self.DIGEST_CHARS]}"
@@ -270,6 +298,101 @@ class ArtifactStore:
             and profile_path.exists()
             and meta_path.exists()
         )
+
+    # -- in-flight claims ---------------------------------------------------
+
+    def claim_path(self, spec: JobSpec, digest: str) -> Path:
+        """The advisory claim file for one job's digest."""
+        return self.root / f"{self.stem(spec, digest)}{self.CLAIM_SUFFIX}"
+
+    def try_claim(self, spec: JobSpec, digest: str) -> bool:
+        """Atomically claim the right to simulate this digest.
+
+        Creates the claim file with ``O_CREAT|O_EXCL`` — the one
+        filesystem primitive that is atomic across processes — so under
+        any interleaving of two writers exactly one call returns True.
+        A pre-existing claim whose holder is provably dead (pid probe)
+        or ancient (mtime backstop) is broken and re-taken.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.claim_path(spec, digest)
+        payload = json.dumps(
+            {"pid": os.getpid(), "ts": round(time.time(), 3)}
+        ).encode("ascii")
+        for _ in range(2):  # second pass: after breaking a stale claim
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._claim_is_stale(path):
+                    return False
+                try:  # break the dead writer's claim and retry once
+                    path.unlink()
+                except OSError:
+                    return False
+                continue
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    def release_claim(self, spec: JobSpec, digest: str) -> None:
+        """Drop this job's claim (the artifacts are published, or we lost)."""
+        try:
+            self.claim_path(spec, digest).unlink()
+        except OSError:
+            pass
+
+    def _claim_is_stale(self, path: Path) -> bool:
+        """True when the claim's holder is dead or the claim is ancient."""
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return False  # claim vanished or unreadable: treat as live
+        pid = None
+        try:
+            pid = int(json.loads(raw)["pid"])
+        except Exception:
+            pass  # mid-write or foreign content; fall through to mtime
+        if pid is not None:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True  # holder is gone (same-host pid probe)
+            except OSError:
+                pass  # exists but unprobeable (permissions): fall through
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return False
+        return age > self.CLAIM_STALE_SECONDS
+
+    def wait_for_writer(
+        self, spec: JobSpec, digest: str, timeout: Optional[float] = None
+    ) -> bool:
+        """Wait for the claim holder to publish this digest's artifacts.
+
+        Polls until the entry verifies (True), the claim disappears or
+        goes stale without artifacts (False — the caller should claim
+        and simulate), or the wait budget runs out (False — simulate
+        anyway; duplicate work beats a deadlock on a wedged writer).
+        """
+        budget = self.CLAIM_WAIT_SECONDS if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        path = self.claim_path(spec, digest)
+        while True:
+            if self.verify(spec, digest):
+                self.claim_waits += 1
+                return True
+            if not path.exists() or self._claim_is_stale(path):
+                if self.verify(spec, digest):
+                    self.claim_waits += 1
+                    return True
+                return False
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.CLAIM_POLL_SECONDS)
 
     # -- corruption handling ------------------------------------------------
 
@@ -446,7 +569,8 @@ def _execute_job(
     if checkpoint_every is not None and store is not None:
         stem = store.stem(spec, digest)
         ckpt_store = CheckpointStore(Path(cache_root) / CHECKPOINT_SUBDIR)
-    if store is not None and store.verify(spec, digest):
+
+    def store_hit() -> JobResult:
         if ckpt_store is not None:
             ckpt_store.clear(stem)  # artifacts exist; drop stale state
         return JobResult(
@@ -457,53 +581,82 @@ def _execute_job(
             quarantined=len(store.corrupt_events),
             quarantine_pruned=store.pruned_entries,
         )
-    # one pass: the bus fans each branch event to the profiler and the
-    # chunked trace builder together (no capture-then-replay)
-    profiler = InterleaveConsumer(label=spec.name)
-    builder = TraceBuilder(label=spec.name)
-    bus = BranchEventBus([profiler, builder], limit=spec.trace_limit)
-    checkpoints_written = 0
-    resumed = False
-    checkpoint_quarantined = 0
-    if ckpt_store is not None:
-        outcome = run_simulation(
-            built,
-            bus,
-            config=CheckpointConfig(
-                store=ckpt_store,
-                stem=stem,
-                every_events=checkpoint_every,
-            ),
-            fault_plan=plan,
-            benchmark=spec.name,
-            in_worker=in_worker,
-            backend=spec.backend,
-        )
-        result = outcome.result
-        checkpoints_written = outcome.checkpoints_written
-        resumed = outcome.resumed_from_checkpoint
-        checkpoint_quarantined = len(ckpt_store.corrupt_events)
-    else:
-        result = run_workload(built, branch_hook=bus, backend=spec.backend)
-    pipeline = bus.finish()
-    trace = builder.result
-    profile = profiler.result
-    profile.instructions = result.instructions
-    artifacts = RunArtifacts(
-        name=spec.name,
-        trace=trace,
-        profile=profile,
-        instructions=result.instructions,
-        static_branches=built.static_conditional_branches,
-    )
-    if store is not None:
-        store.put(spec, digest, artifacts)
+
+    if store is not None and store.verify(spec, digest):
+        return store_hit()
+    claimed = store.try_claim(spec, digest) if store is not None else False
+    if store is not None and not claimed:
+        # Another engine (or daemon worker) is simulating this exact
+        # digest right now: wait for its atomic publish instead of
+        # duplicating the simulation.  A stale claim (the writer died)
+        # or an exhausted wait budget falls through to simulating here.
+        if store.wait_for_writer(spec, digest):
+            return store_hit()
+        claimed = store.try_claim(spec, digest)
+    try:
+        # one pass: the bus fans each branch event to the profiler and
+        # the chunked trace builder together (no capture-then-replay)
+        profiler = InterleaveConsumer(label=spec.name)
+        builder = TraceBuilder(label=spec.name)
+        bus = BranchEventBus([profiler, builder], limit=spec.trace_limit)
+        checkpoints_written = 0
+        resumed = False
+        checkpoint_quarantined = 0
         if ckpt_store is not None:
-            ckpt_store.clear(stem)  # the artifacts are the durable state now
-        if plan is not None:
-            trace_path, _, meta_path = store.paths(spec, digest)
-            plan.on_artifacts_stored(spec.name, trace_path, meta_path)
-        artifacts = None  # parent reloads from the store
+            outcome = run_simulation(
+                built,
+                bus,
+                config=CheckpointConfig(
+                    store=ckpt_store,
+                    stem=stem,
+                    every_events=checkpoint_every,
+                ),
+                fault_plan=plan,
+                benchmark=spec.name,
+                in_worker=in_worker,
+                backend=spec.backend,
+                stop_check=interrupt.drain_requested,
+            )
+            result = outcome.result
+            checkpoints_written = outcome.checkpoints_written
+            resumed = outcome.resumed_from_checkpoint
+            checkpoint_quarantined = len(ckpt_store.corrupt_events)
+            if outcome.interrupted:
+                raise JobInterrupted(
+                    f"{spec.name} drained on SIGTERM after "
+                    f"{bus.stats.events} events "
+                    f"({checkpoints_written} checkpoint(s) written; "
+                    "resumable)",
+                    benchmark=spec.name,
+                    events=bus.stats.events,
+                    checkpoints_written=checkpoints_written,
+                )
+        else:
+            result = run_workload(
+                built, branch_hook=bus, backend=spec.backend
+            )
+        pipeline = bus.finish()
+        trace = builder.result
+        profile = profiler.result
+        profile.instructions = result.instructions
+        artifacts = RunArtifacts(
+            name=spec.name,
+            trace=trace,
+            profile=profile,
+            instructions=result.instructions,
+            static_branches=built.static_conditional_branches,
+        )
+        if store is not None:
+            store.put(spec, digest, artifacts)
+            if ckpt_store is not None:
+                ckpt_store.clear(stem)  # artifacts are the durable state
+            if plan is not None:
+                trace_path, _, meta_path = store.paths(spec, digest)
+                plan.on_artifacts_stored(spec.name, trace_path, meta_path)
+            artifacts = None  # parent reloads from the store
+    finally:
+        if claimed:
+            store.release_claim(spec, digest)
     return JobResult(
         spec=spec,
         digest=digest,
@@ -527,7 +680,15 @@ def _worker_entry(conn, payload) -> None:
     Every exception is serialised and sent back, so a *raising* job can
     never take down the pass; a job that kills its process (``os._exit``)
     or hangs is detected parent-side by liveness/deadline monitoring.
+
+    SIGTERM is routed to the drain flag, so a terminated worker (drain,
+    deadline cancellation) checkpoints at the next slice boundary and
+    reports a typed ``job_interrupted`` outcome instead of dying with
+    work in flight; a worker that ignores it (a hang fault) is escalated
+    to SIGKILL by the parent's reaper.
     """
+    interrupt.install_worker_handler()
+    interrupt.set_pdeathsig()
     try:
         try:
             result = _execute_job(payload)
@@ -537,6 +698,91 @@ def _worker_entry(conn, payload) -> None:
             conn.send(("ok", result))
     finally:
         conn.close()
+
+
+#: seconds a draining scheduler waits for terminated workers to report
+#: their checkpointed ``job_interrupted`` outcome before escalating to
+#: SIGKILL (progress is already durable in the checkpoint either way).
+DRAIN_KILL_GRACE = 10.0
+
+
+class WorkerHandle:
+    """One in-flight attempt of one engine job in a sacrificial process.
+
+    The spawn/poll/terminate lifecycle, extracted from the parallel
+    scheduler so that the analysis daemon (:mod:`repro.service.app`) can
+    drive the very same workers from an asyncio loop: ``poll`` is
+    non-blocking, so the caller decides how to wait (a sleep loop here,
+    ``await asyncio.sleep`` there).
+
+    ``poll`` outcomes (None while still running):
+
+    * ``("ok", JobResult)`` — the job finished; artifacts are in the
+      store (or inline for storeless runs);
+    * ``("error", payload)`` — the job raised; *payload* is the typed
+      error dict (``payload["code"] == "job_interrupted"`` marks a
+      drained worker that checkpointed on the way down);
+    * ``("crash", exitcode)`` — the process died without reporting;
+    * ``("timeout", None)`` — the deadline passed; the worker has been
+      sent SIGTERM (it checkpoints if a cadence is configured) and the
+      caller should :meth:`reap` it.
+    """
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        cache_root: Optional[str],
+        checkpoint_every: Optional[int] = None,
+        timeout: Optional[float] = None,
+        ctx: Optional[object] = None,
+    ) -> None:
+        if ctx is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context()
+        self.spec = spec
+        self.started = time.monotonic()
+        self.deadline = (
+            self.started + timeout if timeout is not None else None
+        )
+        self.receiver, sender = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_worker_entry,
+            args=(sender, (spec, cache_root, True, checkpoint_every)),
+            daemon=True,
+        )
+        self.process.start()
+        sender.close()
+
+    def poll(self) -> Optional[Tuple[str, object]]:
+        """The worker's outcome if it has one, else None (non-blocking)."""
+        if self.receiver.poll():
+            try:
+                return self.receiver.recv()
+            except EOFError:
+                return ("crash", self.process.exitcode)
+        if not self.process.is_alive():
+            return ("crash", self.process.exitcode)
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.terminate()
+            return ("timeout", None)
+        return None
+
+    def terminate(self) -> None:
+        """SIGTERM the worker: it checkpoints and reports interrupted."""
+        self.process.terminate()
+
+    def kill(self) -> None:
+        """SIGKILL the worker: no cleanup, no report (crash outcome)."""
+        self.process.kill()
+
+    def reap(self, grace: float = 5.0) -> None:
+        """Close the pipe and join, escalating to SIGKILL on a hang."""
+        self.receiver.close()
+        self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=grace)
 
 
 @dataclass
@@ -748,6 +994,14 @@ class ExecutionEngine:
         self.failures: Dict[str, ReproError] = {}
         self._memo: Dict[str, RunArtifacts] = {}
         self._digests: Dict[str, str] = {}
+        #: set when a SIGTERM drain cut a prefetch pass short.
+        self.interrupted = False
+        #: tolerated journal damage found at resume time (torn tail);
+        #: structural damage raises JournalInvalid here instead, naming
+        #: the journal path and the offending record.
+        self.journal_warnings: List[str] = []
+        if self.resume and self.journal is not None:
+            self.journal_warnings = self.journal.validate()
 
     # -- job bookkeeping ----------------------------------------------------
 
@@ -940,6 +1194,12 @@ class ExecutionEngine:
         pass: they are retried up to ``retries`` times and then recorded
         in :attr:`failures`.  The returned mapping contains only the
         benchmarks that produced artifacts.
+
+        Raises:
+            SuiteInterrupted: when a SIGTERM drain stopped the pass
+                (see :mod:`repro.eval.interrupt`); completed work is
+                journaled, in-flight jobs checkpointed, and a
+                ``--resume`` rerun continues from here.
         """
         wanted = list(dict.fromkeys(names))
         missing = [
@@ -974,7 +1234,24 @@ class ExecutionEngine:
             self._run_parallel(missing)
         else:
             for name in missing:
-                self._run_sequential_job(name)
+                if interrupt.drain_requested():
+                    self.interrupted = True
+                    break
+                result = self._run_sequential_job(name)
+                if isinstance(result.error, JobInterrupted):
+                    self.interrupted = True
+                    break
+        if self.interrupted:
+            completed = [n for n in wanted if n in self._memo]
+            remaining = [n for n in wanted if n not in self._memo]
+            raise SuiteInterrupted(
+                f"suite drained on SIGTERM: {len(completed)}/"
+                f"{len(wanted)} benchmark(s) completed; in-flight "
+                "progress is checkpointed — rerun with --resume to "
+                "continue",
+                completed=completed,
+                remaining=remaining,
+            )
         for name in wanted:
             if name in self._memo and name not in missing:
                 self.stats.memo_hits += 1
@@ -1039,8 +1316,18 @@ class ExecutionEngine:
                 result = _execute_job(payload)
             except KeyError:
                 raise  # unknown benchmark/kernel: caller error, not a fault
+            except JobInterrupted as exc:
+                # A drain is resumable progress, not a fault: no retry.
+                result = JobResult(
+                    spec=spec,
+                    digest="",
+                    source="failed",
+                    seconds=time.perf_counter() - started,
+                    error=exc,
+                    attempts=attempt,
+                )
             except Exception as exc:
-                if attempt <= self.retries:
+                if attempt <= self.retries and not interrupt.drain_requested():
                     time.sleep(self._backoff_seconds(attempt + 1))
                     continue
                 failure = exc if isinstance(exc, JobFailed) else JobFailed(
@@ -1064,27 +1351,41 @@ class ExecutionEngine:
     def _run_parallel(self, missing: Sequence[str]) -> None:
         """Fan *missing* out over worker processes with fault handling.
 
-        One daemon process per attempt, at most ``jobs`` in flight; the
-        scheduler polls for three completion modes — a result on the
-        pipe, a dead process (crash), a blown deadline (hang) — and
-        requeues failed attempts with backoff until retries run out.
-        Terminated/hung workers are killed, never joined indefinitely.
-        """
-        import multiprocessing
+        One daemon process (a :class:`WorkerHandle`) per attempt, at
+        most ``jobs`` in flight; the scheduler polls for three
+        completion modes — a result on the pipe, a dead process
+        (crash), a blown deadline (hang) — and requeues failed attempts
+        with backoff until retries run out.  Terminated/hung workers
+        are killed, never joined indefinitely.
 
-        ctx = multiprocessing.get_context()
+        A SIGTERM drain (:mod:`repro.eval.interrupt`) stops launches,
+        clears the pending queue (those jobs were never journaled, so a
+        ``--resume`` rerun picks them up), forwards SIGTERM to every
+        running worker — which writes a final checkpoint and reports
+        ``job_interrupted`` — and records those outcomes without
+        retrying.  A worker that has not wound down within
+        :data:`DRAIN_KILL_GRACE` seconds is SIGKILLed; its progress is
+        already durable in the checkpoint.
+        """
         cache_root = self._cache_root()
         # (spec, attempt, not_before) — not_before implements backoff
         # without stalling the scheduler.
         pending: List[Tuple[JobSpec, int, float]] = [
             (self.job(n), 1, 0.0) for n in missing
         ]
-        running: Dict[object, Tuple[JobSpec, int, object, Optional[float]]]
-        running = {}
+        running: Dict[WorkerHandle, int] = {}
         first_launch: Dict[str, float] = {}
+        drain_started: Optional[float] = None
 
         def finish(spec: JobSpec, attempt: int, error: ReproError) -> None:
-            if attempt <= self.retries:
+            interrupted = (
+                getattr(error, "code", None) == JobInterrupted.code
+            )
+            if (
+                attempt <= self.retries
+                and not interrupted
+                and drain_started is None
+            ):
                 pending.append(
                     (
                         spec,
@@ -1107,7 +1408,19 @@ class ExecutionEngine:
 
         while pending or running:
             now = time.monotonic()
-            while len(running) < self.jobs:
+            if drain_started is None and interrupt.drain_requested():
+                drain_started = now
+                self.interrupted = True
+                pending.clear()
+                for handle in running:
+                    handle.terminate()
+            if (
+                drain_started is not None
+                and now - drain_started > DRAIN_KILL_GRACE
+            ):
+                for handle in running:
+                    handle.kill()
+            while drain_started is None and len(running) < self.jobs:
                 index = next(
                     (
                         i
@@ -1120,47 +1433,23 @@ class ExecutionEngine:
                     break
                 spec, attempt, _ = pending.pop(index)
                 first_launch.setdefault(spec.name, now)
-                receiver, sender = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_worker_entry,
-                    args=(
-                        sender,
-                        (
-                            spec,
-                            cache_root,
-                            True,
-                            self.checkpoint_every_events,
-                        ),
-                    ),
-                    daemon=True,
+                handle = WorkerHandle(
+                    spec,
+                    cache_root,
+                    checkpoint_every=self.checkpoint_every_events,
+                    timeout=self.timeout,
                 )
-                process.start()
-                sender.close()
-                deadline = (
-                    now + self.timeout if self.timeout is not None else None
-                )
-                running[process] = (spec, attempt, receiver, deadline)
+                running[handle] = attempt
 
             progressed = False
-            for process in list(running):
-                spec, attempt, receiver, deadline = running[process]
-                outcome = None
-                if receiver.poll():
-                    try:
-                        outcome = receiver.recv()
-                    except EOFError:
-                        outcome = ("crash", process.exitcode)
-                elif not process.is_alive():
-                    outcome = ("crash", process.exitcode)
-                elif deadline is not None and time.monotonic() > deadline:
-                    process.terminate()
-                    outcome = ("timeout", None)
+            for handle in list(running):
+                outcome = handle.poll()
                 if outcome is None:
                     continue
                 progressed = True
-                del running[process]
-                receiver.close()
-                process.join(timeout=5.0)
+                attempt = running.pop(handle)
+                spec = handle.spec
+                handle.reap()
                 kind, payload = outcome
                 if kind == "ok":
                     self._absorb(
@@ -1188,6 +1477,28 @@ class ExecutionEngine:
                             benchmark=spec.name,
                             exit_code=payload,
                             attempts=attempt,
+                        ),
+                    )
+                elif (
+                    isinstance(payload, dict)
+                    and payload.get("code") == JobInterrupted.code
+                ):
+                    # A drained worker checkpointed and wound down; this
+                    # is resumable progress, not a fault — never retried.
+                    finish(
+                        spec,
+                        attempt,
+                        JobInterrupted(
+                            payload.get(
+                                "message",
+                                f"{spec.name} drained on SIGTERM",
+                            ),
+                            benchmark=spec.name,
+                            attempts=attempt,
+                            events=payload.get("events"),
+                            checkpoints_written=payload.get(
+                                "checkpoints_written"
+                            ),
                         ),
                     )
                 else:  # kind == "error": the job raised inside the worker

@@ -21,6 +21,13 @@ faults the engine must survive:
   artifacts byte-identical to an uninterrupted run.  Fires once per
   benchmark (kill-once markers under ``state_dir``), so the resumed
   attempt is not killed again at the same threshold.
+* ``slow_client`` / ``conn_drop`` — *client-side* service faults,
+  consumed by ``repro loadgen`` rather than the engine: every Nth
+  request trickles its submit frame in two writes with a pause
+  (``slow_client``, exercising the daemon's partial-frame reads) or
+  disconnects right after its ``accepted`` frame (``conn_drop``; the
+  daemon must still complete the job).  Keyed by request index, which
+  keeps them deterministic for a fixed job count.
 
 Plans cross the process boundary via the ``REPRO_FAULTS`` environment
 variable (JSON), so pool workers inherit them automatically; ``flaky``
@@ -77,6 +84,11 @@ class FaultPlan:
         worker_kill: benchmark -> branch-event count at which the worker
             SIGKILLs itself mid-simulation (once; needs ``state_dir``).
         hang_seconds: sleep length for ``worker_hang``.
+        slow_client: every Nth loadgen request is a slow client
+            (0 disables); the pause is ``slow_client_seconds``.
+        slow_client_seconds: mid-frame pause for ``slow_client``.
+        conn_drop: every Nth loadgen request drops its connection right
+            after the ``accepted`` frame (0 disables).
         state_dir: directory for cross-process flaky attempt counters and
             kill-once markers (required when ``flaky`` or ``worker_kill``
             is non-empty).
@@ -89,6 +101,9 @@ class FaultPlan:
     corrupt_meta: Tuple[str, ...] = ()
     worker_kill: Dict[str, int] = field(default_factory=dict)
     hang_seconds: float = DEFAULT_HANG_SECONDS
+    slow_client: int = 0
+    slow_client_seconds: float = 0.25
+    conn_drop: int = 0
     state_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -111,6 +126,9 @@ class FaultPlan:
                 "corrupt_meta": list(self.corrupt_meta),
                 "worker_kill": dict(self.worker_kill),
                 "hang_seconds": self.hang_seconds,
+                "slow_client": self.slow_client,
+                "slow_client_seconds": self.slow_client_seconds,
+                "conn_drop": self.conn_drop,
                 "state_dir": self.state_dir,
             }
         )
@@ -133,6 +151,11 @@ class FaultPlan:
             hang_seconds=float(
                 payload.get("hang_seconds", DEFAULT_HANG_SECONDS)
             ),
+            slow_client=int(payload.get("slow_client", 0)),
+            slow_client_seconds=float(
+                payload.get("slow_client_seconds", 0.25)
+            ),
+            conn_drop=int(payload.get("conn_drop", 0)),
             state_dir=payload.get("state_dir"),
         )
 
@@ -225,6 +248,18 @@ class FaultPlan:
         except FileExistsError:
             return False
         return True
+
+    # -- client-side service faults (consumed by repro loadgen) -------------
+
+    def client_delay(self, index: int) -> float:
+        """Mid-frame pause for request *index* (0.0 = not a slow client)."""
+        if self.slow_client > 0 and (index + 1) % self.slow_client == 0:
+            return self.slow_client_seconds
+        return 0.0
+
+    def drops_connection(self, index: int) -> bool:
+        """Whether request *index* disconnects after its accepted frame."""
+        return self.conn_drop > 0 and (index + 1) % self.conn_drop == 0
 
     def on_artifacts_stored(
         self, benchmark: str, trace_path: Path, meta_path: Path

@@ -1,0 +1,127 @@
+"""Cooperative SIGTERM drain shared by drivers, workers and the daemon.
+
+A terminated suite run used to lose the current attempt's progress: the
+default SIGTERM disposition killed the process between checkpoints and
+threw away everything since the last one.  This module turns SIGTERM
+into a *drain request* — a process-local flag that long-running loops
+poll at their quiesced points:
+
+* the checkpointed simulation loop
+  (:func:`repro.checkpoint.runner.run_simulation`) writes one final
+  checkpoint and stops,
+* worker processes report a typed ``job_interrupted`` outcome instead of
+  dying mid-write,
+* the :class:`~repro.eval.engine.ExecutionEngine` scheduler stops
+  launching pending jobs, forwards SIGTERM to running workers (which
+  checkpoint), and raises
+  :class:`~repro.errors.SuiteInterrupted` once drained,
+* the analysis daemon (:mod:`repro.service.app`) stops admitting,
+  checkpoints in-flight jobs and exits 0.
+
+The flag is per-process (workers install their own handler at entry),
+and everything here is best-effort on platforms without POSIX signals.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+#: When this env var is "1", worker processes arrange to die with their
+#: parent (Linux ``PR_SET_PDEATHSIG``).  The daemon sets it so a
+#: SIGKILLed service never leaks orphan simulations that would race the
+#: restarted daemon for the artifact store.
+PDEATHSIG_ENV = "REPRO_WORKER_PDEATHSIG"
+
+_DRAIN = threading.Event()
+
+
+def request_drain() -> None:
+    """Ask every polling loop in this process to stop at a safe point."""
+    _DRAIN.set()
+
+
+def drain_requested() -> bool:
+    """True once a drain has been requested in this process."""
+    return _DRAIN.is_set()
+
+
+def reset_drain() -> None:
+    """Clear the drain flag (a new run in the same process starts clean)."""
+    _DRAIN.clear()
+
+
+def _handler(signum: int, frame: object) -> None:
+    _DRAIN.set()
+
+
+def install_worker_handler() -> None:
+    """Route SIGTERM to the drain flag (called at worker-process entry).
+
+    With the flag set, the checkpointed simulation loop writes a final
+    checkpoint and the worker reports ``job_interrupted`` — instead of
+    the default disposition tearing the process down mid-slice.  A no-op
+    off the main thread or on platforms without SIGTERM.
+    """
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, AttributeError, OSError):
+        pass
+
+
+def set_pdeathsig() -> None:
+    """Die with the parent (Linux only; gated on :data:`PDEATHSIG_ENV`).
+
+    ``multiprocessing`` daemon processes survive a SIGKILLed parent —
+    they are only reaped on *clean* exits.  The service daemon must not
+    leak orphan simulation workers across a crash (the restarted daemon
+    resumes those jobs itself), so its workers opt in to
+    ``PR_SET_PDEATHSIG``.  Best-effort: silently a no-op elsewhere.
+    """
+    if os.environ.get(PDEATHSIG_ENV) != "1":
+        return
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, int(signal.SIGKILL), 0, 0, 0)
+    except Exception:
+        pass
+
+
+@contextmanager
+def sigterm_drain() -> Iterator[None]:
+    """Driver-side: treat SIGTERM as a drain request for this extent.
+
+    Installs the drain handler (main thread only — elsewhere this is a
+    transparent no-op), restores the previous disposition on exit, and
+    clears the flag so a later run in the same process starts clean.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, AttributeError, OSError):
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        reset_drain()
+
+
+__all__ = [
+    "PDEATHSIG_ENV",
+    "drain_requested",
+    "install_worker_handler",
+    "request_drain",
+    "reset_drain",
+    "set_pdeathsig",
+    "sigterm_drain",
+]

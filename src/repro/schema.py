@@ -51,6 +51,21 @@ Version history:
   ``params`` gain a ``backend`` field (the resolved backend name; the
   engine folds the same name into artifact digests and journal
   records, so artifacts from different backends never alias).
+* **7** — analysis-as-a-service: the new ``serve`` daemon speaks a
+  newline-delimited JSON wire protocol whose every response frame
+  carries ``schema_version`` (see :mod:`repro.service.wire`: ``submit``
+  streams ``accepted`` → ``completed``/``failed``/``cancelled``/
+  ``interrupted`` events; rejections are typed —
+  ``service_overloaded``/``quota_exceeded`` — never connection drops);
+  the new ``loadgen`` command emits a report envelope (``submitted``/
+  ``completed``/``shed``/``quota_rejected`` counts, ``jobs_per_second``,
+  ``latency`` p50/p99, ``cache_hit_ratio``, ``shed_rate``); run-journal
+  records gain a ``v`` format-version field (older records read as v0;
+  newer-than-supported journals fail ``experiment --resume`` with a
+  typed ``journal_invalid`` error naming the offending record); the
+  engine's failure payloads may now carry the ``job_cancelled``/
+  ``job_interrupted``/``suite_interrupted`` codes (SIGTERM drain and
+  deadline cancellation).
 """
 
 from __future__ import annotations
@@ -59,7 +74,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def envelope(

@@ -1,0 +1,87 @@
+"""Admission control: a bounded queue that sheds load instead of dying.
+
+The daemon's first robustness line.  An unbounded queue turns overload
+into unbounded memory growth and unbounded latency — every queued job
+waits behind every other — until the process falls over with all jobs
+lost.  The admission controller caps the queue at ``limit``: a submit
+that finds the queue full is *shed* with a typed
+:class:`~repro.errors.ServiceOverloaded` rejection (never a crash, never
+a silent drop), so clients get an explicit back-off signal while the
+jobs already admitted keep their latency bounded.
+
+Draining (SIGTERM) closes admission the same way: new submits are shed
+with ``draining=True`` in the rejection context while in-flight work is
+checkpointed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, TypeVar
+
+from ..errors import ServiceOverloaded
+
+T = TypeVar("T")
+
+
+class AdmissionController:
+    """Bounded FIFO admission queue with shed counters."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.queue: Deque[T] = deque()
+        self.draining = False
+        self.admitted = 0
+        self.shed = 0
+
+    def depth(self) -> int:
+        return len(self.queue)
+
+    def admit(self, job: T) -> None:
+        """Queue *job*, or shed it.
+
+        Raises:
+            ServiceOverloaded: queue at capacity, or the daemon is
+                draining; the context names which.
+        """
+        if self.draining:
+            self.shed += 1
+            raise ServiceOverloaded(
+                "service is draining (SIGTERM received); not admitting "
+                "new jobs — resubmit after restart",
+                draining=True,
+            )
+        if len(self.queue) >= self.limit:
+            self.shed += 1
+            raise ServiceOverloaded(
+                f"admission queue is full ({len(self.queue)}/"
+                f"{self.limit}); retry with backoff",
+                queue_depth=len(self.queue),
+                queue_limit=self.limit,
+            )
+        self.queue.append(job)
+        self.admitted += 1
+
+    def requeue(self, job: T) -> None:
+        """Put *job* back at the head (recovery path; bypasses the cap)."""
+        self.queue.appendleft(job)
+
+    def pop(self) -> Optional[T]:
+        """The oldest admitted job, or None when the queue is empty."""
+        if not self.queue:
+            return None
+        return self.queue.popleft()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "queue_depth": len(self.queue),
+            "queue_limit": self.limit,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "draining": self.draining,
+        }
+
+
+__all__ = ["AdmissionController"]

@@ -1,0 +1,771 @@
+"""The analysis-as-a-service daemon (``repro serve``).
+
+An asyncio daemon that wraps the evaluation engine's worker machinery
+(:class:`~repro.eval.engine.WorkerHandle`) behind a unix-socket NDJSON
+API (:mod:`repro.service.wire`).  Clients submit benchmark + predictor
+jobs; the daemon digests each job to its content address, dedupes
+in-flight work by that digest (backend-keyed, so superblock and interp
+jobs never alias), fans admitted jobs out over a bounded worker pool,
+and streams typed result frames back.
+
+Robustness model (see ``docs/SERVICE.md``):
+
+* **Admission control** — a bounded queue; overload sheds submits with
+  typed ``service_overloaded`` rejections, never a crash
+  (:mod:`repro.service.admission`).
+* **Quotas** — per-tenant token buckets with fairness accounting
+  (:mod:`repro.service.quotas`).
+* **Deadlines** — a per-job wall-clock budget enforced through the
+  engine's worker-timeout path: an expired job's worker is SIGTERMed
+  (checkpointing on the way down) and the client gets a typed
+  ``cancelled`` frame.
+* **SIGTERM drain** — stop admitting, SIGTERM in-flight workers (they
+  write a final checkpoint and report ``job_interrupted``), journal
+  state, exit 0.  Interrupted jobs keep their ``submitted`` journal
+  record *without* a ``done`` record, so the next daemon resumes them.
+* **Crash recovery** — on startup, ``submitted``-without-``done``
+  journal records (a SIGKILLed daemon's in-flight jobs) are re-enqueued;
+  their simulations resume from the shared checkpoint store and produce
+  artifacts byte-identical to an undisturbed run.  Workers opt in to
+  ``PR_SET_PDEATHSIG`` so a SIGKILLed daemon never leaks orphan
+  simulations that would race the restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..errors import (
+    JobCancelled,
+    JobFailed,
+    JobInterrupted,
+    ReproError,
+    error_to_dict,
+)
+from ..eval import interrupt
+from ..eval.engine import (
+    DRAIN_KILL_GRACE,
+    ArtifactStore,
+    JobResult,
+    JobSpec,
+    WorkerHandle,
+    compute_job_digest,
+)
+from ..pipeline.bus import BranchEventBus
+from ..pipeline.consumers import PredictorConsumer
+from ..workloads.suite import get_benchmark
+from .admission import AdmissionController
+from .jobs import ServiceJob, ServiceJournal, build_predictor
+from .quotas import QuotaManager
+from .wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    encode_frame,
+    read_frame,
+    rejection,
+    response,
+)
+
+#: Scheduler tick while jobs are in flight (seconds).
+_POLL_SECONDS = 0.02
+
+#: Subdirectory of the cache root holding the service journal.
+SERVICE_SUBDIR = "service"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to boot one daemon."""
+
+    socket_path: str
+    cache_dir: str
+    workers: int = 2
+    queue_limit: int = 16
+    retries: int = 1
+    quota_rate: float = 0.0
+    quota_burst: float = 8.0
+    checkpoint_every: int = 2000
+    default_deadline_s: Optional[float] = None
+    drain_grace_s: float = DRAIN_KILL_GRACE
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                "checkpoint_every must be >= 1 (checkpoints are the "
+                f"preemption/recovery mechanism), got {self.checkpoint_every}"
+            )
+
+
+@dataclass
+class Connection:
+    """One client connection's outbox; frames are pumped to the socket."""
+
+    queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = field(
+        default_factory=asyncio.Queue
+    )
+    closed: bool = False
+
+    def send(self, frame: Optional[Dict[str, Any]]) -> None:
+        if not self.closed:
+            self.queue.put_nowait(frame)
+
+
+class AnalysisService:
+    """One daemon instance: admission, quotas, pool, journal, recovery."""
+
+    def __init__(
+        self, config: ServiceConfig, clock=time.monotonic
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.cache_dir = Path(config.cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.store = ArtifactStore(self.cache_dir)
+        self.journal = ServiceJournal(self.cache_dir / SERVICE_SUBDIR)
+        self.admission: AdmissionController = AdmissionController(
+            config.queue_limit
+        )
+        self.quotas = QuotaManager(
+            rate=config.quota_rate, burst=config.quota_burst, clock=clock
+        )
+        #: live jobs by job id (queued or running).
+        self.jobs: Dict[str, ServiceJob] = {}
+        #: in-flight dedupe index: artifact stem -> primary job.
+        self.inflight: Dict[str, ServiceJob] = {}
+        #: running workers: job id -> (job, handle).
+        self.running: Dict[str, Tuple[ServiceJob, WorkerHandle]] = {}
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "interrupted": 0,
+            "deduped": 0,
+            "store_hits": 0,
+            "simulated": 0,
+            "recovered": 0,
+            "retries": 0,
+        }
+        self.started = clock()
+        self.draining = False
+        self._drain_started: Optional[float] = None
+        self._tasks: Set["asyncio.Task[Any]"] = set()
+
+    # -- submission ---------------------------------------------------------
+
+    def _parse_submit(
+        self, frame: Dict[str, Any]
+    ) -> Tuple[str, str, JobSpec, Tuple[str, ...], Optional[float]]:
+        """(job id, tenant, spec, predictors, deadline) for one frame.
+
+        Raises:
+            ReproError: malformed or unknown fields (typed rejection).
+        """
+        job_id = frame.get("id") or f"job-{uuid.uuid4().hex[:12]}"
+        if not isinstance(job_id, str):
+            raise ReproError(f"job id must be a string, got {job_id!r}")
+        tenant = frame.get("tenant") or "anonymous"
+        benchmark = frame.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise ReproError("submit frame needs a benchmark name")
+        try:
+            get_benchmark(benchmark)
+        except KeyError:
+            raise ReproError(
+                f"unknown benchmark {benchmark!r}", benchmark=benchmark
+            ) from None
+        predictors = tuple(frame.get("predictors") or ())
+        for spec_text in predictors:
+            try:
+                build_predictor(spec_text)
+            except (TypeError, ValueError) as exc:
+                raise ReproError(str(exc)) from exc
+        deadline_s = frame.get("deadline_s", self.config.default_deadline_s)
+        spec = JobSpec(
+            name=benchmark,
+            scale=float(frame.get("scale", 1.0)),
+            trace_limit=frame.get("trace_limit"),
+            backend=str(frame.get("backend", "interp")),
+        )
+        return (
+            job_id,
+            str(tenant),
+            spec,
+            predictors,
+            float(deadline_s) if deadline_s is not None else None,
+        )
+
+    def _submit(self, frame: Dict[str, Any], conn: Connection) -> None:
+        """Admit one submit frame; raises a typed error to reject it."""
+        job_id, tenant, spec, predictors, deadline_s = self._parse_submit(
+            frame
+        )
+        if job_id in self.jobs:
+            raise ReproError(
+                f"job id {job_id!r} is already in flight", job=job_id
+            )
+        self.counters["submitted"] += 1
+        self.quotas.admit(tenant)  # may raise QuotaExceeded
+        digest = compute_job_digest(spec)
+        stem = self.store.stem(spec, digest)
+        primary = self.inflight.get(stem)
+        if primary is not None:
+            # Same content address already queued/running: attach to it
+            # instead of simulating twice.  Backend is part of the
+            # digest, so different backends never dedupe onto each other.
+            primary.waiters.append((conn, job_id))
+            self.counters["deduped"] += 1
+            conn.send(
+                response(
+                    "accepted",
+                    job_id,
+                    digest=digest,
+                    dedup=True,
+                    primary=primary.id,
+                    queue_depth=self.admission.depth(),
+                )
+            )
+            return
+        job = ServiceJob(
+            id=job_id,
+            tenant=tenant,
+            spec=spec,
+            digest=digest,
+            stem=stem,
+            predictors=predictors,
+            deadline_s=deadline_s,
+            submitted_at=self.clock(),
+            waiters=[(conn, job_id)],
+        )
+        self.admission.admit(job)  # may raise ServiceOverloaded
+        self.journal.record_submitted(job)
+        self.jobs[job.id] = job
+        self.inflight[stem] = job
+        conn.send(
+            response(
+                "accepted",
+                job_id,
+                digest=digest,
+                dedup=False,
+                queue_depth=self.admission.depth(),
+            )
+        )
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _launch(self, now: float) -> None:
+        while len(self.running) < self.config.workers:
+            job = self.admission.pop()
+            if job is None:
+                return
+            remaining = job.deadline_remaining(now)
+            if remaining is not None and remaining <= 0:
+                self._finalize(
+                    job,
+                    "cancelled",
+                    JobCancelled(
+                        f"{job.spec.name} missed its "
+                        f"{job.deadline_s:g}s deadline while queued",
+                        benchmark=job.spec.name,
+                        deadline_s=job.deadline_s,
+                    ),
+                    now,
+                )
+                continue
+            job.state = "running"
+            job.started_at = now
+            job.attempts += 1
+            handle = WorkerHandle(
+                job.spec,
+                str(self.cache_dir),
+                checkpoint_every=self.config.checkpoint_every,
+                timeout=remaining,
+            )
+            self.running[job.id] = (job, handle)
+
+    def _expire_queued(self, now: float) -> None:
+        """Cancel queued jobs whose deadline passed before a worker freed."""
+        expired = [
+            job
+            for job in self.admission.queue
+            if job.deadline_remaining(now) is not None
+            and job.deadline_remaining(now) <= 0
+        ]
+        for job in expired:
+            self.admission.queue.remove(job)
+            self._finalize(
+                job,
+                "cancelled",
+                JobCancelled(
+                    f"{job.spec.name} missed its {job.deadline_s:g}s "
+                    "deadline while queued",
+                    benchmark=job.spec.name,
+                    deadline_s=job.deadline_s,
+                ),
+                now,
+            )
+
+    def _poll_outcomes(self, now: float) -> None:
+        for job_id in list(self.running):
+            job, handle = self.running[job_id]
+            outcome = handle.poll()
+            if outcome is None:
+                continue
+            del self.running[job_id]
+            handle.reap()
+            kind, payload = outcome
+            if kind == "ok":
+                self._finalize_ok(job, payload, now)
+            elif kind == "timeout":
+                self._finalize(
+                    job,
+                    "cancelled",
+                    JobCancelled(
+                        f"{job.spec.name} missed its "
+                        f"{job.deadline_s:g}s deadline; its worker was "
+                        "terminated through the timeout path "
+                        "(checkpointed)",
+                        benchmark=job.spec.name,
+                        deadline_s=job.deadline_s,
+                        attempts=job.attempts,
+                    ),
+                    now,
+                )
+            elif kind == "crash":
+                self._retry_or_fail(
+                    job,
+                    JobFailed(
+                        f"worker for {job.spec.name} died "
+                        f"(exit code {payload}, attempt {job.attempts})",
+                        benchmark=job.spec.name,
+                        exit_code=payload,
+                        attempts=job.attempts,
+                    ),
+                    now,
+                )
+            elif (
+                isinstance(payload, dict)
+                and payload.get("code") == JobInterrupted.code
+            ):
+                self._finalize_interrupted(job, payload, now)
+            else:
+                self._retry_or_fail(
+                    job,
+                    JobFailed(
+                        f"{job.spec.name} failed: "
+                        f"{payload.get('message', 'unknown error')}",
+                        benchmark=job.spec.name,
+                        attempts=job.attempts,
+                        cause=payload,
+                    ),
+                    now,
+                )
+
+    def _retry_or_fail(
+        self, job: ServiceJob, error: ReproError, now: float
+    ) -> None:
+        if job.attempts <= self.config.retries and not self.draining:
+            job.state = "queued"
+            self.counters["retries"] += 1
+            self.admission.requeue(job)
+            return
+        self._finalize(job, "failed", error, now)
+
+    # -- completion ---------------------------------------------------------
+
+    def _finalize_ok(
+        self, job: ServiceJob, result: JobResult, now: float
+    ) -> None:
+        key = "store_hits" if result.source == "store" else "simulated"
+        self.counters[key] += 1
+        if job.predictors:
+            task = asyncio.get_running_loop().create_task(
+                self._predict_then_complete(job, result)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+            return
+        self._complete(job, result, None, now)
+
+    async def _predict_then_complete(
+        self, job: ServiceJob, result: JobResult
+    ) -> None:
+        """Replay the predictor bank off-loop, then complete the job."""
+        loop = asyncio.get_running_loop()
+        try:
+            predictions = await loop.run_in_executor(
+                None, self._run_predictors, job
+            )
+        except Exception as exc:
+            error = exc if isinstance(exc, ReproError) else ReproError(
+                f"predictor replay for {job.spec.name} failed: {exc}",
+                benchmark=job.spec.name,
+            )
+            self._finalize(job, "failed", error, self.clock())
+            return
+        self._complete(job, result, predictions, self.clock())
+
+    def _run_predictors(self, job: ServiceJob) -> Dict[str, Any]:
+        artifacts = self.store.load(job.spec, job.digest)
+        if artifacts is None:
+            raise ReproError(
+                f"artifacts for {job.spec.name} vanished before the "
+                "predictor replay",
+                benchmark=job.spec.name,
+                digest=job.digest,
+            )
+        bank = [
+            PredictorConsumer(build_predictor(text), label=job.spec.name)
+            for text in job.predictors
+        ]
+        BranchEventBus.replay(artifacts.trace, bank)
+        return {
+            text: {
+                "branches": consumer.result.branches,
+                "mispredictions": consumer.result.mispredictions,
+                "misprediction_rate": round(
+                    consumer.result.misprediction_rate, 6
+                ),
+            }
+            for text, consumer in zip(job.predictors, bank)
+        }
+
+    def _complete(
+        self,
+        job: ServiceJob,
+        result: JobResult,
+        predictions: Optional[Dict[str, Any]],
+        now: float,
+    ) -> None:
+        job.state = "completed"
+        self._forget(job)
+        self.journal.record_done(job.id, "completed", digest=result.digest)
+        self.counters["completed"] += 1
+        self.quotas.account(
+            job.tenant,
+            completed=1,
+            busy_seconds=(
+                now - job.started_at if job.started_at is not None else 0.0
+            ),
+        )
+        frame_fields: Dict[str, Any] = {
+            "digest": result.digest,
+            "source": result.source,
+            "seconds": round(result.seconds, 6),
+            "latency_s": round(now - job.submitted_at, 6),
+            "attempts": job.attempts,
+            "resumed": result.resumed,
+            "checkpoints_written": result.checkpoints_written,
+        }
+        if result.pipeline is not None:
+            frame_fields["pipeline"] = result.pipeline.as_dict()
+        if predictions is not None:
+            frame_fields["predictions"] = predictions
+        self._notify(job, "completed", frame_fields)
+
+    def _finalize(
+        self,
+        job: ServiceJob,
+        status: str,
+        error: ReproError,
+        now: float,
+    ) -> None:
+        """Terminal failure/cancellation: journal, account, notify."""
+        job.state = status
+        job.error = error
+        self._forget(job)
+        self.journal.record_done(job.id, status, error=error_to_dict(error))
+        self.counters[status] += 1
+        self.quotas.account(job.tenant, failed=1)
+        self._notify(
+            job,
+            status,
+            {
+                "error": error_to_dict(error),
+                "latency_s": round(now - job.submitted_at, 6),
+            },
+        )
+
+    def _finalize_interrupted(
+        self, job: ServiceJob, payload: Dict[str, Any], now: float
+    ) -> None:
+        """A drained worker wound down; the job stays journal-orphaned.
+
+        Deliberately no ``done`` record: the ``submitted`` line without
+        one is exactly what the restarted daemon's recovery pass looks
+        for, and the checkpoint the worker wrote on the way down is what
+        it resumes from.
+        """
+        job.state = "interrupted"
+        self._forget(job)
+        self.counters["interrupted"] += 1
+        self._notify(
+            job,
+            "interrupted",
+            {
+                "error": payload,
+                "resumable": True,
+                "latency_s": round(now - job.submitted_at, 6),
+            },
+        )
+
+    def _forget(self, job: ServiceJob) -> None:
+        self.jobs.pop(job.id, None)
+        if self.inflight.get(job.stem) is job:
+            del self.inflight[job.stem]
+
+    def _notify(
+        self, job: ServiceJob, kind: str, fields: Dict[str, Any]
+    ) -> None:
+        for conn, client_id in job.waiters:
+            conn.send(response(kind, client_id, **fields))
+
+    # -- stats --------------------------------------------------------------
+
+    def stats_frame(self) -> Dict[str, Any]:
+        finished = self.counters["store_hits"] + self.counters["simulated"]
+        hits = self.counters["store_hits"] + self.counters["deduped"]
+        requests = finished + self.counters["deduped"]
+        return response(
+            "stats",
+            uptime_s=round(self.clock() - self.started, 3),
+            jobs=dict(self.counters),
+            running=len(self.running),
+            admission=self.admission.snapshot(),
+            tenants=self.quotas.snapshot(),
+            cache_hit_ratio=(
+                round(hits / requests, 6) if requests else 0.0
+            ),
+            store={
+                "corrupt_events": len(self.store.corrupt_events),
+                "claim_waits": self.store.claim_waits,
+            },
+        )
+
+    # -- connection handling ------------------------------------------------
+
+    def _dispatch(self, frame: Dict[str, Any], conn: Connection) -> None:
+        op = frame.get("op")
+        if op == "ping":
+            conn.send(
+                response(
+                    "pong",
+                    uptime_s=round(self.clock() - self.started, 3),
+                )
+            )
+        elif op == "stats":
+            conn.send(self.stats_frame())
+        elif op == "submit":
+            try:
+                self._submit(frame, conn)
+            except ReproError as exc:
+                conn.send(rejection(exc, frame.get("id")))
+        else:
+            conn.send(
+                rejection(
+                    ReproError(f"unknown op {op!r}"), frame.get("id")
+                )
+            )
+
+    async def _pump(
+        self, conn: Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                frame = await conn.queue.get()
+                if frame is None:
+                    break
+                writer.write(encode_frame(frame))
+                await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # conn_drop: the job keeps running server-side
+        finally:
+            conn.closed = True
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        conn = Connection()
+        pump = asyncio.get_running_loop().create_task(
+            self._pump(conn, writer)
+        )
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except WireError as exc:
+                    conn.send(rejection(exc))
+                    break
+                if frame is None:
+                    break
+                self._dispatch(frame, conn)
+        finally:
+            conn.send(None)  # sentinel: flush pending frames, then stop
+            conn.closed = True
+            try:
+                await asyncio.wait_for(pump, timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pump.cancel()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-enqueue the previous daemon's journal-orphaned jobs.
+
+        No new ``submitted`` record (the original is still on file); no
+        admission/quota gate (the jobs were already admitted once); no
+        waiters (their clients are gone — results land in the artifact
+        store and the ``done`` journal record).
+        """
+        for record in self.journal.orphans():
+            spec = JobSpec(
+                name=str(record.get("benchmark", "")),
+                scale=float(record.get("scale", 1.0)),
+                trace_limit=record.get("trace_limit"),
+                backend=str(record.get("backend", "interp")),
+            )
+            try:
+                get_benchmark(spec.name)
+            except KeyError:
+                continue  # journal from an older suite; nothing to resume
+            digest = str(record.get("digest", ""))
+            job = ServiceJob(
+                id=str(record["job"]),
+                tenant=str(record.get("tenant", "anonymous")),
+                spec=spec,
+                digest=digest,
+                stem=self.store.stem(spec, digest),
+                predictors=tuple(record.get("predictors", ())),
+                deadline_s=None,  # its clock died with the old daemon
+                submitted_at=self.clock(),
+                recovered=True,
+            )
+            self.jobs[job.id] = job
+            self.inflight[job.stem] = job
+            self.admission.queue.append(job)
+            self.counters["recovered"] += 1
+
+    def _begin_drain(self, now: float) -> None:
+        self.draining = True
+        self._drain_started = now
+        self.admission.draining = True
+        for _, handle in self.running.values():
+            handle.terminate()  # workers checkpoint + report interrupted
+
+    async def _scheduler(self) -> None:
+        while True:
+            now = self.clock()
+            if not self.draining and interrupt.drain_requested():
+                self._begin_drain(now)
+            if self.draining:
+                if not self.running:
+                    break
+                if (
+                    self._drain_started is not None
+                    and now - self._drain_started
+                    > self.config.drain_grace_s
+                ):
+                    for _, handle in self.running.values():
+                        handle.kill()
+            else:
+                self._expire_queued(now)
+                self._launch(now)
+            self._poll_outcomes(now)
+            await asyncio.sleep(_POLL_SECONDS)
+        # Jobs still queued at drain keep their journal orphan record;
+        # tell any connected waiters the daemon is going away.
+        while True:
+            job = self.admission.pop()
+            if job is None:
+                break
+            job.state = "interrupted"
+            self.counters["interrupted"] += 1
+            self._notify(
+                job,
+                "interrupted",
+                {
+                    "error": error_to_dict(
+                        JobInterrupted(
+                            f"{job.spec.name} was queued when the "
+                            "daemon drained; it resumes on restart",
+                            benchmark=job.spec.name,
+                        )
+                    ),
+                    "resumable": True,
+                },
+            )
+
+    async def run(self) -> int:
+        """Boot, serve until drained, exit 0."""
+        interrupt.reset_drain()
+        loop = asyncio.get_running_loop()
+        handled_signals = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, interrupt.request_drain)
+                handled_signals.append(signum)
+            except (NotImplementedError, ValueError, OSError):
+                pass
+        previous_pdeathsig = os.environ.get(interrupt.PDEATHSIG_ENV)
+        os.environ[interrupt.PDEATHSIG_ENV] = "1"
+        self._recover()
+        socket_path = Path(self.config.socket_path)
+        socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if socket_path.exists():
+            socket_path.unlink()  # stale socket from a SIGKILLed daemon
+        server = await asyncio.start_unix_server(
+            self._handle_client,
+            path=str(socket_path),
+            limit=MAX_FRAME_BYTES,
+        )
+        try:
+            await self._scheduler()
+            if self._tasks:
+                await asyncio.wait_for(
+                    asyncio.gather(*self._tasks, return_exceptions=True),
+                    timeout=self.config.drain_grace_s,
+                )
+        finally:
+            server.close()
+            await server.wait_closed()
+            try:
+                socket_path.unlink()
+            except OSError:
+                pass
+            for signum in handled_signals:
+                loop.remove_signal_handler(signum)
+            if previous_pdeathsig is None:
+                os.environ.pop(interrupt.PDEATHSIG_ENV, None)
+            else:
+                os.environ[interrupt.PDEATHSIG_ENV] = previous_pdeathsig
+            interrupt.reset_drain()
+        return 0
+
+
+def serve(config: ServiceConfig) -> int:
+    """Run one daemon to completion (drain or loop teardown); exit code."""
+    return asyncio.run(AnalysisService(config).run())
+
+
+__all__ = [
+    "AnalysisService",
+    "Connection",
+    "SERVICE_SUBDIR",
+    "ServiceConfig",
+    "serve",
+]

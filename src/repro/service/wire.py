@@ -1,0 +1,119 @@
+"""NDJSON wire protocol for the analysis service.
+
+One JSON object per ``\\n``-terminated line, in both directions, over a
+unix-domain socket.  Newline-delimited JSON keeps the protocol
+inspectable with ``nc -U`` + a pipe to ``jq`` and makes framing trivial:
+a frame is a line, a torn line is a dead peer.
+
+Client → server frames carry an ``op``:
+
+* ``{"op": "submit", "id": ..., "tenant": ..., "benchmark": ..., ...}``
+  — submit one analysis job; the server streams ``accepted`` and then a
+  terminal frame (``completed``/``failed``/``cancelled``/
+  ``interrupted``) for the same ``id``, or a single ``rejected`` frame
+  (admission shed, quota, bad request) and no job;
+* ``{"op": "stats"}`` — one ``stats`` frame with the service counters;
+* ``{"op": "ping"}`` — one ``pong`` frame (liveness).
+
+Server → client frames carry a ``type`` and the envelope's
+``schema_version`` (see :mod:`repro.schema`, v7 changelog).  Errors are
+always the typed :func:`repro.errors.error_to_dict` form — a shed or
+over-quota submit gets a ``rejected`` frame with
+``error.code == "service_overloaded"`` / ``"quota_exceeded"``, never a
+dropped connection.
+
+Frames are bounded by :data:`MAX_FRAME_BYTES`; a peer that sends an
+oversized or unparsable line gets one ``rejected`` frame (where a reply
+is still possible) and the connection is closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from ..errors import error_to_dict
+from ..schema import SCHEMA_VERSION
+
+#: Hard bound on one frame (one line) in either direction.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class WireError(ValueError):
+    """A peer sent something that is not a bounded NDJSON object."""
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """One frame as its NDJSON line (sorted keys, trailing newline)."""
+    return json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one line into a frame object.
+
+    Raises:
+        WireError: oversized line, invalid JSON, or a non-object frame.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"unparsable frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise WireError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """The peer's next frame, or None on a clean EOF.
+
+    Raises:
+        WireError: on an oversized or unparsable line (the caller should
+            reply if it can, then close).
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise WireError(f"oversized frame: {exc}") from exc
+    if not line:
+        return None
+    if not line.strip():
+        return await read_frame(reader)
+    return decode_frame(line)
+
+
+def response(kind: str, job_id: Optional[str] = None, **fields: Any) -> Dict[str, Any]:
+    """A server frame of *kind*, stamped with the schema version."""
+    frame: Dict[str, Any] = {
+        "type": kind,
+        "schema_version": SCHEMA_VERSION,
+    }
+    if job_id is not None:
+        frame["id"] = job_id
+    frame.update(fields)
+    return frame
+
+
+def rejection(exc: BaseException, job_id: Optional[str] = None) -> Dict[str, Any]:
+    """The typed ``rejected`` frame for *exc* (never a dropped socket)."""
+    return response("rejected", job_id, error=error_to_dict(exc))
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "rejection",
+    "response",
+]

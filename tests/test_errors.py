@@ -9,11 +9,17 @@ from repro import errors
 from repro.errors import (
     ArtifactCorrupt,
     CheckpointCorrupt,
+    JobCancelled,
     JobFailed,
+    JobInterrupted,
     JobTimeout,
+    JournalInvalid,
     MemAccessError,
+    QuotaExceeded,
     ReproError,
+    ServiceOverloaded,
     SuiteDegraded,
+    SuiteInterrupted,
     error_to_dict,
 )
 
@@ -23,9 +29,14 @@ from repro.errors import (
 
 def test_taxonomy_roots():
     for cls in (ArtifactCorrupt, CheckpointCorrupt, JobFailed, JobTimeout,
-                SuiteDegraded, MemAccessError):
+                JobCancelled, JobInterrupted, JournalInvalid,
+                ServiceOverloaded, QuotaExceeded, SuiteDegraded,
+                SuiteInterrupted, MemAccessError):
         assert issubclass(cls, ReproError)
     assert issubclass(JobTimeout, JobFailed)
+    assert issubclass(JobCancelled, JobFailed)
+    # an interrupted job is resumable progress, not a failure
+    assert not issubclass(JobInterrupted, JobFailed)
 
 
 def test_folded_errors_join_the_taxonomy():
@@ -81,12 +92,12 @@ def test_to_dict_carries_code_and_context():
 
 
 def test_error_codes_are_distinct():
-    codes = {
-        cls.code
-        for cls in (ReproError, ArtifactCorrupt, CheckpointCorrupt,
-                    JobFailed, JobTimeout, SuiteDegraded, MemAccessError)
-    }
-    assert len(codes) == 7
+    classes = (ReproError, ArtifactCorrupt, CheckpointCorrupt, JobFailed,
+               JobTimeout, JobCancelled, JobInterrupted, JournalInvalid,
+               ServiceOverloaded, QuotaExceeded, SuiteDegraded,
+               SuiteInterrupted, MemAccessError)
+    codes = {cls.code for cls in classes}
+    assert len(codes) == len(classes)
 
 
 def test_error_to_dict_wraps_foreign_exceptions():
@@ -115,7 +126,15 @@ def test_all_error_payloads_round_trip_through_json():
         JobFailed("died", benchmark="gcc", attempts=2,
                   cause={"code": "unexpected_error"}),
         JobTimeout("slow", benchmark="gcc", timeout_seconds=1.5),
+        JobCancelled("deadline", benchmark="gcc", deadline_s=2.0),
+        JobInterrupted("drained", benchmark="gcc", events=1000,
+                       checkpoints_written=2),
+        JournalInvalid("garbage at line 3", path="journal.jsonl", line=3,
+                       record="{oops"),
+        ServiceOverloaded("queue full", queue_depth=16, queue_limit=16),
+        QuotaExceeded("slow down", tenant="t0", retry_after_s=0.5),
         SuiteDegraded("all failed", benchmarks=["a", "b"]),
+        SuiteInterrupted("drained", completed=["a"], remaining=["b"]),
         MemAccessError("unmapped", address=0xDEAD),
         InjectedFault("boom", benchmark="plot", fault="worker_kill",
                       events=15000),
