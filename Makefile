@@ -5,7 +5,8 @@ export PYTHONPATH := src
 SMOKE_CACHE := .smoke-cache
 SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
 
-.PHONY: test lint faults smoke bench bench-simcore bench-service clean
+.PHONY: test lint faults smoke bench bench-simcore bench-service \
+	bench-shards clean
 
 test:
 	$(PY) -m pytest -x -q tests
@@ -58,6 +59,12 @@ bench-simcore:
 ## BENCH_service.json at the repo root.
 bench-service:
 	$(PY) -m pytest benchmarks/bench_service.py -q
+
+## Distributed sharding: one unsharded suite run vs two concurrent
+## --shard K/2 engine processes against a shared store, byte-identity
+## asserted; writes BENCH_shards.json at the repo root.
+bench-shards:
+	$(PY) -m pytest benchmarks/bench_shards.py -q
 
 clean:
 	rm -rf $(SMOKE_CACHE) .pytest_cache

@@ -1,0 +1,134 @@
+"""Distributed sharding wall-clock benchmark (``make bench-shards``).
+
+Measures the tentpole claim of the shard subsystem: splitting one suite
+selection across two engine *processes* against a **shared**
+content-addressed store finishes faster than one process running the
+whole selection, and produces byte-identical artifacts.
+
+Three timed phases over the ``unix`` benchmark set:
+
+* **unsharded** — one ``repro experiment --set unix`` process, cold
+  store (the baseline a single host pays);
+* **sharded** — two concurrent processes, ``--shard 1/2`` and
+  ``--shard 2/2``, sharing one cold store (the two-host deployment,
+  co-located);
+* **merge** — ``repro merge-shards`` over the shared store, i.e. the
+  completion census the distributed run ends with.
+
+Writes ``BENCH_shards.json`` at the repo root with both wall-clock
+times, the speedup, and the byte-identity verdict.  Scale with
+``REPRO_BENCH_SHARDS_SCALE`` (default 0.05 — this benchmark measures
+orchestration overhead and parallelism, not simulation throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+OUTPUT = REPO / "BENCH_shards.json"
+SCALE = os.environ.get("REPRO_BENCH_SHARDS_SCALE", "0.05")
+SELECTOR = os.environ.get("REPRO_BENCH_SHARDS_SET", "unix")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _repro(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _experiment(cache: Path, *extra: str) -> subprocess.Popen:
+    return _repro(
+        "experiment",
+        "--set",
+        SELECTOR,
+        "--scale",
+        SCALE,
+        "--cache",
+        str(cache),
+        *extra,
+    )
+
+
+def _artifact_bytes(root: Path) -> dict:
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(root.iterdir())
+        if p.is_file() and p.name != "journal.jsonl"
+    }
+
+
+def test_sharded_run_is_parallel_and_byte_identical():
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-shards-"))
+    try:
+        base, shared = workdir / "base", workdir / "shared"
+
+        started = time.perf_counter()
+        proc = _experiment(base)
+        assert proc.wait() == 0
+        unsharded_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        workers = [
+            _experiment(shared, "--shard", "1/2"),
+            _experiment(shared, "--shard", "2/2"),
+        ]
+        assert [w.wait() for w in workers] == [0, 0]
+        sharded_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        merge = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "merge-shards",
+                str(shared),
+                "--into",
+                str(shared),
+                "--json",
+            ],
+            env=_env(),
+            capture_output=True,
+            text=True,
+        )
+        merge_s = time.perf_counter() - started
+        assert merge.returncode == 0, merge.stderr
+        census = json.loads(merge.stdout)["results"]
+
+        identical = _artifact_bytes(shared) == _artifact_bytes(base)
+        assert identical, "sharded store diverged from unsharded run"
+
+        report = {
+            "selector": SELECTOR,
+            "scale": float(SCALE),
+            "benchmarks": census["benchmarks"],
+            "unsharded_s": round(unsharded_s, 3),
+            "sharded_2x_s": round(sharded_s, 3),
+            "merge_s": round(merge_s, 3),
+            "speedup": round(unsharded_s / sharded_s, 3),
+            "byte_identical": identical,
+            "note": "two engine processes, one shared store; merge is "
+            "a census pass (shared-store deployment copies nothing)",
+        }
+        OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        assert census["benchmarks"], "no benchmark completed"
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -37,7 +37,18 @@ Commands
                   reports jobs/sec, p50/p99 latency, cache-hit ratio and
                   shed rate, with optional slow_client/conn_drop fault
                   modes.
+``merge-shards`` — union shard artifact stores and journals into one
+                  suite store after a distributed ``--shard K/N`` run,
+                  byte-verifying artifacts two shards both produced.
 ``disasm``      — assemble a workload and print its program listing.
+
+``list`` also enumerates the registered benchmark *sets*; selection-aware
+commands (``experiment``, ``verify-static``, ``faults``, ``loadgen``)
+accept ``--set EXPR`` selector expressions over them
+(``unix+paper6-gcc``, ``all-variants``, ``perl_*`` — see
+docs/REGISTRY.md), and ``experiment``/``verify-static`` accept
+``--shard K/N`` to run one deterministic slice of a distributed suite
+run.
 
 ``run``, ``profile``, ``allocate``, ``lint``, ``verify-static``,
 ``experiment``, ``faults`` and ``loadgen`` accept
@@ -69,6 +80,7 @@ from .errors import SuiteDegraded
 from .eval import BenchmarkRunner
 from .eval import interrupt
 from .eval.experiments import EXPERIMENTS, run_experiment
+from .eval.shards import ShardSpec
 from .schema import SCHEMA_VERSION, dump, envelope
 from .sim.api import DEFAULT_BACKEND, backend_names
 from .static_analysis import (
@@ -78,10 +90,13 @@ from .static_analysis import (
     lint_program,
 )
 from .workloads import (
+    benchmark_sets,
     benchmark_suite,
     build_workload,
     get_benchmark,
     kernel_registry,
+    resolve_benchmark,
+    resolve_selection,
     run_workload,
 )
 
@@ -95,18 +110,83 @@ def _emit(args: argparse.Namespace, command: str, params, results) -> None:
     print(dump(envelope(command, params, results)))
 
 
-def cmd_list(_: argparse.Namespace) -> int:
+def _selection(args: argparse.Namespace, default_set: str = ""):
+    """Resolve ``--set`` / ``--benchmarks`` into one Selection.
+
+    The two flags union: ``--set unix --benchmarks compress`` covers the
+    UNIX analogs plus compress.  ``--benchmarks`` accepts the full
+    selector grammar, so the historical comma form (``plot,pgp``) still
+    parses — as a union expression, not a hand-rolled split.  With
+    neither flag, *default_set* resolves (or None is returned and the
+    command applies its own default).
+
+    Raises:
+        SelectionError: unknown names/sets (exit 2 via main()).
+    """
+    terms = []
+    if getattr(args, "set", ""):
+        terms.append(args.set)
+    raw = getattr(args, "benchmarks", None)
+    if isinstance(raw, str):
+        if raw:
+            terms.append(raw)
+    elif raw:  # positional nargs="*" form
+        terms.extend(raw)
+    if not terms:
+        return resolve_selection(default_set) if default_set else None
+    return resolve_selection(terms)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    suite = benchmark_suite()
+    kernels = sorted(kernel_registry().items())
+    sets = benchmark_sets()
+    if args.json:
+        _emit(
+            args,
+            "list",
+            {},
+            {
+                "benchmarks": [
+                    {"name": name, "description": spec.description}
+                    for name, spec in suite.items()
+                ],
+                "kernels": [
+                    {"name": name, "description": spec.description}
+                    for name, spec in kernels
+                ],
+                "sets": [
+                    {
+                        "name": s.name,
+                        "members": list(s.members),
+                        "count": len(s.members),
+                        "default_scale": s.default_scale,
+                        "default_trace_limit": s.default_trace_limit,
+                        "description": s.description,
+                    }
+                    for s in sets.values()
+                ],
+            },
+        )
+        return 0
     print("benchmark analogs:")
-    for name, spec in benchmark_suite().items():
+    for name, spec in suite.items():
         print(f"  {name:10s} {spec.description}")
     print("\nkernels:")
-    for name, spec in sorted(kernel_registry().items()):
+    for name, spec in kernels:
         print(f"  {name:10s} {spec.description}")
+    print("\nbenchmark sets (selector terms — see docs/REGISTRY.md):")
+    for s in sets.values():
+        defaults = f"scale {s.default_scale:g}"
+        if s.default_trace_limit:
+            defaults += f", trace limit {s.default_trace_limit}"
+        print(f"  {s.name:10s} {len(s.members):2d} benchmark(s), "
+              f"{defaults} — {s.description}")
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    spec = get_benchmark(args.benchmark, scale=args.scale)
+    spec = get_benchmark(resolve_benchmark(args.benchmark), scale=args.scale)
     built = build_workload(spec)
     result = run_workload(built, backend=args.backend)
     checksum = result.output.decode().strip()
@@ -142,6 +222,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    resolve_benchmark(args.benchmark)
     runner = BenchmarkRunner(
         scale=args.scale,
         cache_dir=args.cache or None,
@@ -183,6 +264,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_allocate(args: argparse.Namespace) -> int:
+    resolve_benchmark(args.benchmark)
     threshold = args.threshold or _threshold_for(args.scale)
     if args.static:
         return _allocate_static(args, threshold)
@@ -276,6 +358,7 @@ def _allocate_static(args: argparse.Namespace, threshold: int) -> int:
 
 
 def cmd_cfg(args: argparse.Namespace) -> int:
+    resolve_benchmark(args.benchmark)
     built = build_workload(get_benchmark(args.benchmark, scale=args.scale))
     cfg = build_cfg(built.program)
     forest = find_loops(cfg)
@@ -326,7 +409,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.all:
         names = sorted(benchmark_suite())
     elif args.benchmark:
-        names = [args.benchmark]
+        names = [resolve_benchmark(args.benchmark)]
     else:
         print("error: give a benchmark name or --all", file=sys.stderr)
         return 2
@@ -377,22 +460,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_verify_static(args: argparse.Namespace) -> int:
+    from .eval.engine import shard_subset
     from .eval.static_compare import (
         format_verify_static,
         run_verify_static,
     )
-    from .workloads.suite import ALL_BENCHMARKS
 
+    selection = _selection(args)
+    shard = ShardSpec.parse(args.shard) if args.shard else None
     runner = BenchmarkRunner(
-        scale=args.scale, cache_dir=args.cache or None, jobs=args.jobs
+        scale=args.scale,
+        cache_dir=args.cache or None,
+        jobs=args.jobs,
+        shard=shard,
+        selection=selection.expression if selection else None,
     )
-    benchmarks = args.benchmarks or None
-    if benchmarks:
-        for name in benchmarks:
-            get_benchmark(name)  # unknown names exit 2 via the KeyError hook
+    # an explicit selection is sharded here; the default (None) path
+    # shards inside run_verify_static over the full registry
+    benchmarks = (
+        shard_subset(runner, selection.names) if selection else None
+    )
     rows = run_verify_static(
         runner,
-        benchmarks=benchmarks or list(ALL_BENCHMARKS),
+        benchmarks=benchmarks,
         threshold=args.threshold or None,
     )
     if args.json:
@@ -402,11 +492,13 @@ def cmd_verify_static(args: argparse.Namespace) -> int:
             args,
             "verify-static",
             {
-                "benchmarks": list(benchmarks or ()),
+                "benchmarks": list(selection.names) if selection else [],
                 "scale": args.scale,
                 "threshold": args.threshold or None,
                 "cache": args.cache or None,
                 "jobs": args.jobs,
+                "selection": selection.expression if selection else None,
+                "shard": shard.tag if shard else None,
             },
             {
                 "rows": [r.as_dict() for r in rows],
@@ -433,6 +525,39 @@ def _failures_payload(runner: BenchmarkRunner) -> list:
     ]
 
 
+def _materialise_selection(runner: BenchmarkRunner, selection) -> str:
+    """``experiment --set EXPR`` with no id: just produce the artifacts.
+
+    The distributed-run workhorse — each host runs the same selector
+    with its own ``--shard K/N`` against a private (or shared) store,
+    and ``repro merge-shards`` unions the results afterwards.
+    """
+    from .eval.engine import (
+        prefetch_artifacts,
+        shard_subset,
+        surviving_benchmarks,
+    )
+
+    local = shard_subset(runner, selection.names)
+    if not local:
+        return (
+            f"(shard {runner.shard} owns no benchmarks of "
+            f"{selection.expression!r}; nothing to do on this host)"
+        )
+    prefetch_artifacts(runner, local)
+    survivors = surviving_benchmarks(runner, local)
+    if not survivors:
+        raise SuiteDegraded(
+            f"every benchmark of selection {selection.expression!r} "
+            f"failed ({', '.join(sorted(runner.failures))})",
+            selection=selection.expression,
+        )
+    return (
+        f"materialised {len(survivors)}/{len(local)} benchmark(s) of "
+        f"{selection.expression!r}: {', '.join(survivors)}"
+    )
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     if (args.resume or args.checkpoint_every) and not args.cache:
         print(
@@ -441,11 +566,29 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    selection = _selection(args)
+    if not args.id and selection is None:
+        print(
+            "error: give an experiment id, a --set expression to "
+            "materialise, or both",
+            file=sys.stderr,
+        )
+        return 2
+    shard = ShardSpec.parse(args.shard) if args.shard else None
+    scale = args.scale
+    if scale is None:
+        # a set's declared default scale applies when the user did not
+        # pick one (e.g. `--set smoke` runs at 0.05)
+        scale = (
+            selection.default_scale
+            if selection is not None and selection.default_scale is not None
+            else 1.0
+        )
     # Constructing the runner validates the run journal when resuming: a
     # structurally damaged journal raises JournalInvalid (caught in
     # main(), exit 1) naming the journal path and the offending record.
     runner = BenchmarkRunner(
-        scale=args.scale,
+        scale=scale,
         cache_dir=args.cache or None,
         jobs=args.jobs,
         timeout=args.timeout or None,
@@ -453,13 +596,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         checkpoint_every_events=args.checkpoint_every or None,
         resume=args.resume,
         backend=args.backend,
+        shard=shard,
+        selection=selection.expression if selection else None,
     )
     for warning in runner.engine.journal_warnings:
         print(f"warning: {warning}", file=sys.stderr)
-    experiment = EXPERIMENTS[args.id]
+    experiment = EXPERIMENTS[args.id] if args.id else None
     params = {
-        "id": args.id,
-        "scale": args.scale,
+        "id": args.id or None,
+        "scale": scale,
         "jobs": args.jobs,
         "cache": args.cache or None,
         "timeout": args.timeout or None,
@@ -467,13 +612,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "resume": args.resume,
         "checkpoint_every": args.checkpoint_every or None,
         "backend": args.backend,
+        "selection": selection.expression if selection else None,
+        "shard": shard.tag if shard else None,
     }
     try:
         # SIGTERM drains instead of killing: workers checkpoint, the
         # journal records completed work, and the run exits 1 with a
         # typed suite_interrupted message; rerun --resume to continue.
         with interrupt.sigterm_drain():
-            output = run_experiment(args.id, runner)
+            if experiment is not None:
+                output = run_experiment(
+                    args.id,
+                    runner,
+                    benchmarks=(
+                        list(selection.names) if selection else None
+                    ),
+                )
+            else:
+                output = _materialise_selection(runner, selection)
     except SuiteDegraded as exc:
         if args.json:
             _emit(
@@ -481,7 +637,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 "experiment",
                 params,
                 {
-                    "id": experiment.id,
+                    "id": args.id or None,
                     "degraded": exc.to_dict(),
                     "failures": _failures_payload(runner),
                     "engine": runner.stats.as_dict(),
@@ -497,10 +653,18 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "experiment",
             params,
             {
-                "id": experiment.id,
-                "paper_artifact": experiment.paper_artifact,
-                "description": experiment.description,
-                "benchmarks": list(experiment.benchmarks),
+                "id": experiment.id if experiment else None,
+                "paper_artifact": (
+                    experiment.paper_artifact if experiment else None
+                ),
+                "description": (
+                    experiment.description if experiment else None
+                ),
+                "benchmarks": list(
+                    selection.names
+                    if selection
+                    else experiment.benchmarks
+                ),
                 "output": output,
                 "failures": _failures_payload(runner),
                 "engine": runner.stats.as_dict(),
@@ -522,13 +686,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
     from .eval.engine import ExecutionEngine
     from .eval.faults import FaultPlan
 
-    names = (
-        [n for n in args.benchmarks.split(",") if n]
-        if args.benchmarks
-        else ["plot", "pgp", "compress"]
-    )
-    for name in names:
-        get_benchmark(name)  # unknown names exit 2 via the KeyError hook
+    selection = _selection(args, default_set="smoke")
+    names = list(selection.names)
+    scale = args.scale
+    if scale is None:
+        scale = (
+            selection.default_scale
+            if selection.default_scale is not None
+            else 0.05
+        )
     crash = [args.crash] if args.crash else []
     corrupt = [args.corrupt] if args.corrupt else []
     if not any(
@@ -565,7 +731,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     try:
         with plan.installed():
             poisoned = ExecutionEngine(
-                scale=args.scale,
+                scale=scale,
                 cache_dir=cache_dir,
                 jobs=args.jobs,
                 timeout=args.timeout or None,
@@ -574,7 +740,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             )
             poisoned.prefetch(names)
         recovery = ExecutionEngine(
-            scale=args.scale,
+            scale=scale,
             cache_dir=cache_dir,
             jobs=args.jobs,
             timeout=args.timeout or None,
@@ -593,7 +759,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             "faults",
             {
                 "benchmarks": names,
-                "scale": args.scale,
+                "selection": selection.expression,
+                "scale": scale,
                 "jobs": args.jobs,
                 "cache": args.cache or None,
                 "timeout": args.timeout or None,
@@ -653,14 +820,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     from .eval.faults import FaultPlan, active_plan
     from .service import LoadgenConfig, run_loadgen
 
-    benchmarks = tuple(b for b in args.benchmarks.split(",") if b)
-    for name in benchmarks:
-        get_benchmark(name)  # unknown names exit 2 via the KeyError hook
+    selection = _selection(args, default_set="plot")
     config = LoadgenConfig(
         socket_path=args.socket,
         rate=args.rate,
         jobs=args.jobs,
-        benchmarks=benchmarks or ("plot",),
+        benchmarks=selection.names,
         tenants=tuple(f"tenant-{i}" for i in range(max(1, args.tenants))),
         scale=args.scale,
         backend=args.backend,
@@ -678,6 +843,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         "rate": args.rate,
         "jobs": args.jobs,
         "benchmarks": list(config.benchmarks),
+        "selection": selection.expression,
         "tenants": len(config.tenants),
         "scale": args.scale,
         "backend": args.backend,
@@ -708,7 +874,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report["failed"] else 0
 
 
+def cmd_merge_shards(args: argparse.Namespace) -> int:
+    """Union N shard artifact stores + journals into one suite store."""
+    from .eval.shards import merge_shards
+
+    report = merge_shards(args.sources, args.into)
+    if args.json:
+        _emit(
+            args,
+            "merge-shards",
+            {"sources": list(args.sources), "into": args.into},
+            report.as_dict(),
+        )
+        return 0
+    print(
+        f"merged {len(report.sources)} shard store(s) into "
+        f"{report.destination}:"
+    )
+    print(f"  artifacts: {report.artifacts_copied} copied, "
+          f"{report.artifacts_identical} already present (byte-verified)")
+    print(f"  journal:   {sum(report.journal_records.values())} record(s) "
+          f"unioned")
+    print(f"  completed: {len(report.benchmarks)} benchmark(s): "
+          + (", ".join(report.benchmarks) or "none"))
+    return 0
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
+    resolve_benchmark(args.benchmark)
     built = build_workload(get_benchmark(args.benchmark, scale=args.scale))
     listing = built.program.listing()
     if args.head:
@@ -733,12 +926,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks and kernels")
-
     def add_json(p: argparse.ArgumentParser) -> None:
         p.add_argument("--json", action="store_true",
                        help="emit the versioned JSON envelope "
                        "(see repro.schema) instead of prints")
+
+    def add_set(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--set", default="", metavar="EXPR",
+                       help="benchmark selector expression over registered "
+                       "sets/names/globs (e.g. unix+paper6-gcc, perl_*; "
+                       "see docs/REGISTRY.md); unions with --benchmarks")
+
+    p_list = sub.add_parser(
+        "list", help="list benchmarks, kernels and benchmark sets"
+    )
+    add_json(p_list)
 
     def add_backend(p: argparse.ArgumentParser) -> None:
         p.add_argument("--backend", choices=backend_names(),
@@ -798,7 +1000,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="score static heuristics and graph estimates vs profiles",
     )
     p_verify.add_argument("benchmarks", nargs="*",
-                          help="benchmark analogs (default: full suite)")
+                          help="benchmark analogs or selector terms "
+                          "(default: full suite)")
+    add_set(p_verify)
+    p_verify.add_argument("--shard", default="", metavar="K/N",
+                          help="run only this host's deterministic slice "
+                          "of the selection")
     p_verify.add_argument("--scale", type=float, default=1.0)
     p_verify.add_argument("--cache", default="",
                           help="trace cache directory")
@@ -817,8 +1024,20 @@ def build_parser() -> argparse.ArgumentParser:
                        "dropped from the run")
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
-    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
-    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("id", nargs="?", choices=sorted(EXPERIMENTS),
+                       help="experiment id; omit it (with --set/"
+                       "--benchmarks) to just materialise a selection's "
+                       "artifacts — the distributed-shard workhorse")
+    add_set(p_exp)
+    p_exp.add_argument("--benchmarks", default="",
+                       help="benchmark selector expression overriding the "
+                       "experiment's declared list (unions with --set)")
+    p_exp.add_argument("--shard", default="", metavar="K/N",
+                       help="run shard K of an N-way partitioned suite "
+                       "run; merge the stores with `repro merge-shards`")
+    p_exp.add_argument("--scale", type=float, default=None,
+                       help="workload scale (default: the selected set's "
+                       "declared scale, else 1.0)")
     p_exp.add_argument("--cache", default="",
                        help="content-addressed artifact store directory")
     p_exp.add_argument("--jobs", type=int, default=1,
@@ -841,9 +1060,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection demo: poisoned pass + clean recovery pass",
     )
     p_faults.add_argument("--benchmarks", default="",
-                          help="comma-separated benchmark analogs "
-                          "(default: plot,pgp,compress)")
-    p_faults.add_argument("--scale", type=float, default=0.05)
+                          help="benchmark selector expression "
+                          "(default: the `smoke` set)")
+    add_set(p_faults)
+    p_faults.add_argument("--scale", type=float, default=None,
+                          help="workload scale (default: the selected "
+                          "set's declared scale, else 0.05)")
     p_faults.add_argument("--jobs", type=int, default=4)
     p_faults.add_argument("--cache", default="",
                           help="artifact store directory (default: a "
@@ -910,9 +1132,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="open-loop arrival rate in jobs/s (default 10)")
     p_lg.add_argument("--jobs", type=int, default=20,
                       help="total requests to send (default 20)")
-    p_lg.add_argument("--benchmarks", default="plot",
-                      help="comma-separated benchmark analogs to cycle "
+    p_lg.add_argument("--benchmarks", default="",
+                      help="benchmark selector expression to cycle "
                       "through (default plot)")
+    add_set(p_lg)
     p_lg.add_argument("--tenants", type=int, default=1,
                       help="number of synthetic tenants to cycle through")
     p_lg.add_argument("--scale", type=float, default=0.05)
@@ -929,6 +1152,19 @@ def build_parser() -> argparse.ArgumentParser:
                       "accepted frame (service fault mode; 0 = off)")
     add_backend(p_lg)
     add_json(p_lg)
+
+    p_merge = sub.add_parser(
+        "merge-shards",
+        help="union shard artifact stores + journals into one suite "
+        "store (byte-verifying overlapping artifacts)",
+    )
+    p_merge.add_argument("sources", nargs="+",
+                         help="shard store directories to merge in")
+    p_merge.add_argument("--into", required=True,
+                         help="destination store directory (created if "
+                         "missing; may be one of the sources in a "
+                         "shared-store deployment)")
+    add_json(p_merge)
 
     p_dis = sub.add_parser("disasm", help="print a workload's listing")
     p_dis.add_argument("benchmark")
@@ -950,16 +1186,23 @@ _HANDLERS = {
     "faults": cmd_faults,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "merge-shards": cmd_merge_shards,
     "disasm": cmd_disasm,
 }
 
 
 def main(argv=None) -> int:
-    from .errors import ReproError
+    from .errors import ReproError, SelectionError
 
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
+    except SelectionError as exc:
+        # selector/shard usage errors (unknown benchmark or set, bad K/N
+        # expression): exit 2 like argparse, with the registry's
+        # near-miss suggestion in the message
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except KeyError as exc:
         # unknown benchmark/kernel names surface as KeyError from the
         # registries; report them cleanly instead of a traceback

@@ -15,6 +15,10 @@ Layers::
     │   ├── JobTimeout              — ... by exceeding its wall-clock budget
     │   └── JobCancelled            — cancelled by deadline/client, not retried
     ├── JobInterrupted              — checkpointed + stopped by a drain signal
+    ├── SelectionError              — benchmark selector could not resolve
+    │   ├── UnknownBenchmark        — ... named an unregistered benchmark
+    │   └── UnknownSet              — ... named an unregistered set
+    ├── ShardConflict               — shard stores disagree on artifact bytes
     ├── ServiceOverloaded           — admission queue full / daemon draining
     ├── QuotaExceeded               — tenant token bucket empty
     ├── SuiteDegraded               — *every* benchmark of a run failed
@@ -156,6 +160,52 @@ class QuotaExceeded(ReproError):
     code = "quota_exceeded"
 
 
+class SelectionError(ReproError):
+    """A benchmark selector expression could not be resolved.
+
+    Raised by :func:`repro.workloads.registry.resolve_selection` for
+    malformed or empty selections; the CLI turns any
+    :class:`SelectionError` into an exit-2 usage diagnostic (these are
+    caller errors, not pipeline faults).
+    """
+
+    code = "invalid_selection"
+
+
+class UnknownBenchmark(SelectionError):
+    """A selector named a benchmark that is not registered.
+
+    Carries a ``suggestion`` context entry with the closest registered
+    name when one exists, so the CLI diagnostic can offer a near-miss.
+    """
+
+    code = "unknown_benchmark"
+
+
+class UnknownSet(SelectionError):
+    """A selector named a benchmark set that is not registered.
+
+    Carries a ``suggestion`` context entry with the closest registered
+    set name when one exists.
+    """
+
+    code = "unknown_set"
+
+
+class ShardConflict(ReproError):
+    """Two shard stores disagree about the bytes of one artifact.
+
+    Content-addressed filenames embed the artifact digest, so two files
+    with the same name must be byte-identical; a mismatch means one
+    shard host ran divergent code (or suffered silent corruption) and
+    the merge must not paper over it.  Raised by
+    :func:`repro.eval.shards.merge_shards` naming the file and both
+    sources.
+    """
+
+    code = "shard_conflict"
+
+
 class SuiteDegraded(ReproError):
     """Every benchmark an experiment needed failed.
 
@@ -238,10 +288,14 @@ __all__ = [
     "MemAccessError",
     "QuotaExceeded",
     "ReproError",
+    "SelectionError",
     "ServiceOverloaded",
+    "ShardConflict",
     "SimulationError",
     "SuiteDegraded",
     "SuiteInterrupted",
     "SyscallError",
+    "UnknownBenchmark",
+    "UnknownSet",
     "error_to_dict",
 ]

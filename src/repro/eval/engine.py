@@ -76,6 +76,7 @@ from ..trace.io import load_trace, read_trace_meta, save_trace
 from ..workloads.build import BuiltWorkload, build_workload, run_workload
 from ..workloads.suite import get_benchmark
 from . import faults, interrupt
+from .shards import ShardSpec, shard_names
 
 #: Bump to invalidate every stored artifact (digest input change).
 #: v2: the simulation backend became a digest component.
@@ -806,6 +807,11 @@ class EngineStats:
     #: fused one-pass profile+predict runs vs replays of a cached trace.
     fused_runs: int = 0
     replayed_runs: int = 0
+    #: distributed-run identity (schema v8): the ``K/N`` shard this
+    #: engine owns and the selector expression that produced its names,
+    #: both None for plain unsharded runs.
+    shard: Optional[str] = None
+    selection: Optional[str] = None
     #: aggregated per-consumer bus counters across every bus this engine
     #: ran (simulation jobs, fused runs and bank replays alike).
     pipeline: PipelineStats = field(default_factory=PipelineStats)
@@ -860,6 +866,8 @@ class EngineStats:
             "quarantine_pruned": self.quarantine_pruned,
             "fused_runs": self.fused_runs,
             "replayed_runs": self.replayed_runs,
+            "shard": self.shard,
+            "selection": self.selection,
             "pipeline": self.pipeline.as_dict(),
             "jobs": [
                 {
@@ -875,6 +883,9 @@ class EngineStats:
     def render(self) -> str:
         """Human-readable per-job timing + hit/miss/failure summary."""
         lines = ["-- engine --"]
+        if self.shard is not None:
+            selection = f" of {self.selection!r}" if self.selection else ""
+            lines.append(f"  shard: {self.shard}{selection}")
         for name in sorted(self.job_seconds):
             lines.append(
                 f"  {name:12s} {self.job_seconds[name]:8.2f}s  "
@@ -934,6 +945,15 @@ class ExecutionEngine:
         backend: simulation backend name or instance
             (:mod:`repro.sim.api`); folded into every job spec, digest
             and journal record this engine produces.
+        shard: this engine's slice of a distributed run — a
+            :class:`~repro.eval.shards.ShardSpec` or its ``K/N`` string
+            form.  :meth:`prefetch` then simulates only the benchmarks
+            the deterministic cost-balanced partition assigns this
+            shard; the shard tag lands in journal records and
+            :attr:`stats`, but never in job digests, so shard stores
+            merge byte-identically into an unsharded run.
+        selection: the selector expression the run's names came from
+            (observability only: journal records, stats, envelope).
     """
 
     def __init__(
@@ -948,6 +968,8 @@ class ExecutionEngine:
         checkpoint_every_events: Optional[int] = None,
         resume: bool = False,
         backend: Optional[object] = None,
+        shard: Optional[object] = None,
+        selection: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -973,6 +995,10 @@ class ExecutionEngine:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.trace_limit = trace_limit
         self.backend = get_backend(backend).name
+        self.shard = (
+            ShardSpec.parse(shard) if isinstance(shard, str) else shard
+        )
+        self.selection = selection
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
@@ -989,7 +1015,10 @@ class ExecutionEngine:
             if self.cache_dir is not None
             else None
         )
-        self.stats = EngineStats()
+        self.stats = EngineStats(
+            shard=self.shard.tag if self.shard is not None else None,
+            selection=selection,
+        )
         #: benchmarks that exhausted their retries, name -> typed error.
         self.failures: Dict[str, ReproError] = {}
         self._memo: Dict[str, RunArtifacts] = {}
@@ -1201,6 +1230,9 @@ class ExecutionEngine:
                 journaled, in-flight jobs checkpointed, and a
                 ``--resume`` rerun continues from here.
         """
+        # Sharding is applied by the selection layer (shard_subset at
+        # the experiment/CLI call sites), exactly once — re-partitioning
+        # an already-filtered subset here would silently shrink it.
         wanted = list(dict.fromkeys(names))
         missing = [
             n for n in wanted
@@ -1565,6 +1597,14 @@ class ExecutionEngine:
         """
         if self.journal is None or result.source == "journal":
             return
+        # Shard identity is a journal/stats annotation only — folding it
+        # into job digests would make shard stores diverge from an
+        # unsharded run and break merge-shards byte-identity.
+        extra: Dict[str, object] = {}
+        if self.shard is not None:
+            extra["shard"] = self.shard.tag
+        if self.selection is not None:
+            extra["selection"] = self.selection
         try:
             if result.error is not None:
                 self.journal.record_failed(
@@ -1573,6 +1613,7 @@ class ExecutionEngine:
                     self.trace_limit,
                     error_to_dict(result.error),
                     backend=self.backend,
+                    **extra,
                 )
             else:
                 self.journal.record_completed(
@@ -1583,6 +1624,7 @@ class ExecutionEngine:
                     source=result.source,
                     resumed=result.resumed,
                     backend=self.backend,
+                    **extra,
                 )
         except OSError:
             pass  # a full/readonly disk must not fail a finished job
@@ -1660,6 +1702,22 @@ def prefetch_artifacts(runner, names: Iterable[str]) -> None:
         prefetch(list(names))
 
 
+def shard_subset(runner, names: Iterable[str]) -> List[str]:
+    """Restrict *names* to the slice *runner*'s shard owns.
+
+    Unsharded runners (or test doubles without a ``shard`` attribute)
+    keep every name.  Experiment code calls this alongside
+    :func:`surviving_benchmarks` so a sharded host analyses only the
+    benchmarks it actually simulated, instead of lazily materialising
+    its neighbours' slices in-process.
+    """
+    wanted = list(dict.fromkeys(names))
+    shard = getattr(runner, "shard", None)
+    if shard is None or shard.total == 1:
+        return wanted
+    return list(shard_names(wanted, shard, getattr(runner, "scale", 1.0)))
+
+
 def surviving_benchmarks(runner, names: Iterable[str]) -> List[str]:
     """*names* minus the benchmarks the runner has recorded as failed.
 
@@ -1685,5 +1743,6 @@ __all__ = [
     "artifact_digest",
     "compute_job_digest",
     "prefetch_artifacts",
+    "shard_subset",
     "surviving_benchmarks",
 ]

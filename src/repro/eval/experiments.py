@@ -23,20 +23,16 @@ exit).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ReproError, SuiteDegraded
-from ..workloads.suite import (
-    ALL_BENCHMARKS,
-    FIGURE_BENCHMARKS,
-    TABLE2_BENCHMARKS,
-    TABLE34_BENCHMARKS,
-)
+from ..workloads.registry import members
 from . import ablations, figures, tables
-from .engine import prefetch_artifacts, surviving_benchmarks
+from .engine import prefetch_artifacts, shard_subset, surviving_benchmarks
 from .runner import BenchmarkRunner
 
-#: Benchmark lists reused by several experiments.
+#: Curated experiment-specific benchmark lists (not registry sets: each
+#: is a hand-picked subset sized for one ablation's runtime budget).
 _THRESHOLD_BENCHMARKS = ("compress", "gcc", "python")
 _PREDICTOR_BENCHMARKS = ("compress", "gcc", "li", "chess")
 _HASH_BENCHMARKS = ("gcc", "python", "chess", "gs")
@@ -205,22 +201,22 @@ EXPERIMENTS: Dict[str, Experiment] = {
     for exp in [
         Experiment("table1", "Table 1",
                    "benchmarks, input sets, % dynamic branches analyzed",
-                   _table1, tuple(TABLE2_BENCHMARKS)),
+                   _table1, members("table2")),
         Experiment("table2", "Table 2",
                    "working-set counts and sizes", _table2,
-                   tuple(TABLE2_BENCHMARKS)),
+                   members("table2")),
         Experiment("table3", "Table 3",
                    "BHT size required by branch allocation", _table3,
-                   tuple(TABLE34_BENCHMARKS)),
+                   members("table34")),
         Experiment("table4", "Table 4",
                    "BHT size required with branch classification", _table4,
-                   tuple(TABLE34_BENCHMARKS)),
+                   members("table34")),
         Experiment("figure3", "Figure 3",
                    "misprediction: allocation without classification",
-                   _figure3, tuple(FIGURE_BENCHMARKS)),
+                   _figure3, members("figures")),
         Experiment("figure4", "Figure 4",
                    "misprediction: allocation with classification",
-                   _figure4, tuple(FIGURE_BENCHMARKS)),
+                   _figure4, members("figures")),
         Experiment("ablation_threshold", "§4.2",
                    "edge-threshold sensitivity", _ablation_threshold,
                    _THRESHOLD_BENCHMARKS),
@@ -250,7 +246,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    _static_compare, _static_compare_benchmarks()),
         Experiment("verify_static", "§4/§5 verification",
                    "static heuristics and graph estimates vs profiles",
-                   _verify_static, tuple(ALL_BENCHMARKS)),
+                   _verify_static, members("all")),
     ]
 }
 
@@ -272,11 +268,24 @@ def _relevant_failures(
     return {name: failures[name] for name in benchmarks if name in failures}
 
 
-def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
+def run_experiment(
+    experiment_id: str,
+    runner: BenchmarkRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> str:
     """Run one experiment by id (prefetching its benchmarks in parallel).
 
     Benchmarks whose jobs keep failing are dropped: the experiment runs
-    on the surviving set and its output gains a failure report.
+    on the surviving set and its output gains a failure report.  A
+    sharded runner covers only its deterministic slice of the
+    experiment's list; shards that own none of it return a short note
+    instead of failing (their neighbours have it covered).
+
+    Args:
+        experiment_id: registry key (``repro list`` enumerates them).
+        runner: any artifact source (runner facade or bare engine).
+        benchmarks: override the experiment's declared benchmark list
+            (the CLI's ``--set`` resolves a selector expression to this).
 
     Raises:
         KeyError: for unknown experiment ids.
@@ -288,10 +297,20 @@ def run_experiment(experiment_id: str, runner: BenchmarkRunner) -> str:
             f"{sorted(EXPERIMENTS)}"
         )
     experiment = EXPERIMENTS[experiment_id]
-    prefetch_artifacts(runner, experiment.benchmarks)
-    survivors = surviving_benchmarks(runner, experiment.benchmarks)
-    failed = _relevant_failures(runner, experiment.benchmarks)
-    if experiment.benchmarks and not survivors:
+    wanted = list(
+        benchmarks if benchmarks is not None else experiment.benchmarks
+    )
+    local = shard_subset(runner, wanted)
+    if wanted and not local:
+        shard = getattr(runner, "shard", None)
+        return (
+            f"(shard {shard} owns no benchmarks of {experiment_id}; "
+            "nothing to do on this host)"
+        )
+    prefetch_artifacts(runner, local)
+    survivors = surviving_benchmarks(runner, local)
+    failed = _relevant_failures(runner, local)
+    if local and not survivors:
         raise SuiteDegraded(
             f"every benchmark of {experiment_id} failed "
             f"({', '.join(sorted(failed))})",
@@ -317,8 +336,12 @@ def run_all_experiments(runner: BenchmarkRunner) -> List[str]:
     block; only when *no* benchmark in the union survived does the sweep
     raise :class:`~repro.errors.SuiteDegraded`.
     """
+    # union of each experiment's local slice, so a sharded sweep warms
+    # exactly the benchmarks the per-experiment runs will consume
     every = [
-        name for exp in EXPERIMENTS.values() for name in exp.benchmarks
+        name
+        for exp in EXPERIMENTS.values()
+        for name in shard_subset(runner, exp.benchmarks)
     ]
     prefetch_artifacts(runner, every)
     if not surviving_benchmarks(runner, every):

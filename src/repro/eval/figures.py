@@ -23,8 +23,8 @@ from ..analysis.conflict_graph import DEFAULT_THRESHOLD
 from ..pipeline.bus import BranchEventBus
 from ..pipeline.consumers import PredictorConsumer
 from ..predictors.twolevel import InterferenceFreePAg, PAgPredictor
-from ..workloads.suite import FIGURE_BENCHMARKS
-from .engine import prefetch_artifacts, surviving_benchmarks
+from ..workloads.registry import members
+from .engine import prefetch_artifacts, shard_subset, surviving_benchmarks
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -124,7 +124,11 @@ def run_figure3(
     sizes: Sequence[int] = ALLOCATED_SIZES,
 ) -> List[FigureRow]:
     """Regenerate Figure 3 (allocation without classification)."""
-    names = list(benchmarks) if benchmarks else list(FIGURE_BENCHMARKS)
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        # default set: a sharded runner covers only its slice
+        names = shard_subset(runner, members("figures"))
     return _figure_rows(
         runner, names, classified=False, threshold=threshold, sizes=sizes
     )
@@ -137,7 +141,11 @@ def run_figure4(
     sizes: Sequence[int] = ALLOCATED_SIZES,
 ) -> List[FigureRow]:
     """Regenerate Figure 4 (allocation with branch classification)."""
-    names = list(benchmarks) if benchmarks else list(FIGURE_BENCHMARKS)
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        # default set: a sharded runner covers only its slice
+        names = shard_subset(runner, members("figures"))
     return _figure_rows(
         runner, names, classified=True, threshold=threshold, sizes=sizes
     )

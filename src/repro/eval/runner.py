@@ -45,6 +45,8 @@ class BenchmarkRunner:
         checkpoint_every_events: Optional[int] = None,
         resume: bool = False,
         backend: Optional[object] = None,
+        shard: Optional[object] = None,
+        selection: Optional[str] = None,
     ) -> None:
         """
         Args:
@@ -67,6 +69,11 @@ class BenchmarkRunner:
                 completed (requires ``cache_dir``).
             backend: simulation backend name or instance
                 (:mod:`repro.sim.api`; default interpreter).
+            shard: ``K/N`` shard of a distributed run (string or
+                :class:`~repro.eval.shards.ShardSpec`); prefetch then
+                covers only this host's deterministic slice.
+            selection: the selector expression the run's names came
+                from (journal/stats observability only).
         """
         self._engine = ExecutionEngine(
             scale=scale,
@@ -79,6 +86,8 @@ class BenchmarkRunner:
             checkpoint_every_events=checkpoint_every_events,
             resume=resume,
             backend=backend,
+            shard=shard,
+            selection=selection,
         )
 
     # -- engine passthroughs ---------------------------------------------------
@@ -108,6 +117,16 @@ class BenchmarkRunner:
     def backend(self) -> str:
         """Resolved simulation backend name."""
         return self._engine.backend
+
+    @property
+    def shard(self):
+        """This runner's :class:`~repro.eval.shards.ShardSpec` (or None)."""
+        return self._engine.shard
+
+    @property
+    def selection(self) -> Optional[str]:
+        """The selector expression behind this run's names (or None)."""
+        return self._engine.selection
 
     @property
     def stats(self):

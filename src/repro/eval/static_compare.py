@@ -48,8 +48,9 @@ from ..static_analysis.estimator import (
 )
 from ..static_analysis.heuristics import predict_branches
 from ..workloads.build import build_workload
-from ..workloads.suite import ALL_BENCHMARKS, get_benchmark
-from .engine import prefetch_artifacts, surviving_benchmarks
+from ..workloads.registry import members
+from ..workloads.suite import get_benchmark
+from .engine import prefetch_artifacts, shard_subset, surviving_benchmarks
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -99,7 +100,7 @@ class StaticCompareRow:
 
 def run_static_compare(
     runner: BenchmarkRunner,
-    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    benchmarks: Optional[Sequence[str]] = None,
     bht_size: int = DEFAULT_BHT_SIZE,
     threshold: Optional[int] = None,
 ) -> List[StaticCompareRow]:
@@ -107,13 +108,16 @@ def run_static_compare(
 
     Args:
         runner: benchmark runner (supplies the profiled ground truth).
-        benchmarks: analogs to cover (defaults to seven).
+        benchmarks: analogs to cover (None = DEFAULT_BENCHMARKS,
+            restricted to a sharded runner's slice).
         bht_size: BHT entries both allocations must fit into.
         threshold: edge-pruning threshold for both graphs.  Defaults to
             the pipeline's DEFAULT_THRESHOLD at full scale, dropping to
             10 for downscaled runs (matching the CLI's auto rule) so
             the comparison stays meaningful on short traces.
     """
+    if benchmarks is None:
+        benchmarks = shard_subset(runner, DEFAULT_BENCHMARKS)
     if threshold is None:
         edge_threshold = DEFAULT_THRESHOLD if runner.scale >= 0.9 else 10
     else:
@@ -328,7 +332,7 @@ def _edge_set(graph: ConflictGraph) -> Set[Tuple[int, int]]:
 
 def run_verify_static(
     runner: BenchmarkRunner,
-    benchmarks: Sequence[str] = ALL_BENCHMARKS,
+    benchmarks: Optional[Sequence[str]] = None,
     threshold: Optional[int] = None,
 ) -> List[VerifyStaticRow]:
     """Score the static analyses against measured profiles.
@@ -341,10 +345,12 @@ def run_verify_static(
 
     Args:
         runner: benchmark runner (supplies the profiled ground truth).
-        benchmarks: analogs to cover (defaults to the full suite).
+        benchmarks: analogs to cover (None = the registry's ``all`` set).
         threshold: edge threshold for both graphs (None = the
             static-compare auto rule for the runner's scale).
     """
+    if benchmarks is None:
+        benchmarks = shard_subset(runner, members("all"))
     if threshold is None:
         edge_threshold = DEFAULT_THRESHOLD if runner.scale >= 0.9 else 10
     else:

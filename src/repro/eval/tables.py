@@ -18,12 +18,9 @@ from ..allocation.sizing import required_bht_size
 from ..analysis.conflict_graph import DEFAULT_THRESHOLD
 from ..analysis.metrics import working_set_metrics
 from ..trace.stats import summarize_trace
-from ..workloads.suite import (
-    TABLE2_BENCHMARKS,
-    TABLE34_BENCHMARKS,
-    benchmark_suite,
-)
-from .engine import prefetch_artifacts, surviving_benchmarks
+from ..workloads.registry import members
+from ..workloads.suite import benchmark_suite
+from .engine import prefetch_artifacts, shard_subset, surviving_benchmarks
 from .report import render_table
 from .runner import BenchmarkRunner
 
@@ -53,7 +50,11 @@ def run_table1(
     coverage: float = 0.999,
 ) -> List[Table1Row]:
     """Regenerate Table 1: trace sizes and the frequency-cutoff coverage."""
-    names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        # default set: a sharded runner covers only its slice
+        names = shard_subset(runner, members("table2"))
     prefetch_artifacts(runner, names)
     names = surviving_benchmarks(runner, names)
     suite = benchmark_suite(runner.scale)
@@ -129,7 +130,11 @@ def run_table2(
     threshold: int = DEFAULT_THRESHOLD,
 ) -> List[Table2Row]:
     """Regenerate Table 2: the branch working set statistics."""
-    names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        # default set: a sharded runner covers only its slice
+        names = shard_subset(runner, members("table2"))
     prefetch_artifacts(runner, names)
     names = surviving_benchmarks(runner, names)
     rows: List[Table2Row] = []
@@ -196,7 +201,11 @@ def run_table3(
     baseline_bht: int = BASELINE_BHT,
 ) -> List[SizingRow]:
     """Regenerate Table 3: minimal BHT size for plain branch allocation."""
-    names = list(benchmarks) if benchmarks else list(TABLE34_BENCHMARKS)
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        # default set: a sharded runner covers only its slice
+        names = shard_subset(runner, members("table34"))
     prefetch_artifacts(runner, names)
     names = surviving_benchmarks(runner, names)
     rows: List[SizingRow] = []
@@ -230,7 +239,11 @@ def run_table4(
     the classified allocator's cost is measured on its filtered graph, per
     the paper's premise that same-class biased conflicts are harmless.
     """
-    names = list(benchmarks) if benchmarks else list(TABLE34_BENCHMARKS)
+    if benchmarks:
+        names = list(benchmarks)
+    else:
+        # default set: a sharded runner covers only its slice
+        names = shard_subset(runner, members("table34"))
     prefetch_artifacts(runner, names)
     names = surviving_benchmarks(runner, names)
     rows: List[SizingRow] = []

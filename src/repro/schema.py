@@ -66,6 +66,21 @@ Version history:
   engine's failure payloads may now carry the ``job_cancelled``/
   ``job_interrupted``/``suite_interrupted`` codes (SIGTERM drain and
   deadline cancellation).
+* **8** — benchmark-set registry + distributed sharding: selection-aware
+  commands (``run``/``experiment``/``faults``/``loadgen``) accept
+  ``--set EXPR`` selector expressions and their ``params`` gain
+  ``selection`` (the resolved expression, or None) and ``shard`` (the
+  ``K/N`` descriptor, or None); the embedded ``engine`` stats carry the
+  same ``shard``/``selection`` fields; ``list`` emits the envelope
+  (``results`` = ``{benchmarks, kernels, sets: [{name, members, count,
+  default_scale, default_trace_limit, description}]}``); the new
+  ``merge-shards`` command emits ``results`` =
+  ``{destination, sources, artifacts_copied, artifacts_identical,
+  journal_records, benchmarks}``; journal records of sharded runs gain
+  ``shard``/``selection`` fields (ignored by older readers); selection
+  errors (unknown benchmark/set, malformed shard) exit 2 with the typed
+  ``unknown_benchmark``/``unknown_set``/``invalid_selection`` codes and
+  a near-miss ``suggestion``.
 """
 
 from __future__ import annotations
@@ -74,7 +89,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 
 def envelope(

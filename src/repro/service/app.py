@@ -47,6 +47,7 @@ from ..errors import (
     JobFailed,
     JobInterrupted,
     ReproError,
+    UnknownBenchmark,
     error_to_dict,
 )
 from ..eval import interrupt
@@ -60,7 +61,7 @@ from ..eval.engine import (
 )
 from ..pipeline.bus import BranchEventBus
 from ..pipeline.consumers import PredictorConsumer
-from ..workloads.suite import get_benchmark
+from ..workloads.registry import resolve_benchmark
 from .admission import AdmissionController
 from .jobs import ServiceJob, ServiceJournal, build_predictor
 from .quotas import QuotaManager
@@ -178,11 +179,9 @@ class AnalysisService:
         if not isinstance(benchmark, str) or not benchmark:
             raise ReproError("submit frame needs a benchmark name")
         try:
-            get_benchmark(benchmark)
-        except KeyError:
-            raise ReproError(
-                f"unknown benchmark {benchmark!r}", benchmark=benchmark
-            ) from None
+            resolve_benchmark(benchmark)
+        except UnknownBenchmark as exc:
+            raise exc  # typed wire rejection with a near-miss suggestion
         predictors = tuple(frame.get("predictors") or ())
         for spec_text in predictors:
             try:
@@ -640,8 +639,8 @@ class AnalysisService:
                 backend=str(record.get("backend", "interp")),
             )
             try:
-                get_benchmark(spec.name)
-            except KeyError:
+                resolve_benchmark(spec.name)
+            except UnknownBenchmark:
                 continue  # journal from an older suite; nothing to resume
             digest = str(record.get("digest", ""))
             job = ServiceJob(

@@ -69,6 +69,10 @@ class LoadgenConfig:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if not self.benchmarks:
             raise ValueError("loadgen needs at least one benchmark")
+        from ..workloads.registry import resolve_benchmark
+
+        for name in self.benchmarks:
+            resolve_benchmark(name)  # UnknownBenchmark before any traffic
         if not self.tenants:
             raise ValueError("loadgen needs at least one tenant")
 

@@ -1,4 +1,4 @@
-"""Workload substrate: kernels, inputs, builder and the benchmark suite."""
+"""Workload substrate: kernels, inputs, builder, suite and set registry."""
 
 from .build import (
     BuiltWorkload,
@@ -12,6 +12,16 @@ from .build import (
 )
 from .inputs import binary_runs, make_input, mixed_input, text_input
 from .kernels import KernelSpec, get_kernel, kernel_registry
+from .registry import (
+    BenchmarkSet,
+    Selection,
+    benchmark_sets,
+    estimated_cost,
+    known_benchmarks,
+    members,
+    resolve_benchmark,
+    resolve_selection,
+)
 from .suite import (
     ALL_BENCHMARKS,
     FIGURE_BENCHMARKS,
@@ -24,25 +34,33 @@ from .suite import (
 
 __all__ = [
     "ALL_BENCHMARKS",
+    "BenchmarkSet",
     "BuiltWorkload",
     "FIGURE_BENCHMARKS",
     "InputSpec",
     "KernelCall",
     "KernelSpec",
     "PhaseSpec",
+    "Selection",
     "TABLE2_BENCHMARKS",
     "TABLE34_BENCHMARKS",
     "WorkloadSpec",
     "benchmark_names",
+    "benchmark_sets",
     "benchmark_suite",
     "binary_runs",
     "build_workload",
+    "estimated_cost",
     "get_benchmark",
     "get_kernel",
     "kernel_registry",
+    "known_benchmarks",
     "make_input",
+    "members",
     "mixed_input",
     "replicated_calls",
+    "resolve_benchmark",
+    "resolve_selection",
     "run_workload",
     "text_input",
 ]

@@ -45,27 +45,28 @@ __all__ = [
     "get_benchmark",
 ]
 
-#: Order used by Table 2 (paper §4.2).
-TABLE2_BENCHMARKS: Tuple[str, ...] = (
-    "compress", "gcc", "ijpeg", "li", "m88ksim", "perl",
-    "chess", "pgp", "plot", "python", "ss",
-)
+#: Deprecated tuple constants, now read-only views over the declarative
+#: set registry (:mod:`repro.workloads.registry`).  New code should call
+#: ``resolve_selection("table2")`` etc. instead of importing these; they
+#: exist only so historical ``from repro.workloads.suite import
+#: TABLE2_BENCHMARKS`` keeps meaning the same thing.
+_REGISTRY_VIEWS = {
+    "TABLE2_BENCHMARKS": "table2",
+    "TABLE34_BENCHMARKS": "table34",
+    "FIGURE_BENCHMARKS": "figures",
+    "ALL_BENCHMARKS": "all",
+}
 
-#: Order used by Tables 3 and 4 (paper §5).
-TABLE34_BENCHMARKS: Tuple[str, ...] = (
-    "chess", "compress", "gcc", "gs", "li", "m88ksim",
-    "perl_a", "perl_b", "pgp", "plot", "python", "ss_a", "ss_b", "tex",
-)
 
-#: Benchmarks plotted in Figures 3 and 4.
-FIGURE_BENCHMARKS: Tuple[str, ...] = (
-    "compress", "gcc", "ijpeg", "li", "m88ksim", "perl",
-    "chess", "gs", "pgp", "plot", "python", "ss", "tex",
-)
+def __getattr__(name: str) -> Tuple[str, ...]:
+    # PEP 562 lazy views: resolved through the registry on first access,
+    # which avoids a suite <-> registry import cycle in either order.
+    set_name = _REGISTRY_VIEWS.get(name)
+    if set_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from .registry import members
 
-ALL_BENCHMARKS: Tuple[str, ...] = tuple(
-    dict.fromkeys(TABLE2_BENCHMARKS + TABLE34_BENCHMARKS + FIGURE_BENCHMARKS)
-)
+    return members(set_name)
 
 #: Aliases: the un-suffixed names used by Table 2 / the figures resolve to
 #: the ``_a`` input set where variants exist.
