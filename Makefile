@@ -6,7 +6,7 @@ SMOKE_CACHE := .smoke-cache
 SMOKE_ARGS  := experiment table2 --scale 0.05 --jobs 2 --cache $(SMOKE_CACHE)
 
 .PHONY: test lint faults smoke bench bench-simcore bench-service \
-	bench-shards clean
+	bench-shards bench-supervisor clean
 
 test:
 	$(PY) -m pytest -x -q tests
@@ -65,6 +65,13 @@ bench-service:
 ## asserted; writes BENCH_shards.json at the repo root.
 bench-shards:
 	$(PY) -m pytest benchmarks/bench_shards.py -q
+
+## Crash-safe supervision: unsharded baseline vs a clean supervised
+## 2-worker run vs a supervised run with a SIGKILLed worker
+## (REPRO_FAULTS=shard_kill); recovery overhead measured, byte-identity
+## asserted; writes BENCH_supervisor.json at the repo root.
+bench-supervisor:
+	$(PY) -m pytest benchmarks/bench_supervisor.py -q
 
 clean:
 	rm -rf $(SMOKE_CACHE) .pytest_cache

@@ -39,7 +39,19 @@ Commands
                   modes.
 ``merge-shards`` — union shard artifact stores and journals into one
                   suite store after a distributed ``--shard K/N`` run,
-                  byte-verifying artifacts two shards both produced.
+                  byte-verifying artifacts two shards both produced;
+                  partial shards (a journal torn by a mid-run death)
+                  merge with warnings instead of aborting.
+``supervise``   — crash-safe supervised distributed run: one parent
+                  orchestrator spawns ``--workers N`` shard engines
+                  over a shared store, heartbeat-leases them, restarts
+                  dead shards (journal-diff recovery, bounded backoff),
+                  reassigns exhausted shards' work, speculatively
+                  re-executes tail stragglers, and auto-merges to a
+                  byte-verified result.  SIGTERM drains: workers
+                  checkpoint, the partial result is merged, and the
+                  exit is honest (0 on a clean drain).  Also reachable
+                  as ``experiment --workers N``.
 ``disasm``      — assemble a workload and print its program listing.
 
 ``list`` also enumerates the registered benchmark *sets*; selection-aware
@@ -584,6 +596,61 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             if selection is not None and selection.default_scale is not None
             else 1.0
         )
+    sup_report = None
+    workers = getattr(args, "workers", 0) or 0
+    if workers > 1:
+        from .errors import ShardRestartsExhausted, SuiteInterrupted
+        from .eval.supervisor import ShardSupervisor
+
+        if not args.cache:
+            print(
+                "error: --workers needs --cache (the shared store the "
+                "shard workers cooperate through)",
+                file=sys.stderr,
+            )
+            return 2
+        if shard is not None:
+            print(
+                "error: --workers and --shard are mutually exclusive "
+                "(the supervisor computes the partition itself)",
+                file=sys.stderr,
+            )
+            return 2
+        names = (
+            list(selection.names)
+            if selection
+            else list(EXPERIMENTS[args.id].benchmarks)
+        )
+        supervisor = ShardSupervisor(
+            names,
+            workers=workers,
+            store_root=args.cache,
+            scale=scale,
+            backend=args.backend,
+            checkpoint_every_events=args.checkpoint_every or 2_000,
+            retries=args.retries,
+            selection=selection.expression if selection else None,
+        )
+        with interrupt.sigterm_drain():
+            sup_report = supervisor.run()
+        if sup_report.interrupted:
+            raise SuiteInterrupted(
+                "supervised run drained on SIGTERM; rerun the same "
+                "command to resume from the journal",
+                completed=list(sup_report.completed),
+                remaining=list(sup_report.remaining),
+            )
+        if sup_report.exhausted:
+            raise ShardRestartsExhausted(
+                f"{len(sup_report.lost)} benchmark(s) lost after every "
+                "shard slot exhausted its restart budget: "
+                + ", ".join(sup_report.lost),
+                benchmarks=list(sup_report.lost),
+            )
+        # the supervised pass left a warm store + journal; the normal
+        # runner below replays it (journal/store hits) to assemble the
+        # experiment output without re-simulating anything
+        args.resume = True
     # Constructing the runner validates the run journal when resuming: a
     # structurally damaged journal raises JournalInvalid (caught in
     # main(), exit 1) naming the journal path and the offending record.
@@ -614,6 +681,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "backend": args.backend,
         "selection": selection.expression if selection else None,
         "shard": shard.tag if shard else None,
+        "workers": workers or None,
     }
     try:
         # SIGTERM drains instead of killing: workers checkpoint, the
@@ -668,11 +736,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 "output": output,
                 "failures": _failures_payload(runner),
                 "engine": runner.stats.as_dict(),
+                "supervisor": (
+                    sup_report.as_dict() if sup_report else None
+                ),
             },
         )
         return 0
     print(output)
     print()
+    if sup_report is not None:
+        print(sup_report.render())
+        print()
     print(runner.stats.render())
     return 0
 
@@ -879,6 +953,8 @@ def cmd_merge_shards(args: argparse.Namespace) -> int:
     from .eval.shards import merge_shards
 
     report = merge_shards(args.sources, args.into)
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     if args.json:
         _emit(
             args,
@@ -894,10 +970,104 @@ def cmd_merge_shards(args: argparse.Namespace) -> int:
     print(f"  artifacts: {report.artifacts_copied} copied, "
           f"{report.artifacts_identical} already present (byte-verified)")
     print(f"  journal:   {sum(report.journal_records.values())} record(s) "
-          f"unioned")
+          f"unioned, {report.journal_skipped} damaged line(s) skipped")
     print(f"  completed: {len(report.benchmarks)} benchmark(s): "
           + (", ".join(report.benchmarks) or "none"))
     return 0
+
+
+def _run_supervised(
+    args: argparse.Namespace, selection, scale: float
+):
+    """Build and run a :class:`ShardSupervisor` from CLI arguments."""
+    from .eval.supervisor import (
+        LEASE_INTERVAL_SECONDS,
+        ShardSupervisor,
+    )
+
+    supervisor = ShardSupervisor(
+        selection.names,
+        workers=args.workers,
+        store_root=args.cache,
+        scale=scale,
+        backend=args.backend,
+        checkpoint_every_events=args.checkpoint_every or 2_000,
+        retries=args.retries,
+        max_restarts=args.max_restarts,
+        lease_timeout=args.lease_timeout,
+        lease_interval=min(
+            LEASE_INTERVAL_SECONDS, args.lease_timeout / 4.0
+        ),
+        speculate=not args.no_speculate,
+        selection=selection.expression,
+    )
+    with interrupt.sigterm_drain():
+        return supervisor.run()
+
+
+def cmd_supervise(args: argparse.Namespace) -> int:
+    """Supervised N-worker distributed suite run over a shared store."""
+    from .errors import ShardRestartsExhausted
+
+    selection = _selection(args)
+    if selection is None:
+        print(
+            "error: give --set and/or --benchmarks to select what to "
+            "supervise",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    scale = args.scale
+    if scale is None:
+        scale = (
+            selection.default_scale
+            if selection.default_scale is not None
+            else 1.0
+        )
+    report = _run_supervised(args, selection, scale)
+    if report.merge is not None:
+        for warning in report.merge.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        _emit(
+            args,
+            "supervise",
+            {
+                "selection": selection.expression,
+                "benchmarks": list(selection.names),
+                "workers": args.workers,
+                "scale": scale,
+                "cache": args.cache,
+                "backend": args.backend,
+                "retries": args.retries,
+                "checkpoint_every": args.checkpoint_every or 2_000,
+                "max_restarts": args.max_restarts,
+                "lease_timeout": args.lease_timeout,
+                "speculate": not args.no_speculate,
+            },
+            report.as_dict(),
+        )
+    else:
+        print(report.render())
+    if report.interrupted:
+        # an honest drain: completed work is durable and merged; a rerun
+        # of the same command resumes from the journal.  Exit 0.
+        return 0
+    if report.exhausted:
+        raise ShardRestartsExhausted(
+            f"{len(report.lost)} benchmark(s) lost: every shard slot "
+            "that could run them exhausted its restart budget "
+            f"({', '.join(report.lost)})",
+            benchmarks=list(report.lost),
+            max_restarts=args.max_restarts,
+        )
+    return 1 if report.failed else 0
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -1052,6 +1222,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--resume", action="store_true",
                        help="skip benchmarks the run journal records as "
                        "completed at these parameters (needs --cache)")
+    p_exp.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="run the suite under the crash-safe shard "
+                       "supervisor with N worker processes before "
+                       "assembling the experiment output (needs --cache; "
+                       "excludes --shard)")
     add_backend(p_exp)
     add_json(p_exp)
 
@@ -1166,6 +1341,43 @@ def build_parser() -> argparse.ArgumentParser:
                          "shared-store deployment)")
     add_json(p_merge)
 
+    p_sup = sub.add_parser(
+        "supervise",
+        help="crash-safe supervised distributed suite run: N shard "
+        "workers over a shared store with heartbeat leases, restarts, "
+        "reassignment, speculation and auto-merge",
+    )
+    add_set(p_sup)
+    p_sup.add_argument("--benchmarks", default="",
+                       help="benchmark selector expression (unions with "
+                       "--set)")
+    p_sup.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="shard worker processes to supervise")
+    p_sup.add_argument("--scale", type=float, default=None,
+                       help="workload scale (default: the selected set's "
+                       "declared scale, else 1.0)")
+    p_sup.add_argument("--cache", required=True,
+                       help="shared artifact store directory (journal, "
+                       "checkpoints and leases live here)")
+    p_sup.add_argument("--retries", type=int, default=1,
+                       help="extra in-worker attempts per failed job")
+    p_sup.add_argument("--checkpoint-every", type=int, default=2_000,
+                       metavar="EVENTS",
+                       help="snapshot cadence so restarted shards resume "
+                       "mid-benchmark instead of cold-starting")
+    p_sup.add_argument("--max-restarts", type=int, default=2,
+                       help="restart budget per shard slot before its "
+                       "work is reassigned to surviving slots")
+    p_sup.add_argument("--lease-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="heartbeat-lease age after which a live but "
+                       "silent worker is declared wedged and recycled")
+    p_sup.add_argument("--no-speculate", action="store_true",
+                       help="disable speculative re-execution of tail "
+                       "stragglers on idle slots")
+    add_backend(p_sup)
+    add_json(p_sup)
+
     p_dis = sub.add_parser("disasm", help="print a workload's listing")
     p_dis.add_argument("benchmark")
     p_dis.add_argument("--scale", type=float, default=1.0)
@@ -1187,6 +1399,7 @@ _HANDLERS = {
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
     "merge-shards": cmd_merge_shards,
+    "supervise": cmd_supervise,
     "disasm": cmd_disasm,
 }
 

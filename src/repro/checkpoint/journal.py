@@ -29,7 +29,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import JournalInvalid
 
@@ -146,6 +146,67 @@ class RunJournal:
                 if isinstance(record, dict):
                     out.append(record)
         return out
+
+    def read_tolerant(self) -> Tuple[List[Dict[str, Any]], List[str]]:
+        """``(records, warnings)`` — every skip named, nothing raised.
+
+        The middle ground between :meth:`records` (silent skips) and
+        :meth:`validate` (raises on structural damage), for consumers
+        that must make progress over a *partial* shard journal — a
+        worker died mid-append, mid-file garbage from an interleaved
+        crash — but must not silently under-count what they dropped.
+        Used by :func:`repro.eval.shards.merge_shards`: incomplete
+        records are skipped with a warning naming the journal path and
+        line (the same torn-tail semantics :meth:`validate` tolerates),
+        and the merge report counts them.
+        """
+        if not self.path.exists():
+            return [], []
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return [], [f"{self.path}: unreadable journal skipped: {exc}"]
+        records: List[Dict[str, Any]] = []
+        warnings: List[str] = []
+        lines = raw.split("\n")
+        torn_tail = bool(lines and lines[-1] != "")
+        if lines and lines[-1] == "":
+            lines.pop()
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            number = index + 1
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == last_index and torn_tail:
+                    warnings.append(
+                        f"{self.path}:{number}: torn tail "
+                        f"{_snippet(line)!r} — the writer died "
+                        "mid-append; the record is skipped"
+                    )
+                else:
+                    warnings.append(
+                        f"{self.path}:{number}: unparsable record "
+                        f"{_snippet(line)!r} skipped"
+                    )
+                continue
+            if not isinstance(record, dict):
+                warnings.append(
+                    f"{self.path}:{number}: non-object record "
+                    f"{_snippet(line)!r} skipped"
+                )
+                continue
+            version = record.get("v", 0)
+            if not isinstance(version, int) or version > JOURNAL_VERSION:
+                warnings.append(
+                    f"{self.path}:{number}: record with format version "
+                    f"{version!r} (> supported {JOURNAL_VERSION}) skipped"
+                )
+                continue
+            records.append(record)
+        return records, warnings
 
     def validate(self) -> List[str]:
         """Check the journal structurally; returns tolerated warnings.

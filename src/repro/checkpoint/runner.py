@@ -134,6 +134,7 @@ def run_simulation(
     in_worker: bool = False,
     backend: Optional[Any] = None,
     stop_check: Optional[Callable[[], bool]] = None,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> SimulationOutcome:
     """Simulate *built* through *bus*, checkpointing and resuming.
 
@@ -159,6 +160,11 @@ def run_simulation(
             regardless of cadence — and returns with
             ``outcome.interrupted`` set, so a drained job loses zero
             progress and the next run resumes exactly here.
+        progress: called after every slice with the bus's live branch
+            event count — the liveness side-channel supervised shard
+            workers use to refresh heartbeat leases and store claims.
+            Exceptions propagate (a progress hook that raises is a bug
+            or an injected fault, never swallowed).
 
     Truncation by fuel is normal (mirrors ``run_workload``): the outcome
     result reports ``halted=False`` rather than raising.
@@ -218,6 +224,8 @@ def run_simulation(
         remaining = fuel - sim.executor.instruction_count
         if fault_plan is not None:
             fault_plan.on_events(benchmark, bus.stats.events, in_worker)
+        if progress is not None:
+            progress(bus.stats.events)
         stopping = (
             stop_check is not None
             and not sim.state.halted

@@ -19,6 +19,8 @@ Layers::
     │   ├── UnknownBenchmark        — ... named an unregistered benchmark
     │   └── UnknownSet              — ... named an unregistered set
     ├── ShardConflict               — shard stores disagree on artifact bytes
+    ├── ShardLost                   — a supervised shard worker died or hung
+    │   └── ShardRestartsExhausted  — ... and its restart budget ran out
     ├── ServiceOverloaded           — admission queue full / daemon draining
     ├── QuotaExceeded               — tenant token bucket empty
     ├── SuiteDegraded               — *every* benchmark of a run failed
@@ -206,6 +208,30 @@ class ShardConflict(ReproError):
     code = "shard_conflict"
 
 
+class ShardLost(ReproError):
+    """A supervised shard worker died (crash) or stopped heartbeating (hang).
+
+    Raised — or recorded, when the supervisor can recover — by
+    :mod:`repro.eval.supervisor` after the pid probe finds the worker
+    process gone, or after its heartbeat lease expired and the wedged
+    process was killed.  The shard's completed work is durable (journal +
+    store); its incomplete benchmarks are restarted or reassigned.
+    """
+
+    code = "shard_lost"
+
+
+class ShardRestartsExhausted(ShardLost):
+    """A lost shard burned through its bounded restart budget.
+
+    The supervisor stops respawning this shard slot; its remaining
+    benchmarks are re-partitioned across surviving workers.  Raised only
+    when no survivor is left to take the work.
+    """
+
+    code = "shard_restarts_exhausted"
+
+
 class SuiteDegraded(ReproError):
     """Every benchmark an experiment needed failed.
 
@@ -291,6 +317,8 @@ __all__ = [
     "SelectionError",
     "ServiceOverloaded",
     "ShardConflict",
+    "ShardLost",
+    "ShardRestartsExhausted",
     "SimulationError",
     "SuiteDegraded",
     "SuiteInterrupted",

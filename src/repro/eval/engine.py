@@ -43,7 +43,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..checkpoint import (
     CheckpointConfig,
@@ -271,6 +271,13 @@ class ArtifactStore:
     #: poll interval while waiting on another writer's claim.
     CLAIM_POLL_SECONDS = 0.05
 
+    #: minimum interval between claim-mtime refreshes from a running
+    #: job's progress path.  A healthy holder simulating one long job
+    #: never rewrites its claim, so without refreshes the mtime backstop
+    #: would eventually break a *live* claim; the checkpointed slice
+    #: loop touches it at this cadence instead.
+    CLAIM_REFRESH_SECONDS = 15.0
+
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
         #: corruption events observed by this store instance.
@@ -346,7 +353,16 @@ class ArtifactStore:
             pass
 
     def _claim_is_stale(self, path: Path) -> bool:
-        """True when the claim's holder is dead or the claim is ancient."""
+        """True when the claim's holder is dead or the claim is ancient.
+
+        The pid probe is authoritative when it gives an answer: a holder
+        that is provably *alive* keeps its claim no matter how old the
+        file is (a healthy process deep in one long simulation may not
+        touch the claim for ages — see :data:`CLAIM_REFRESH_SECONDS`),
+        and a provably dead one loses it immediately.  The mtime age
+        backstop applies only to claims that cannot be probed at all
+        (cross-host stores, unreadable/foreign content, permissions).
+        """
         try:
             raw = path.read_bytes()
         except OSError:
@@ -363,6 +379,8 @@ class ArtifactStore:
                 return True  # holder is gone (same-host pid probe)
             except OSError:
                 pass  # exists but unprobeable (permissions): fall through
+            else:
+                return False  # holder provably alive: never break on age
         try:
             age = time.time() - path.stat().st_mtime
         except OSError:
@@ -534,7 +552,9 @@ CHECKPOINT_SUBDIR = "checkpoints"
 
 
 def _execute_job(
-    payload: Tuple[JobSpec, Optional[str], bool, Optional[int]]
+    payload: Tuple[JobSpec, Optional[str], bool, Optional[int]],
+    progress: Optional[Callable[[str, int], None]] = None,
+    speculative: bool = False,
 ) -> JobResult:
     """Run one job end to end (pool worker; must stay module-level).
 
@@ -550,6 +570,19 @@ def _execute_job(
     previous attempt stopped instead of restarting from instruction
     zero.
 
+    ``progress`` (in-process callers only; it cannot cross the pool's
+    pickle pipe) is invoked with ``(benchmark, events)`` at job start and
+    after every checkpoint slice — supervised shard workers refresh their
+    heartbeat lease from it.  Independently of the caller's hook, a held
+    store claim has its mtime refreshed on the same path (throttled by
+    :data:`ArtifactStore.CLAIM_REFRESH_SECONDS`), so a slow-but-alive
+    holder is never mistaken for a dead one by the mtime backstop.
+
+    ``speculative`` marks a straggler re-execution: the job never waits
+    on another writer's live claim, it simulates concurrently and relies
+    on the store's idempotent atomic put — first writer wins, and the
+    content address guarantees both writers carry identical bytes.
+
     An installed :class:`~repro.eval.faults.FaultPlan` is honoured here:
     crash/hang/flaky faults fire before the build, ``worker_kill`` fires
     from the checkpointed runner's slice loop, corruption faults right
@@ -560,6 +593,8 @@ def _execute_job(
     plan = faults.active_plan()
     if plan is not None:
         plan.on_job_start(spec.name, in_worker)
+    if progress is not None:
+        progress(spec.name, 0)
     built = build_workload(get_benchmark(spec.name, scale=spec.scale))
     digest = artifact_digest(
         built, trace_limit=spec.trace_limit, backend=spec.backend
@@ -586,14 +621,31 @@ def _execute_job(
     if store is not None and store.verify(spec, digest):
         return store_hit()
     claimed = store.try_claim(spec, digest) if store is not None else False
-    if store is not None and not claimed:
+    if store is not None and not claimed and not speculative:
         # Another engine (or daemon worker) is simulating this exact
         # digest right now: wait for its atomic publish instead of
         # duplicating the simulation.  A stale claim (the writer died)
         # or an exhausted wait budget falls through to simulating here.
+        # Speculative re-executions skip the wait on purpose — racing
+        # the (possibly wedged) claim holder is their entire job.
         if store.wait_for_writer(spec, digest):
             return store_hit()
         claimed = store.try_claim(spec, digest)
+
+    last_refresh = [time.monotonic()]
+
+    def _slice_progress(events: int) -> None:
+        if claimed:
+            now = time.monotonic()
+            if now - last_refresh[0] >= store.CLAIM_REFRESH_SECONDS:
+                last_refresh[0] = now
+                try:
+                    os.utime(store.claim_path(spec, digest))
+                except OSError:
+                    pass  # claim broken/raced away; put stays idempotent
+        if progress is not None:
+            progress(spec.name, events)
+
     try:
         # one pass: the bus fans each branch event to the profiler and
         # the chunked trace builder together (no capture-then-replay)
@@ -617,6 +669,7 @@ def _execute_job(
                 in_worker=in_worker,
                 backend=spec.backend,
                 stop_check=interrupt.drain_requested,
+                progress=_slice_progress,
             )
             result = outcome.result
             checkpoints_written = outcome.checkpoints_written
@@ -812,6 +865,11 @@ class EngineStats:
     #: both None for plain unsharded runs.
     shard: Optional[str] = None
     selection: Optional[str] = None
+    #: which shard cost model partitioned this engine's names (schema
+    #: v9): ``"measured"`` when journal wall-clock medians drove the LPT
+    #: partition, ``"fuel"`` for the static estimate, None when no
+    #: partitioning happened.
+    cost_model: Optional[str] = None
     #: aggregated per-consumer bus counters across every bus this engine
     #: ran (simulation jobs, fused runs and bank replays alike).
     pipeline: PipelineStats = field(default_factory=PipelineStats)
@@ -868,6 +926,7 @@ class EngineStats:
             "replayed_runs": self.replayed_runs,
             "shard": self.shard,
             "selection": self.selection,
+            "cost_model": self.cost_model,
             "pipeline": self.pipeline.as_dict(),
             "jobs": [
                 {
@@ -886,6 +945,8 @@ class EngineStats:
         if self.shard is not None:
             selection = f" of {self.selection!r}" if self.selection else ""
             lines.append(f"  shard: {self.shard}{selection}")
+        if self.cost_model is not None:
+            lines.append(f"  cost model: {self.cost_model}")
         for name in sorted(self.job_seconds):
             lines.append(
                 f"  {name:12s} {self.job_seconds[name]:8.2f}s  "
@@ -954,6 +1015,27 @@ class ExecutionEngine:
             merge byte-identically into an unsharded run.
         selection: the selector expression the run's names came from
             (observability only: journal records, stats, envelope).
+        progress: liveness callback invoked with ``(benchmark, events)``
+            at each job start and after every checkpoint slice — the
+            supervised shard worker's heartbeat hook.  In-process
+            execution only (``jobs`` must be 1): a callable cannot
+            cross the pool's pickle pipe.
+        speculative: mark every job as a speculative straggler
+            re-execution — never wait on another writer's live store
+            claim, race it and rely on the idempotent atomic put
+            (first writer wins, byte-identical by construction).
+        cost_model: which shard cost model partitioned this engine's
+            names (``"measured"``/``"fuel"``; observability only —
+            partitioning happens at the selection/supervisor layer).
+        journal_strict: how ``resume`` treats a damaged run journal.
+            True (the default) validates structurally and raises
+            :class:`~repro.errors.JournalInvalid` on mid-file garbage.
+            Supervised shard workers pass False: N siblings share one
+            journal and any of them can be SIGKILLed mid-append, so a
+            restarted worker must tolerate a sibling's torn line (it is
+            skipped with a warning) instead of dying on it — which
+            would turn one injected kill into an unrecoverable restart
+            loop.
     """
 
     def __init__(
@@ -970,6 +1052,10 @@ class ExecutionEngine:
         backend: Optional[object] = None,
         shard: Optional[object] = None,
         selection: Optional[str] = None,
+        progress: Optional[Callable[[str, int], None]] = None,
+        speculative: bool = False,
+        cost_model: Optional[str] = None,
+        journal_strict: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -991,6 +1077,11 @@ class ExecutionEngine:
                 "resume requires a cache_dir (the run journal lives "
                 "under the cache root)"
             )
+        if progress is not None and jobs > 1:
+            raise ValueError(
+                "progress callbacks need in-process execution (jobs=1); "
+                "they cannot cross the worker pool's pickle pipe"
+            )
         self.scale = scale
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.trace_limit = trace_limit
@@ -1005,6 +1096,8 @@ class ExecutionEngine:
         self.retry_backoff = retry_backoff
         self.checkpoint_every_events = checkpoint_every_events
         self.resume = resume
+        self.progress = progress
+        self.speculative = speculative
         self.store = (
             ArtifactStore(self.cache_dir)
             if self.cache_dir is not None
@@ -1018,6 +1111,7 @@ class ExecutionEngine:
         self.stats = EngineStats(
             shard=self.shard.tag if self.shard is not None else None,
             selection=selection,
+            cost_model=cost_model,
         )
         #: benchmarks that exhausted their retries, name -> typed error.
         self.failures: Dict[str, ReproError] = {}
@@ -1030,7 +1124,10 @@ class ExecutionEngine:
         #: the journal path and the offending record.
         self.journal_warnings: List[str] = []
         if self.resume and self.journal is not None:
-            self.journal_warnings = self.journal.validate()
+            if journal_strict:
+                self.journal_warnings = self.journal.validate()
+            else:
+                _, self.journal_warnings = self.journal.read_tolerant()
 
     # -- job bookkeeping ----------------------------------------------------
 
@@ -1345,7 +1442,11 @@ class ExecutionEngine:
         while True:
             attempt += 1
             try:
-                result = _execute_job(payload)
+                result = _execute_job(
+                    payload,
+                    progress=self.progress,
+                    speculative=self.speculative,
+                )
             except KeyError:
                 raise  # unknown benchmark/kernel: caller error, not a fault
             except JobInterrupted as exc:
@@ -1616,6 +1717,11 @@ class ExecutionEngine:
                     **extra,
                 )
             else:
+                # seconds feeds the learned shard cost model
+                # (shards.measured_costs): only full simulations measure
+                # the benchmark's real wall-clock, so store hits record
+                # their (near-zero) load time under the same key but are
+                # filtered out by source when costs are learned.
                 self.journal.record_completed(
                     result.spec.name,
                     result.digest,
@@ -1624,6 +1730,7 @@ class ExecutionEngine:
                     source=result.source,
                     resumed=result.resumed,
                     backend=self.backend,
+                    seconds=round(result.seconds, 4),
                     **extra,
                 )
         except OSError:
@@ -1662,7 +1769,9 @@ class ExecutionEngine:
                 self._cache_root(),
                 False,
                 self.checkpoint_every_events,
-            )
+            ),
+            progress=self.progress,
+            speculative=self.speculative,
         )
         artifacts = rerun.artifacts
         if artifacts is None:

@@ -21,6 +21,18 @@ faults the engine must survive:
   artifacts byte-identical to an uninterrupted run.  Fires once per
   benchmark (kill-once markers under ``state_dir``), so the resumed
   attempt is not killed again at the same threshold.
+* ``shard_kill`` — a *supervised shard worker* (``repro supervise``)
+  SIGKILLs itself once its current job's bus has seen a given number of
+  branch events, exercising the supervisor's dead-shard detection,
+  journal-diff recovery and bounded restarts.  Keyed by the 1-based
+  shard slot, fires once (marker under ``state_dir`` when present — the
+  supervisor injects one — else once per process).
+* ``shard_hang`` — a supervised shard worker sleeps ``hang_seconds`` at
+  entry without ever heartbeating, exercising lease-expiry detection of
+  a *live but wedged* worker (pid probe succeeds, lease goes stale).
+* ``lease_stall`` — a supervised shard worker runs normally but skips
+  every heartbeat lease write, so the supervisor must distinguish a
+  stalled lease from a dead pid.
 * ``slow_client`` / ``conn_drop`` — *client-side* service faults,
   consumed by ``repro loadgen`` rather than the engine: every Nth
   request trickles its submit frame in two writes with a pause
@@ -30,10 +42,13 @@ faults the engine must survive:
   keeps them deterministic for a fixed job count.
 
 Plans cross the process boundary via the ``REPRO_FAULTS`` environment
-variable (JSON), so pool workers inherit them automatically; ``flaky``
-attempt counts are kept as marker files under a state directory so they
-survive worker restarts.  Everything is deterministic — no randomness,
-no time dependence — which keeps the fault suite reproducible.
+variable (JSON, or the compact text form ``mode:arg[,mode:arg...]`` —
+e.g. ``REPRO_FAULTS=shard_kill:1@5000`` kills shard 1 at 5000 events;
+see :meth:`FaultPlan.from_compact`), so pool workers inherit them
+automatically; ``flaky`` attempt counts are kept as marker files under a
+state directory so they survive worker restarts.  Everything is
+deterministic — no randomness, no time dependence — which keeps the
+fault suite reproducible.
 
 Usage::
 
@@ -64,6 +79,15 @@ ENV_VAR = "REPRO_FAULTS"
 #: by the engine's timeout handling).
 DEFAULT_HANG_SECONDS = 60.0
 
+#: Branch-event threshold for ``worker_kill``/``shard_kill`` items in the
+#: compact env syntax when no explicit ``@EVENTS`` is given.
+DEFAULT_KILL_EVENTS = 10000
+
+#: In-process fallback for shard_kill fire-once markers when the plan has
+#: no ``state_dir`` (the supervisor normally injects one so the marker
+#: survives the killed process).
+_FIRED_SHARD_KILLS: set = set()
+
 
 class InjectedFault(ReproError):
     """Raised by injected ``worker_crash`` (in-process) / ``flaky`` faults."""
@@ -83,7 +107,15 @@ class FaultPlan:
         corrupt_meta: benchmarks whose meta sidecar is corrupted on put.
         worker_kill: benchmark -> branch-event count at which the worker
             SIGKILLs itself mid-simulation (once; needs ``state_dir``).
-        hang_seconds: sleep length for ``worker_hang``.
+        shard_kill: shard slot (1-based, as a string key — JSON objects
+            key on strings) -> branch-event count at which a supervised
+            shard worker SIGKILLs itself (once; the supervisor injects a
+            ``state_dir`` for the cross-restart marker).
+        shard_hang: shard slots whose supervised worker sleeps
+            ``hang_seconds`` at entry without heartbeating.
+        lease_stall: shard slots whose supervised worker skips every
+            heartbeat lease write while otherwise running normally.
+        hang_seconds: sleep length for ``worker_hang``/``shard_hang``.
         slow_client: every Nth loadgen request is a slow client
             (0 disables); the pause is ``slow_client_seconds``.
         slow_client_seconds: mid-frame pause for ``slow_client``.
@@ -100,6 +132,9 @@ class FaultPlan:
     corrupt_trace: Tuple[str, ...] = ()
     corrupt_meta: Tuple[str, ...] = ()
     worker_kill: Dict[str, int] = field(default_factory=dict)
+    shard_kill: Dict[str, int] = field(default_factory=dict)
+    shard_hang: Tuple[int, ...] = ()
+    lease_stall: Tuple[int, ...] = ()
     hang_seconds: float = DEFAULT_HANG_SECONDS
     slow_client: int = 0
     slow_client_seconds: float = 0.25
@@ -125,6 +160,9 @@ class FaultPlan:
                 "corrupt_trace": list(self.corrupt_trace),
                 "corrupt_meta": list(self.corrupt_meta),
                 "worker_kill": dict(self.worker_kill),
+                "shard_kill": dict(self.shard_kill),
+                "shard_hang": list(self.shard_hang),
+                "lease_stall": list(self.lease_stall),
                 "hang_seconds": self.hang_seconds,
                 "slow_client": self.slow_client,
                 "slow_client_seconds": self.slow_client_seconds,
@@ -148,6 +186,16 @@ class FaultPlan:
                 str(k): int(v)
                 for k, v in payload.get("worker_kill", {}).items()
             },
+            shard_kill={
+                str(k): int(v)
+                for k, v in payload.get("shard_kill", {}).items()
+            },
+            shard_hang=tuple(
+                int(s) for s in payload.get("shard_hang", ())
+            ),
+            lease_stall=tuple(
+                int(s) for s in payload.get("lease_stall", ())
+            ),
             hang_seconds=float(
                 payload.get("hang_seconds", DEFAULT_HANG_SECONDS)
             ),
@@ -157,6 +205,75 @@ class FaultPlan:
             ),
             conn_drop=int(payload.get("conn_drop", 0)),
             state_dir=payload.get("state_dir"),
+        )
+
+    @classmethod
+    def from_compact(cls, text: str) -> "FaultPlan":
+        """Parse the compact env syntax ``mode:arg[,mode:arg...]``.
+
+        Shell-friendly counterpart of the JSON form, e.g.::
+
+            REPRO_FAULTS=shard_kill:1@5000          # kill slot 1 @ 5000 ev
+            REPRO_FAULTS=shard_hang:2,lease_stall:1
+            REPRO_FAULTS=worker_kill:gcc@10000,state_dir:/tmp/faults
+
+        Modes: ``worker_crash:NAME``, ``worker_hang:NAME``,
+        ``corrupt_trace:NAME``, ``corrupt_meta:NAME``, ``flaky:NAME@N``,
+        ``worker_kill:NAME@EVENTS``, ``shard_kill:K@EVENTS``,
+        ``shard_hang:K``, ``lease_stall:K``, ``hang_seconds:S``,
+        ``state_dir:PATH``.  Event thresholds default to
+        :data:`DEFAULT_KILL_EVENTS` when the ``@EVENTS`` part is omitted.
+
+        Raises:
+            ValueError: an unknown mode or a malformed argument — a
+                half-applied plan must never be silently installed.
+        """
+        kwargs: Dict[str, object] = {
+            "worker_crash": [], "worker_hang": [], "corrupt_trace": [],
+            "corrupt_meta": [], "flaky": {}, "worker_kill": {},
+            "shard_kill": {}, "shard_hang": [], "lease_stall": [],
+        }
+        extras: Dict[str, object] = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            mode, sep, arg = item.partition(":")
+            if not sep or not arg:
+                raise ValueError(
+                    f"fault item {item!r} must look like mode:arg"
+                )
+            if mode in ("worker_crash", "worker_hang",
+                        "corrupt_trace", "corrupt_meta"):
+                kwargs[mode].append(arg)
+            elif mode in ("flaky", "worker_kill"):
+                name, _, count = arg.partition("@")
+                default = 1 if mode == "flaky" else DEFAULT_KILL_EVENTS
+                kwargs[mode][name] = int(count) if count else default
+            elif mode == "shard_kill":
+                slot, _, events = arg.partition("@")
+                kwargs[mode][str(int(slot))] = (
+                    int(events) if events else DEFAULT_KILL_EVENTS
+                )
+            elif mode in ("shard_hang", "lease_stall"):
+                kwargs[mode].append(int(arg))
+            elif mode == "hang_seconds":
+                extras[mode] = float(arg)
+            elif mode == "state_dir":
+                extras[mode] = arg
+            else:
+                raise ValueError(f"unknown fault mode {mode!r} in {item!r}")
+        return cls(
+            worker_crash=tuple(kwargs["worker_crash"]),
+            worker_hang=tuple(kwargs["worker_hang"]),
+            flaky=dict(kwargs["flaky"]),
+            corrupt_trace=tuple(kwargs["corrupt_trace"]),
+            corrupt_meta=tuple(kwargs["corrupt_meta"]),
+            worker_kill=dict(kwargs["worker_kill"]),
+            shard_kill=dict(kwargs["shard_kill"]),
+            shard_hang=tuple(kwargs["shard_hang"]),
+            lease_stall=tuple(kwargs["lease_stall"]),
+            **extras,
         )
 
     @contextmanager
@@ -249,6 +366,66 @@ class FaultPlan:
             return False
         return True
 
+    # -- supervised-shard faults (consumed by repro.eval.supervisor) --------
+
+    def on_shard_start(self, slot: int, in_worker: bool = True) -> None:
+        """Fire the ``shard_hang`` fault for shard *slot* at worker entry.
+
+        The worker sleeps ``hang_seconds`` before its first heartbeat
+        refresh, so its lease goes stale while its pid stays probe-able —
+        the exact live-but-wedged case the supervisor must detect via
+        lease expiry rather than a pid probe.
+        """
+        if slot in self.shard_hang:
+            time.sleep(self.hang_seconds)
+
+    def on_shard_events(
+        self, slot: int, events: int, in_worker: bool = True
+    ) -> None:
+        """Fire the ``shard_kill`` fault once *events* reach the threshold.
+
+        Called from the supervised worker's progress callback with the
+        current job's live branch-event count.  Deterministic in event
+        time and fires at most once per slot: the marker lives under
+        ``state_dir`` when present (surviving the killed process, so the
+        restarted shard is not killed again), else in-process.
+
+        Raises:
+            InjectedFault: when ``in_worker`` is False (killing the
+                caller's own process would defeat the test).
+        """
+        threshold = self.shard_kill.get(str(slot))
+        if threshold is None or events < threshold:
+            return
+        if not self._claim_shard_kill(slot):
+            return
+        if in_worker:
+            os.kill(os.getpid(), 9)  # SIGKILL: no cleanup, no atexit
+        raise InjectedFault(
+            f"injected shard kill for slot {slot} at {events} events",
+            shard=slot, fault="shard_kill", events=events,
+        )
+
+    def _claim_shard_kill(self, slot: int) -> bool:
+        """Atomically claim the one allowed kill for shard *slot*."""
+        if not self.state_dir:
+            if slot in _FIRED_SHARD_KILLS:
+                return False
+            _FIRED_SHARD_KILLS.add(slot)
+            return True
+        state = Path(self.state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        marker = state / f"shard-kill-{slot}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
+
+    def lease_stalled(self, slot: int) -> bool:
+        """Whether shard *slot* must skip its heartbeat lease writes."""
+        return slot in self.lease_stall
+
     # -- client-side service faults (consumed by repro loadgen) -------------
 
     def client_delay(self, index: int) -> float:
@@ -291,17 +468,24 @@ def corrupt_file(path: Path, offset: int = 16, length: int = 64) -> None:
 def active_plan() -> Optional[FaultPlan]:
     """The plan installed in the environment, or None.
 
-    A malformed ``REPRO_FAULTS`` value raises immediately — a half-applied
-    fault plan would silently invalidate whatever the suite was proving.
+    Accepts both serialisations: the JSON form engines install via
+    :meth:`FaultPlan.installed`, and the shell-friendly compact text form
+    (``shard_kill:1@5000,lease_stall:2`` — see
+    :meth:`FaultPlan.from_compact`).  A malformed ``REPRO_FAULTS`` value
+    raises immediately — a half-applied fault plan would silently
+    invalidate whatever the suite was proving.
     """
     raw = os.environ.get(ENV_VAR)
     if not raw:
         return None
-    return FaultPlan.from_json(raw)
+    if raw.lstrip().startswith("{"):
+        return FaultPlan.from_json(raw)
+    return FaultPlan.from_compact(raw)
 
 
 __all__ = [
     "DEFAULT_HANG_SECONDS",
+    "DEFAULT_KILL_EVENTS",
     "ENV_VAR",
     "FaultPlan",
     "InjectedFault",

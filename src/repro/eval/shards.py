@@ -24,6 +24,16 @@ per-benchmark fuel budgets (:func:`repro.workloads.registry.estimated_cost`)
 feed an LPT (longest-processing-time) greedy assignment, with a stable
 content hash of the benchmark name breaking cost ties so reordering the
 input never changes the result.
+
+Fuel is a *static* estimate, and data-dependent work makes it a poor
+proxy (the straggler lesson of the branch-avoiding-graph-algorithms
+line of work, applied at the systems layer).  When a coordinating
+process owns the partition — the :mod:`repro.eval.supervisor` — it
+feeds :func:`partition_selection` *measured* per-benchmark wall-clock
+medians learned from the run journal (:func:`measured_costs`), falling
+back to fuel for never-run benchmarks.  Manual cross-host ``--shard
+K/N`` runs stay on pure fuel: independent hosts with divergent local
+journals must agree on the partition without coordinating.
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ import re
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SelectionError, ShardConflict
 from ..workloads.registry import estimated_cost
@@ -41,6 +51,7 @@ from ..workloads.registry import estimated_cost
 __all__ = [
     "MergeReport",
     "ShardSpec",
+    "measured_costs",
     "merge_shards",
     "partition_selection",
     "shard_names",
@@ -107,18 +118,111 @@ def _stable_rank(name: str) -> str:
     return hashlib.sha256(name.encode("utf-8")).hexdigest()
 
 
+def measured_costs(
+    journal,
+    scale: float,
+    trace_limit: Optional[int] = None,
+    backend: str = "interp",
+    recent: int = 5,
+) -> Dict[str, float]:
+    """benchmark -> median measured wall-clock seconds from *journal*.
+
+    The learned half of the shard cost model: each benchmark's cost is
+    the median over its most *recent* completed-simulation records at
+    exactly these run parameters (scale, trace limit, backend — costs
+    at other parameters describe different work).  Store/journal hits
+    are excluded: only a full simulation measures the benchmark's real
+    wall-clock.  Benchmarks with no usable record are simply absent —
+    :func:`partition_selection` falls back to fuel for them.
+
+    *journal* is a :class:`~repro.checkpoint.journal.RunJournal` (any
+    object with a ``records()`` method works).
+    """
+    samples: Dict[str, List[float]] = {}
+    for record in journal.records():
+        if record.get("status") != "completed":
+            continue
+        if (
+            record.get("scale") != scale
+            or record.get("trace_limit") != trace_limit
+            or record.get("backend", "interp") != backend
+            or record.get("source") not in ("simulated", "resimulated")
+        ):
+            continue
+        benchmark = record.get("benchmark")
+        seconds = record.get("seconds")
+        if not isinstance(benchmark, str):
+            continue
+        if not isinstance(seconds, (int, float)) or seconds <= 0:
+            continue
+        samples.setdefault(benchmark, []).append(float(seconds))
+    costs: Dict[str, float] = {}
+    for benchmark, values in samples.items():
+        window = sorted(values[-recent:])
+        mid = len(window) // 2
+        if len(window) % 2:
+            costs[benchmark] = window[mid]
+        else:
+            costs[benchmark] = (window[mid - 1] + window[mid]) / 2.0
+    return costs
+
+
+def _blended_costs(
+    unique_names: Sequence[str],
+    scale: float,
+    costs: Optional[Mapping[str, float]],
+) -> Dict[str, float]:
+    """Per-name LPT weights: measured seconds, fuel-backed fallback.
+
+    Measured wall-clock and fuel are different units, so mixing them
+    raw would let one dominate by magnitude alone.  Fuel-only names are
+    converted to pseudo-seconds through the median seconds-per-fuel
+    ratio of the measured ones, keeping the two populations comparable;
+    with nothing measured the weights are pure fuel.
+    """
+    fuel = {n: float(estimated_cost(n, scale)) for n in unique_names}
+    if not costs:
+        return fuel
+    measured = {
+        n: float(costs[n])
+        for n in unique_names
+        if isinstance(costs.get(n), (int, float)) and costs[n] > 0
+    }
+    if not measured:
+        return fuel
+    ratios = sorted(
+        measured[n] / fuel[n] for n in measured if fuel[n] > 0
+    )
+    ratio = ratios[len(ratios) // 2] if ratios else 1.0
+    return {
+        n: measured.get(n, fuel[n] * ratio) for n in unique_names
+    }
+
+
 def partition_selection(
     names: Sequence[str],
     total: int,
     scale: float = 1.0,
+    costs: Optional[Mapping[str, float]] = None,
 ) -> List[Tuple[str, ...]]:
     """Partition *names* into *total* cost-balanced shards.
 
     LPT greedy: benchmarks are assigned most-expensive-first to the
     least-loaded shard.  The result is a pure function of the name *set*,
-    *total* and *scale* — input order never matters, so independent hosts
-    resolve the same partition without coordinating.  Each shard's names
-    come back in the order they appear in *names*.
+    *total*, *scale* and *costs* — input order never matters, so
+    independent hosts resolve the same partition without coordinating
+    (which is also why cross-host ``--shard K/N`` runs must all pass the
+    same *costs*, i.e. in practice none).  Each shard's names come back
+    in the order they appear in *names*.
+
+    Args:
+        names: the resolved selection.
+        total: shard count.
+        scale: workload scale (fuel estimates scale with it).
+        costs: optional measured per-benchmark wall-clock
+            (:func:`measured_costs`); names it covers are weighted by
+            measurement, the rest by a fuel-backed fallback in the same
+            unit (see :func:`_blended_costs`).
 
     Raises:
         SelectionError: non-positive *total*.
@@ -127,15 +231,16 @@ def partition_selection(
     if total < 1:
         raise SelectionError(f"shard count must be >= 1, got {total}")
     order = {name: position for position, name in enumerate(names)}
+    unique = list(dict.fromkeys(names))
+    weight = _blended_costs(unique, scale, costs)
     by_cost = sorted(
-        dict.fromkeys(names),
-        key=lambda n: (-estimated_cost(n, scale), _stable_rank(n)),
+        unique, key=lambda n: (-weight[n], _stable_rank(n))
     )
-    loads = [0] * total
+    loads = [0.0] * total
     bins: List[List[str]] = [[] for _ in range(total)]
     for name in by_cost:
         target = min(range(total), key=lambda i: (loads[i], i))
-        loads[target] += estimated_cost(name, scale)
+        loads[target] += weight[name]
         bins[target].append(name)
     return [
         tuple(sorted(bin_names, key=order.__getitem__)) for bin_names in bins
@@ -163,6 +268,11 @@ class MergeReport:
         artifacts_copied: files newly copied into the destination.
         artifacts_identical: files already present, byte-verified equal.
         journal_records: per-source journal records appended.
+        journal_skipped: damaged journal lines skipped across all
+            sources (torn tails from shards that died mid-append,
+            mid-file garbage) — each one is named in ``warnings``.
+        warnings: human-readable ``path:line: ...`` messages for every
+            tolerated journal defect.
         benchmarks: union of benchmark names the merged journal completes.
     """
 
@@ -171,6 +281,8 @@ class MergeReport:
     artifacts_copied: int = 0
     artifacts_identical: int = 0
     journal_records: Dict[str, int] = field(default_factory=dict)
+    journal_skipped: int = 0
+    warnings: List[str] = field(default_factory=list)
     benchmarks: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
@@ -180,6 +292,8 @@ class MergeReport:
             "artifacts_copied": self.artifacts_copied,
             "artifacts_identical": self.artifacts_identical,
             "journal_records": dict(self.journal_records),
+            "journal_skipped": self.journal_skipped,
+            "warnings": list(self.warnings),
             "benchmarks": list(self.benchmarks),
         }
 
@@ -210,6 +324,14 @@ def merge_shards(
     store is content-addressed) is byte-compared, never overwritten.  A
     source that *is* the destination (shared-store deployment) only
     contributes its journal-completion census.
+
+    Partial shards merge, they do not abort: a source journal with a
+    torn tail (the shard died mid-append) or mid-file garbage has the
+    damaged lines skipped with a warning naming ``path:line`` — the
+    same damage classes :meth:`RunJournal.validate` distinguishes —
+    and :attr:`MergeReport.journal_skipped` counts them.  The dead
+    shard's *completed* records still merge; only the torn ones are
+    lost, and they were never durable to begin with.
 
     Raises:
         ShardConflict: same artifact filename, differing bytes — one
@@ -255,7 +377,9 @@ def merge_shards(
                 stage.replace(target)
                 report.artifacts_copied += 1
         shard_journal = RunJournal(source)
-        records = shard_journal.records()
+        records, journal_warnings = shard_journal.read_tolerant()
+        report.warnings.extend(journal_warnings)
+        report.journal_skipped += len(journal_warnings)
         if not same_store:
             for record in records:
                 merged_journal.append(dict(record))

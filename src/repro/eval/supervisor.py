@@ -1,0 +1,859 @@
+"""Crash-safe shard supervisor for distributed suite runs.
+
+``repro supervise --workers N`` (and ``repro experiment --workers N``)
+runs one *parent orchestrator* that computes the cost-balanced LPT
+partition, spawns N engine worker processes over a **shared** artifact
+store, and babysits them to a merged, byte-verified result:
+
+* **Heartbeat leases** — every worker fsyncs a small per-slot lease file
+  (pid + timestamp + current benchmark/event count) from its engine's
+  progress callback, so the supervisor can tell a *dead* worker (pid
+  probe fails, or the process exited) from a *wedged* one (pid alive,
+  lease expired) from a merely *slow* one (pid alive, lease fresh).
+  :func:`classify_worker` pins the ordering: the pid probe is checked
+  first, lease age only breaks the tie for live processes.
+* **Crash-safe recovery** — a dead shard's incomplete benchmarks are
+  recovered by diffing its assignment against the shared
+  :class:`~repro.checkpoint.journal.RunJournal` (completed work is
+  durable: journal + content-addressed store + checkpoints), then the
+  slot is restarted with exponential backoff up to ``max_restarts``
+  times; an exhausted slot is retired and its survivors re-partitioned
+  across free slots.  Because workers run ``resume=True``, a restarted
+  shard skips everything already journaled and resumes the in-flight
+  benchmark from its last checkpoint.
+* **Speculative re-execution** — once every benchmark is assigned and a
+  slot is idle, tail stragglers' remaining benchmarks are re-executed
+  speculatively.  Safety rides entirely on the store's ``.claim``
+  protocol and idempotent atomic put: speculative jobs skip
+  ``wait_for_writer`` and race the original; the first writer wins and
+  both produce byte-identical artifacts by construction.
+* **Cascading SIGTERM drain** — SIGTERM to the supervisor forwards to
+  every worker (which checkpoints via :mod:`repro.eval.interrupt` and
+  reports what it finished), stops restarts and speculation, escalates
+  to SIGKILL after :data:`~repro.eval.engine.DRAIN_KILL_GRACE` seconds,
+  then still runs the merge census and reports completed/remaining
+  honestly.
+
+The cost model is learned: :func:`~repro.eval.shards.measured_costs`
+feeds per-benchmark wall-clock medians from the shared journal into
+:func:`~repro.eval.shards.partition_selection`, falling back to static
+fuel estimates for never-run benchmarks.
+
+Fault modes ``shard_kill:K@EVENTS``, ``shard_hang:K`` and
+``lease_stall:K`` (:mod:`repro.eval.faults`, via ``REPRO_FAULTS``)
+exercise exactly these paths deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..checkpoint import RunJournal
+from ..errors import ShardLost, SuiteInterrupted, error_to_dict
+from . import faults, interrupt
+from .engine import DRAIN_KILL_GRACE, ExecutionEngine
+from .shards import (
+    MergeReport,
+    ShardSpec,
+    measured_costs,
+    merge_shards,
+    partition_selection,
+)
+
+__all__ = [
+    "DEFAULT_MAX_RESTARTS",
+    "LEASE_INTERVAL_SECONDS",
+    "LEASE_TIMEOUT_SECONDS",
+    "LeaseWriter",
+    "RESTART_DELAY_CAP",
+    "ShardSupervisor",
+    "SupervisorReport",
+    "SupervisorStats",
+    "classify_worker",
+    "read_lease",
+    "restart_delay",
+]
+
+#: subdirectory of the shared store holding supervisor state (leases,
+#: injected fault-state markers).  Operational, never merged as results.
+SUPERVISOR_SUBDIR = "supervisor"
+
+#: a live worker whose lease is older than this many seconds is treated
+#: as wedged: killed, counted as a lease expiry, and its work recovered.
+LEASE_TIMEOUT_SECONDS = 10.0
+
+#: minimum interval between a worker's lease heartbeats (the progress
+#: callback fires per checkpoint slice, far more often than this).
+LEASE_INTERVAL_SECONDS = 0.5
+
+#: restart budget per shard slot before it is retired and its remaining
+#: benchmarks are re-partitioned across the surviving slots.
+DEFAULT_MAX_RESTARTS = 2
+
+#: upper bound on the exponential restart backoff delay.
+RESTART_DELAY_CAP = 30.0
+
+#: supervisor scheduler poll interval (seconds).
+_POLL_SECONDS = 0.05
+
+
+def restart_delay(
+    backoff: float, restart: int, cap: float = RESTART_DELAY_CAP
+) -> float:
+    """Seconds to wait before restart number *restart* (1-based).
+
+    Exponential: the first restart waits one base interval, each further
+    one doubles, capped at *cap* so a flapping shard cannot push its own
+    recovery arbitrarily far into the future.
+    """
+    if restart < 1:
+        return 0.0
+    return min(cap, backoff * (2 ** (restart - 1)))
+
+
+def classify_worker(
+    alive: bool, lease_age: float, lease_timeout: float
+) -> str:
+    """``"dead"`` | ``"straggler"`` | ``"healthy"`` for one worker.
+
+    The pid probe is authoritative and checked **first**: a process that
+    is gone is dead no matter how fresh its lease looks (the lease file
+    survives its writer), and only a provably *live* process can be a
+    straggler.  Lease age then separates wedged (expired) from merely
+    slow (fresh) — a slow-but-alive worker is healthy and must never be
+    killed on age alone.
+    """
+    if not alive:
+        return "dead"
+    if lease_age > lease_timeout:
+        return "straggler"
+    return "healthy"
+
+
+class LeaseWriter:
+    """One worker's fsynced heartbeat lease file.
+
+    The lease is the worker's liveness side-channel: a small JSON file
+    (pid, wall-clock timestamp, current benchmark and event count)
+    rewritten atomically — temp file, fsync, ``os.replace`` — so the
+    supervisor never reads a torn lease.  The file's mtime is what the
+    supervisor ages; the payload is for post-mortems and tests.
+
+    Beats are throttled to *interval* seconds (the progress callback
+    fires per checkpoint slice, which can be thousands of times per
+    second on small workloads); ``force=True`` bypasses the throttle for
+    the initial beat at worker entry.  A ``lease_stall``-faulted worker
+    sets *stalled* and skips every write.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        slot: int,
+        interval: float = LEASE_INTERVAL_SECONDS,
+        stalled: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.slot = slot
+        self.interval = interval
+        self.stalled = stalled
+        self.path = self.directory / f"lease-{slot}.json"
+        self._last = float("-inf")
+
+    def beat(
+        self, benchmark: str = "", events: int = 0, force: bool = False
+    ) -> None:
+        """Refresh the lease (throttled; a failed write never kills the job)."""
+        if self.stalled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "ts": round(time.time(), 3),
+                "slot": self.slot,
+                "benchmark": benchmark,
+                "events": events,
+            }
+        ).encode("ascii")
+        tmp = self.directory / f".lease-{self.slot}.tmp-{os.getpid()}"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # heartbeat is advisory; the journal is the durable record
+
+
+def read_lease(path: Path) -> Optional[Dict[str, object]]:
+    """The lease payload at *path*, or None (missing/torn/foreign)."""
+    try:
+        payload = json.loads(Path(path).read_bytes())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _supervised_worker_entry(conn, payload: tuple) -> None:
+    """Shard worker process entry point (must stay module-level).
+
+    Runs one in-process :class:`ExecutionEngine` over this slot's
+    assigned benchmarks with ``resume=True`` against the shared store —
+    which is the entire recovery story: a restarted worker replays the
+    shared journal, skips everything any sibling already completed, and
+    resumes the in-flight benchmark from its latest checkpoint.
+
+    The engine's progress callback doubles as the fault hook
+    (``shard_kill`` fires here, deterministically in event time) and the
+    heartbeat (a throttled fsynced lease write).  The lease gets one
+    forced beat *before* ``on_shard_start`` so a ``shard_hang`` fault
+    leaves a fresh-then-aging lease behind a live pid — the exact
+    wedged-worker signature the supervisor must detect by lease expiry.
+    """
+    (
+        slot,
+        total,
+        names,
+        store_root,
+        scale,
+        trace_limit,
+        backend,
+        checkpoint_every,
+        retries,
+        speculative,
+        selection,
+        cost_model,
+        lease_interval,
+    ) = payload
+    interrupt.install_worker_handler()
+    interrupt.set_pdeathsig()
+    plan = faults.active_plan()
+    stalled = plan.lease_stalled(slot) if plan is not None else False
+    lease = LeaseWriter(
+        Path(store_root) / SUPERVISOR_SUBDIR,
+        slot,
+        interval=lease_interval,
+        stalled=stalled,
+    )
+    lease.beat(force=True)
+    if plan is not None:
+        plan.on_shard_start(slot)
+
+    def heartbeat(benchmark: str, events: int) -> None:
+        if plan is not None:
+            plan.on_shard_events(slot, events)
+        lease.beat(benchmark=benchmark, events=events)
+
+    try:
+        shard = ShardSpec(slot, total) if 1 <= slot <= total else None
+        engine = ExecutionEngine(
+            scale=scale,
+            cache_dir=Path(store_root),
+            trace_limit=trace_limit,
+            jobs=1,
+            retries=retries,
+            checkpoint_every_events=checkpoint_every,
+            resume=True,
+            backend=backend,
+            shard=shard,
+            selection=selection,
+            progress=heartbeat,
+            speculative=speculative,
+            cost_model=cost_model,
+            journal_strict=False,
+        )
+        engine.prefetch(list(names))
+    except SuiteInterrupted as exc:
+        conn.send(
+            (
+                "interrupted",
+                {
+                    "slot": slot,
+                    "completed": list(exc.context.get("completed", [])),
+                    "remaining": list(exc.context.get("remaining", [])),
+                },
+            )
+        )
+    except Exception as exc:  # crash isolation: report, don't die silently
+        conn.send(("error", error_to_dict(exc)))
+    else:
+        conn.send(
+            (
+                "ok",
+                {
+                    "slot": slot,
+                    "completed": sorted(
+                        n
+                        for n in names
+                        if n in engine.stats.job_source
+                        and n not in engine.failures
+                    ),
+                    "failed": {
+                        name: error_to_dict(err)
+                        for name, err in engine.failures.items()
+                    },
+                    "job_source": dict(engine.stats.job_source),
+                    "stats": engine.stats.as_dict(),
+                },
+            )
+        )
+    finally:
+        conn.close()
+
+
+class _ShardWorker:
+    """One spawned shard worker process and its supervisor-side state."""
+
+    def __init__(
+        self,
+        slot: int,
+        names: Sequence[str],
+        payload: tuple,
+        lease_dir: Path,
+        speculative: bool = False,
+        restarts: int = 0,
+        ctx=None,
+    ) -> None:
+        if ctx is None:
+            ctx = multiprocessing.get_context()
+        self.slot = slot
+        self.names = list(names)
+        self.speculative = speculative
+        self.restarts = restarts
+        self.lease_path = lease_dir / f"lease-{slot}.json"
+        try:  # a stale lease from a previous incarnation must not look fresh
+            self.lease_path.unlink()
+        except OSError:
+            pass
+        self.spawned_wall = time.time()
+        self.receiver, sender = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_supervised_worker_entry,
+            args=(sender, payload),
+            daemon=True,
+        )
+        self.process.start()
+        sender.close()
+
+    def poll(self) -> Optional[Tuple[str, object]]:
+        """The worker's outcome if it has one, else None (non-blocking)."""
+        if self.receiver.poll():
+            try:
+                return self.receiver.recv()
+            except EOFError:
+                return ("crash", self.process.exitcode)
+        if not self.process.is_alive():
+            return ("crash", self.process.exitcode)
+        return None
+
+    def lease_age(self) -> float:
+        """Seconds since the last heartbeat (spawn time if never beaten)."""
+        try:
+            newest = self.lease_path.stat().st_mtime
+        except OSError:
+            newest = self.spawned_wall
+        return max(0.0, time.time() - newest)
+
+    def terminate(self) -> None:
+        self.process.terminate()
+
+    def kill(self) -> None:
+        self.process.kill()
+
+    def reap(self, grace: float = 5.0) -> None:
+        self.receiver.close()
+        self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=grace)
+
+
+@dataclass
+class SupervisorStats:
+    """Recovery counters for one supervised run (schema v9)."""
+
+    workers: int = 0
+    restarts: int = 0
+    reassigned_benchmarks: int = 0
+    speculative_runs: int = 0
+    speculative_wins: int = 0
+    speculative_losses: int = 0
+    lease_expiries: int = 0
+    shards_lost: int = 0
+    cost_model: str = "fuel"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "restarts": self.restarts,
+            "reassigned_benchmarks": self.reassigned_benchmarks,
+            "speculative_runs": self.speculative_runs,
+            "speculative_wins": self.speculative_wins,
+            "speculative_losses": self.speculative_losses,
+            "lease_expiries": self.lease_expiries,
+            "shards_lost": self.shards_lost,
+            "cost_model": self.cost_model,
+        }
+
+
+@dataclass
+class SupervisorReport:
+    """Outcome of one :meth:`ShardSupervisor.run`.
+
+    ``exhausted`` means benchmarks were *lost*: every slot that could
+    have run them burned through its restart budget — the honest-failure
+    case the CLI maps to exit code 1.  ``interrupted`` marks a SIGTERM
+    drain: completed work is durable and the run resumes, so the CLI
+    exits 0.
+    """
+
+    completed: List[str] = field(default_factory=list)
+    remaining: List[str] = field(default_factory=list)
+    failed: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    lost: List[str] = field(default_factory=list)
+    interrupted: bool = False
+    exhausted: bool = False
+    seconds: float = 0.0
+    stats: SupervisorStats = field(default_factory=SupervisorStats)
+    merge: Optional[MergeReport] = None
+    #: one typed ``shard_lost`` record per worker death/lease expiry the
+    #: supervisor recovered from (or failed to).
+    shard_events: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "completed": list(self.completed),
+            "remaining": list(self.remaining),
+            "failed": dict(self.failed),
+            "lost": list(self.lost),
+            "interrupted": self.interrupted,
+            "exhausted": self.exhausted,
+            "seconds": round(self.seconds, 4),
+            "supervisor": self.stats.as_dict(),
+            "merge": self.merge.as_dict() if self.merge else None,
+            "shard_events": list(self.shard_events),
+        }
+
+    def render(self) -> str:
+        lines = ["-- supervisor --"]
+        s = self.stats
+        lines.append(
+            f"  workers: {s.workers}  cost model: {s.cost_model}"
+        )
+        lines.append(
+            f"  recovery: {s.restarts} restart(s), "
+            f"{s.reassigned_benchmarks} reassigned benchmark(s), "
+            f"{s.lease_expiries} lease expiry(ies), "
+            f"{s.shards_lost} shard(s) lost"
+        )
+        lines.append(
+            f"  speculation: {s.speculative_runs} run(s), "
+            f"{s.speculative_wins} win(s), {s.speculative_losses} loss(es)"
+        )
+        lines.append(
+            f"  completed: {len(self.completed)}  "
+            f"failed: {len(self.failed)}  remaining: {len(self.remaining)}"
+            f"  ({self.seconds:.2f}s)"
+        )
+        if self.interrupted:
+            lines.append(
+                "  interrupted: drained on SIGTERM — rerun to continue"
+            )
+        if self.lost:
+            lines.append(
+                "  LOST (restart budget exhausted): "
+                + ", ".join(self.lost)
+            )
+        return "\n".join(lines)
+
+
+class ShardSupervisor:
+    """Parent orchestrator for an N-worker supervised suite run.
+
+    Args:
+        names: the resolved benchmark selection to materialise.
+        workers: shard worker process count (>= 1).
+        store_root: the **shared** artifact store all workers write to;
+            also holds the shared run journal, checkpoints and
+            ``supervisor/`` lease state.
+        scale / trace_limit / backend: run parameters, forwarded to
+            every worker engine (and into every digest/journal record).
+        checkpoint_every_events: worker checkpoint cadence; the finer it
+            is, the less a killed shard replays after restart.
+        retries: per-benchmark retry budget inside each worker engine.
+        max_restarts: per-slot worker restart budget; an exhausted slot
+            is retired and its work re-partitioned.
+        restart_backoff: base delay for :func:`restart_delay`.
+        lease_timeout: heartbeat staleness threshold for
+            :func:`classify_worker`.
+        lease_interval: worker heartbeat cadence (must be well under
+            *lease_timeout*).
+        speculate: enable speculative tail re-execution.
+        selection: the selector expression (observability only).
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        workers: int,
+        store_root: Path,
+        scale: float = 1.0,
+        trace_limit: Optional[int] = None,
+        backend: str = "interp",
+        checkpoint_every_events: int = 2000,
+        retries: int = 1,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        restart_backoff: float = 0.25,
+        lease_timeout: float = LEASE_TIMEOUT_SECONDS,
+        lease_interval: float = LEASE_INTERVAL_SECONDS,
+        speculate: bool = True,
+        selection: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.names = list(dict.fromkeys(names))
+        self.workers = workers
+        self.store_root = Path(store_root)
+        self.scale = scale
+        self.trace_limit = trace_limit
+        self.backend = backend
+        self.checkpoint_every_events = checkpoint_every_events
+        self.retries = retries
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.lease_timeout = lease_timeout
+        self.lease_interval = lease_interval
+        self.speculate = speculate
+        self.selection = selection
+        self.journal = RunJournal(self.store_root)
+        self.stats = SupervisorStats(workers=workers)
+        self.lease_dir = self.store_root / SUPERVISOR_SUBDIR
+
+    # -- internals ----------------------------------------------------------
+
+    def _payload(
+        self, slot: int, names: Sequence[str], speculative: bool
+    ) -> tuple:
+        return (
+            slot,
+            self.workers,
+            tuple(names),
+            str(self.store_root),
+            self.scale,
+            self.trace_limit,
+            self.backend,
+            self.checkpoint_every_events,
+            self.retries,
+            speculative,
+            self.selection,
+            self.stats.cost_model,
+            self.lease_interval,
+        )
+
+    def _spawn(
+        self,
+        slot: int,
+        names: Sequence[str],
+        speculative: bool = False,
+        restarts: int = 0,
+    ) -> _ShardWorker:
+        worker = _ShardWorker(
+            slot,
+            names,
+            self._payload(slot, names, speculative),
+            self.lease_dir,
+            speculative=speculative,
+            restarts=restarts,
+        )
+        self._running.append(worker)
+        return worker
+
+    def _completed_now(self) -> Dict[str, str]:
+        return self.journal.completed(
+            self.scale, self.trace_limit, backend=self.backend
+        )
+
+    def _unfinished(self, names: Sequence[str]) -> List[str]:
+        completed = self._completed_now()
+        return [
+            n
+            for n in names
+            if n not in completed and n not in self._failed
+        ]
+
+    def _handle_dead(self, worker: _ShardWorker) -> None:
+        """Recover a dead (or killed-wedged) worker's incomplete work."""
+        if worker.speculative:
+            return  # speculative attempts are free to lose
+        remaining = self._unfinished(worker.names)
+        self._shard_events.append(
+            ShardLost(
+                f"shard {worker.slot} lost with "
+                f"{len(remaining)} benchmark(s) incomplete",
+                slot=worker.slot,
+                restarts=worker.restarts,
+                benchmarks=list(remaining),
+            ).to_dict()
+        )
+        if not remaining:
+            return
+        if worker.restarts < self.max_restarts:
+            restart = worker.restarts + 1
+            self.stats.restarts += 1
+            self._pending_restarts[worker.slot] = (
+                time.monotonic()
+                + restart_delay(self.restart_backoff, restart),
+                remaining,
+                restart,
+            )
+        else:
+            self._retired.add(worker.slot)
+            self.stats.shards_lost += 1
+            self._orphans.extend(
+                n for n in remaining if n not in self._orphans
+            )
+
+    def _absorb_ok(self, worker: _ShardWorker, summary: Dict) -> None:
+        for name, err in dict(summary.get("failed", {})).items():
+            self._failed[name] = err
+        if worker.speculative:
+            for name, source in dict(
+                summary.get("job_source", {})
+            ).items():
+                if source in ("simulated", "resimulated"):
+                    self.stats.speculative_wins += 1
+                elif source in ("store", "journal"):
+                    self.stats.speculative_losses += 1
+
+    def _install_fault_state(self) -> Optional[str]:
+        """Give an env fault plan a durable ``state_dir`` if it lacks one.
+
+        ``shard_kill`` must fire exactly once across worker restarts, so
+        its marker needs a directory that survives the killed process.
+        A plan arriving via the compact env syntax usually has none; the
+        supervisor injects one under its own state subdirectory and
+        re-installs the plan for its children.  Returns the previous raw
+        env value (for restoration), or None when nothing changed — a
+        plan only exists when the variable is set, so a changed env
+        always has a string to restore.
+        """
+        plan = faults.active_plan()
+        if plan is None or plan.state_dir or not plan.shard_kill:
+            return None
+        state = self.lease_dir / "fault-state"
+        state.mkdir(parents=True, exist_ok=True)
+        previous = os.environ[faults.ENV_VAR]
+        os.environ[faults.ENV_VAR] = dataclasses.replace(
+            plan, state_dir=str(state)
+        ).to_json()
+        return previous
+
+    # -- the monitor loop ---------------------------------------------------
+
+    def run(self) -> SupervisorReport:
+        """Partition, spawn, babysit, merge; returns the honest report."""
+        started = time.perf_counter()
+        self._running: List[_ShardWorker] = []
+        self._pending_restarts: Dict[
+            int, Tuple[float, List[str], int]
+        ] = {}
+        self._orphans: List[str] = []
+        self._retired: set = set()
+        self._failed: Dict[str, Dict[str, object]] = {}
+        self._shard_events: List[Dict[str, object]] = []
+        lost: List[str] = []
+        speculated: set = set()
+        interrupted = False
+        next_spec_slot = self.workers + 1
+        previous_env = self._install_fault_state()
+
+        costs = measured_costs(
+            self.journal,
+            self.scale,
+            self.trace_limit,
+            backend=self.backend,
+        )
+        usable = {n: c for n, c in costs.items() if n in set(self.names)}
+        self.stats.cost_model = "measured" if usable else "fuel"
+
+        try:
+            bins = partition_selection(
+                self.names,
+                self.workers,
+                self.scale,
+                costs=usable or None,
+            )
+            for index, bin_names in enumerate(bins, start=1):
+                if bin_names:
+                    self._spawn(index, list(bin_names))
+
+            draining = False
+            drain_started = 0.0
+            while (
+                self._running or self._orphans or self._pending_restarts
+            ):
+                now = time.monotonic()
+                if not draining and interrupt.drain_requested():
+                    draining = True
+                    interrupted = True
+                    drain_started = now
+                    self._pending_restarts.clear()
+                    for worker in self._running:
+                        worker.terminate()
+                if (
+                    draining
+                    and now - drain_started > DRAIN_KILL_GRACE
+                ):
+                    for worker in self._running:
+                        worker.kill()
+
+                for slot in list(self._pending_restarts):
+                    due, names, restart = self._pending_restarts[slot]
+                    if not draining and due <= now:
+                        del self._pending_restarts[slot]
+                        self._spawn(slot, names, restarts=restart)
+
+                progressed = False
+                for worker in list(self._running):
+                    outcome = worker.poll()
+                    if outcome is None:
+                        if draining:
+                            continue
+                        state = classify_worker(
+                            worker.process.is_alive(),
+                            worker.lease_age(),
+                            self.lease_timeout,
+                        )
+                        if state == "straggler":
+                            # live pid, expired lease: wedged.  Kill it
+                            # and recover exactly like a crash — the
+                            # journal diff is the same either way.
+                            self.stats.lease_expiries += 1
+                            worker.kill()
+                            worker.reap()
+                            self._running.remove(worker)
+                            self._handle_dead(worker)
+                            progressed = True
+                        continue
+                    progressed = True
+                    self._running.remove(worker)
+                    kind, payload = outcome
+                    worker.reap()
+                    if kind == "ok":
+                        self._absorb_ok(worker, payload)
+                    elif kind == "interrupted":
+                        interrupted = True
+                    elif not draining:  # "crash" or "error"
+                        self._handle_dead(worker)
+
+                if draining:
+                    if not self._running:
+                        break
+                    if not progressed:
+                        time.sleep(_POLL_SECONDS)
+                    continue
+
+                if self._orphans:
+                    busy = {w.slot for w in self._running} | set(
+                        self._pending_restarts
+                    )
+                    free = [
+                        s
+                        for s in range(1, self.workers + 1)
+                        if s not in self._retired and s not in busy
+                    ]
+                    if free:
+                        orphans = self._unfinished(self._orphans)
+                        self._orphans.clear()
+                        if orphans:
+                            self.stats.reassigned_benchmarks += len(
+                                orphans
+                            )
+                            parts = partition_selection(
+                                orphans,
+                                len(free),
+                                self.scale,
+                                costs=usable or None,
+                            )
+                            for slot, part in zip(free, parts):
+                                if part:
+                                    self._spawn(slot, list(part))
+                    elif not self._running and not self._pending_restarts:
+                        # every slot retired with work left: unrecoverable
+                        lost = sorted(set(self._unfinished(self._orphans)))
+                        self._orphans.clear()
+
+                if (
+                    self.speculate
+                    and self._running
+                    and not self._orphans
+                    and not self._pending_restarts
+                    and len(self._running) < self.workers
+                ):
+                    tail = [
+                        n
+                        for w in self._running
+                        if not w.speculative
+                        for n in self._unfinished(w.names)
+                        if n not in speculated
+                    ]
+                    while tail and len(self._running) < self.workers:
+                        name = tail.pop(0)
+                        speculated.add(name)
+                        self.stats.speculative_runs += 1
+                        self._spawn(
+                            next_spec_slot, [name], speculative=True
+                        )
+                        next_spec_slot += 1
+
+                if not progressed:
+                    time.sleep(_POLL_SECONDS)
+        finally:
+            for worker in self._running:
+                worker.kill()
+                worker.reap()
+            self._running.clear()
+            if previous_env is not None:
+                os.environ[faults.ENV_VAR] = previous_env
+
+        # Auto-merge: with a shared store this is the census pass (the
+        # artifacts are already unioned by construction); it also proves
+        # every entry parses and journals the completion set.
+        merge = merge_shards([self.store_root], self.store_root)
+        completed = self._completed_now()
+        report = SupervisorReport(
+            completed=sorted(n for n in self.names if n in completed),
+            remaining=sorted(
+                n
+                for n in self.names
+                if n not in completed and n not in self._failed
+            ),
+            failed=dict(self._failed),
+            lost=lost,
+            interrupted=interrupted,
+            exhausted=bool(lost),
+            seconds=time.perf_counter() - started,
+            stats=self.stats,
+            merge=merge,
+            shard_events=self._shard_events,
+        )
+        return report

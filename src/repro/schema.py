@@ -81,6 +81,22 @@ Version history:
   errors (unknown benchmark/set, malformed shard) exit 2 with the typed
   ``unknown_benchmark``/``unknown_set``/``invalid_selection`` codes and
   a near-miss ``suggestion``.
+* **9** — crash-safe shard supervisor: the new ``supervise`` command
+  (also reachable as ``experiment --workers N``) emits ``results`` =
+  ``{completed, remaining, failed, lost, interrupted, exhausted,
+  seconds, supervisor, merge, shard_events}`` where ``supervisor``
+  carries the recovery counters (``workers``, ``restarts``,
+  ``reassigned_benchmarks``, ``speculative_runs``/``wins``/``losses``,
+  ``lease_expiries``, ``shards_lost``, ``cost_model``) and
+  ``shard_events`` lists one typed ``shard_lost`` record per recovered
+  worker death; the embedded ``engine`` stats gain a ``cost_model``
+  field (``"measured"`` when journal wall-clock medians drove the LPT
+  partition, ``"fuel"`` for the static estimate, null unsharded);
+  journal ``completed`` records gain ``seconds`` (the learned cost
+  model's input); ``merge-shards`` results gain ``journal_skipped``
+  and ``warnings`` (damaged journal lines tolerated during a
+  partial-shard merge); new failure codes ``shard_lost``/
+  ``shard_restarts_exhausted``.
 """
 
 from __future__ import annotations
@@ -89,7 +105,7 @@ import json
 from typing import Any, Dict
 
 #: Bump on backwards-incompatible envelope/payload changes.
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 
 def envelope(

@@ -247,15 +247,15 @@ def test_event_chunk_caches_both_representations():
 # -- version consistency -----------------------------------------------------
 
 
-def test_version_flag_reports_schema_v8(capsys):
+def test_version_flag_reports_schema_v9(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
     out = capsys.readouterr().out
     assert __version__ in out
     assert f"schema {SCHEMA_VERSION}" in out
-    assert SCHEMA_VERSION == 8
-    assert envelope("x", {}, {})["schema_version"] == 8
+    assert SCHEMA_VERSION == 9
+    assert envelope("x", {}, {})["schema_version"] == 9
 
 
 def test_engine_envelope_carries_pipeline_counters(runner):

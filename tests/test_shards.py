@@ -143,7 +143,9 @@ def test_merge_unions_disjoint_stores(tmp_path):
         "benchmarks",
         "destination",
         "journal_records",
+        "journal_skipped",
         "sources",
+        "warnings",
     ]
 
 
@@ -183,6 +185,50 @@ def test_merge_shared_store_only_reads_the_journal(tmp_path):
     report = merge_shards([store], store)
     assert report.artifacts_copied == 0
     assert report.artifacts_identical == 0
+
+
+def _journal_line(benchmark):
+    return json.dumps({
+        "v": 1, "status": "completed", "benchmark": benchmark,
+        "scale": 0.02, "trace_limit": None, "backend": "interp",
+        "digest": "ab" * 32, "source": "simulated", "ts": 1.0,
+    })
+
+
+def test_merge_tolerates_torn_journal_tail(tmp_path):
+    """A shard whose worker was SIGKILLed mid-append leaves a torn last
+    line; the merge keeps the intact records and reports a warning
+    instead of aborting the whole union."""
+    _fake_store(tmp_path / "s1", {"plot-aa.trace.npz": b"A"})
+    (tmp_path / "s1" / "journal.jsonl").write_text(
+        _journal_line("plot") + "\n" + '{"v": 1, "status": "comp'
+    )
+    report = merge_shards([tmp_path / "s1"], tmp_path / "out")
+    assert report.benchmarks == ["plot"]
+    assert report.journal_skipped == 1
+    assert len(report.warnings) == 1
+    assert "journal" in report.warnings[0]
+    # the surviving record landed in the destination journal
+    merged = (tmp_path / "out" / "journal.jsonl").read_text()
+    assert '"plot"' in merged
+
+
+def test_merge_tolerates_mid_file_garbage(tmp_path):
+    """Garbage *between* valid records (a torn line a later appender
+    terminated) is skipped with a warning; both neighbours survive."""
+    _fake_store(
+        tmp_path / "s1",
+        {"plot-aa.trace.npz": b"A", "pgp-bb.trace.npz": b"B"},
+    )
+    (tmp_path / "s1" / "journal.jsonl").write_text(
+        _journal_line("plot") + "\n"
+        + '{"torn": tru' + "\n"
+        + _journal_line("pgp") + "\n"
+    )
+    report = merge_shards([tmp_path / "s1"], tmp_path / "out")
+    assert sorted(report.benchmarks) == ["pgp", "plot"]
+    assert report.journal_skipped == 1
+    assert report.journal_records != {}
 
 
 # -- end-to-end acceptance: sharded == unsharded, byte for byte --------------

@@ -140,6 +140,46 @@ def test_live_holders_claim_is_respected(tmp_path):
     assert store.try_claim(SPEC, DIGEST) is False
 
 
+def test_live_holders_old_claim_is_never_broken_on_age(tmp_path):
+    """Regression: a checkpoint-resumed long job legitimately holds one
+    claim far past CLAIM_STALE_SECONDS.  The pid probe is authoritative
+    — a provably alive holder keeps its claim no matter the mtime."""
+    store = make_store(tmp_path)
+    store.root.mkdir(parents=True)
+    path = store.claim_path(SPEC, DIGEST)
+    path.write_text(json.dumps({"pid": os.getpid(), "ts": time.time()}))
+    ancient = time.time() - (store.CLAIM_STALE_SECONDS * 100)
+    os.utime(path, (ancient, ancient))
+    assert store.try_claim(SPEC, DIGEST) is False
+    # and a waiter keeps waiting (times out) instead of declaring it gone
+    assert store.wait_for_writer(SPEC, DIGEST, timeout=0.2) is False
+    assert path.exists()
+
+
+def test_progress_refreshes_claim_mtime(tmp_path, monkeypatch):
+    """The slice-progress path touches the claim so observers see a
+    recent mtime while a long simulation is live."""
+    from repro.eval import engine as engine_mod
+
+    monkeypatch.setattr(
+        engine_mod.ArtifactStore, "CLAIM_REFRESH_SECONDS", 0.0
+    )
+    cache = tmp_path / "cache"
+    spec = JobSpec(name="plot", scale=SCALE)
+    payload = (spec, str(cache), False, 500)
+    ages = []
+
+    def probe(name, events):
+        store = ArtifactStore(cache)
+        for claim in store.root.rglob("*.claim"):
+            ages.append(time.time() - claim.stat().st_mtime)
+
+    result = _execute_job(payload, progress=probe)
+    assert result.source == "simulated"
+    assert ages, "progress callback never saw a live claim"
+    assert min(ages) < 5.0
+
+
 def test_unreadable_claim_falls_back_to_mtime_backstop(tmp_path):
     store = make_store(tmp_path)
     store.root.mkdir(parents=True)
